@@ -1,0 +1,118 @@
+// Command hdlsim runs a single hierarchical DLS experiment on the simulated
+// miniHPC cluster and reports the paper's metric (parallel loop time) plus
+// the overhead breakdown, optionally with an ASCII Gantt chart (the
+// reproduction of the paper's Figures 2 and 3) and a CSV event trace.
+//
+// Examples:
+//
+//	hdlsim -app mandelbrot -inter GSS -intra STATIC -approach mpi+mpi -nodes 4
+//	hdlsim -app psia -inter FAC2 -intra SS -approach mpi+openmp -nodes 8 -scale 32
+//	hdlsim -app mandelbrot -inter GSS -intra STATIC -nodes 1 -workers 8 -gantt -scale 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/dls"
+	"repro/hdls"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "mandelbrot", "application: mandelbrot | psia")
+		interS   = flag.String("inter", "GSS", "inter-node DLS technique (STATIC, SS, GSS, TSS, FAC, FAC2, TFSS, FSC)")
+		intraS   = flag.String("intra", "STATIC", "intra-node DLS technique (STATIC, SS, GSS, TSS, FAC2, ...)")
+		approach = flag.String("approach", "mpi+mpi", "mpi+mpi | mpi+openmp | nowait")
+		nodes    = flag.Int("nodes", 4, "number of compute nodes")
+		workers  = flag.Int("workers", 16, "workers (ranks or threads) per node")
+		scale    = flag.Int("scale", 8, "workload scale divisor (1 = full size)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		noise    = flag.Float64("noise", 0, "systemic noise CoV (0 = smooth machine)")
+		extended = flag.Bool("extended", false, "enable the extended OpenMP runtime (TSS/FAC2 intra)")
+		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt chart of the execution")
+		csvPath  = flag.String("trace-csv", "", "write the event trace to this CSV file")
+		jsonPath = flag.String("trace-chrome", "", "write the event trace as Chrome tracing JSON (chrome://tracing, Perfetto)")
+	)
+	flag.Parse()
+
+	app, err := hdls.ParseApp(*appName)
+	fatalIf(err)
+	inter, err := dls.Parse(*interS)
+	fatalIf(err)
+	intra, err := dls.Parse(*intraS)
+	fatalIf(err)
+	ap, err := parseApproach(*approach)
+	fatalIf(err)
+
+	cfg := hdls.Config{
+		App: app, Nodes: *nodes, WorkersPerNode: *workers,
+		Inter: inter, Intra: intra, Approach: ap,
+		Scale: *scale, Seed: *seed, NoiseCV: *noise,
+		ExtendedRuntime: *extended,
+		CollectTrace:    *gantt || *csvPath != "" || *jsonPath != "",
+	}
+	res, err := hdls.Run(cfg)
+	fatalIf(err)
+
+	ideal := hdls.IdealTime(app, *scale, *nodes, *workers)
+	fmt.Printf("%s  %v+%v  %v  %d nodes × %d workers (scale 1/%d)\n",
+		app, inter, intra, ap, *nodes, *workers, *scale)
+	fmt.Printf("  parallel loop time : %s  (%.2f× ideal %s)\n",
+		stats.FormatSeconds(float64(res.ParallelTime)),
+		float64(res.ParallelTime)/float64(ideal),
+		stats.FormatSeconds(float64(ideal)))
+	fmt.Printf("  load imbalance     : %.3f (max/mean − 1 over worker finish times)\n", res.LoadImbalance)
+	fmt.Printf("  global chunks      : %d\n", res.GlobalChunks)
+	fmt.Printf("  local sub-chunks   : %d\n", res.LocalChunks)
+	if res.LockAcquisitions > 0 {
+		fmt.Printf("  Win_lock attempts  : %d for %d acquisitions (%.2f per acquisition)\n",
+			res.LockAttempts, res.LockAcquisitions,
+			float64(res.LockAttempts)/float64(res.LockAcquisitions))
+	}
+	if res.BarrierWait > 0 {
+		fmt.Printf("  barrier idle time  : %s accumulated across threads\n",
+			stats.FormatSeconds(float64(res.BarrierWait)))
+	}
+
+	if *gantt && res.Trace != nil {
+		fmt.Println()
+		fmt.Print(res.Trace.Gantt(100))
+	}
+	if *csvPath != "" && res.Trace != nil {
+		f, err := os.Create(*csvPath)
+		fatalIf(err)
+		fatalIf(res.Trace.WriteCSV(f))
+		fatalIf(f.Close())
+		fmt.Printf("  trace written      : %s (%d events)\n", *csvPath, len(res.Trace.Events))
+	}
+	if *jsonPath != "" && res.Trace != nil {
+		f, err := os.Create(*jsonPath)
+		fatalIf(err)
+		fatalIf(res.Trace.WriteChromeJSON(f))
+		fatalIf(f.Close())
+		fmt.Printf("  chrome trace       : %s (open in chrome://tracing)\n", *jsonPath)
+	}
+}
+
+func parseApproach(s string) (hdls.Approach, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "mpi+mpi", "mpimpi", "mpi-mpi":
+		return hdls.MPIMPI, nil
+	case "mpi+openmp", "mpiopenmp", "mpi-openmp", "openmp":
+		return hdls.MPIOpenMP, nil
+	case "nowait", "mpi+openmp-nowait":
+		return hdls.MPIOpenMPNoWait, nil
+	}
+	return 0, fmt.Errorf("unknown approach %q", s)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdlsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+// Command hdlsweep regenerates the paper's evaluation: Figures 4–7 (both
+// applications, all intra-node techniques, 2–16 nodes, both approaches).
+// It prints the tables to stdout and optionally writes CSV files per
+// figure, the inputs EXPERIMENTS.md is built from.
+//
+//	hdlsweep                    # all figures, quick scale (1/8)
+//	hdlsweep -figure 5          # only Figure 5
+//	hdlsweep -scale 1           # full-size workloads (minutes)
+//	hdlsweep -extended          # fill the paper's n/a cells via the
+//	                            # extended (libGOMP-style) OpenMP runtime
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/hdls"
+)
+
+func main() {
+	var (
+		figure   = flag.Int("figure", 0, "figure to regenerate (4..7); 0 = all")
+		scale    = flag.Int("scale", 8, "workload scale divisor (1 = full size)")
+		nodesCSV = flag.String("nodes", "2,4,8,16", "comma-separated node counts")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		extended = flag.Bool("extended", false, "fill TSS/FAC2 intra cells for MPI+OpenMP")
+		outDir   = flag.String("out", "", "directory for per-figure CSV files (optional)")
+		quiet    = flag.Bool("q", false, "suppress per-cell progress")
+		withEff  = flag.Bool("eff", false, "also print parallel-efficiency tables")
+	)
+	flag.Parse()
+
+	nodes, err := parseNodes(*nodesCSV)
+	fatalIf(err)
+
+	figures := []int{4, 5, 6, 7}
+	if *figure != 0 {
+		figures = []int{*figure}
+	}
+	apps := []hdls.App{hdls.Mandelbrot, hdls.PSIA}
+
+	start := time.Now()
+	for _, fig := range figures {
+		for _, app := range apps {
+			opt := hdls.FigureOptions{
+				Scale: *scale, Nodes: nodes, Seed: *seed, Extended: *extended,
+			}
+			if !*quiet {
+				opt.Progress = func(cell string) {
+					fmt.Fprintf(os.Stderr, "  done %-55s (%6.1fs elapsed)\n", cell, time.Since(start).Seconds())
+				}
+			}
+			fr, err := hdls.RunFigure(fig, app, opt)
+			fatalIf(err)
+			fmt.Println(fr.Table())
+			if *withEff {
+				fmt.Println(fr.EfficiencyTable(*scale, 16))
+			}
+			printRatios(fr)
+			if *outDir != "" {
+				fatalIf(os.MkdirAll(*outDir, 0o755))
+				name := filepath.Join(*outDir, fmt.Sprintf("figure%d_%s.csv", fig, strings.ToLower(app.String())))
+				fatalIf(os.WriteFile(name, []byte(fr.CSV()), 0o644))
+				fmt.Printf("wrote %s\n\n", name)
+			}
+		}
+	}
+	fmt.Printf("sweep complete in %.1fs\n", time.Since(start).Seconds())
+}
+
+// printRatios summarizes each intra column as the MPI+OpenMP / MPI+MPI
+// ratio (>1: proposed approach wins), the comparison the paper narrates.
+func printRatios(fr *hdls.FigureResult) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  speedup of MPI+MPI over MPI+OpenMP (×):")
+	for _, intra := range fr.Intras {
+		fmt.Fprintf(&b, "  %v:", intra)
+		any := false
+		for _, n := range fr.Nodes {
+			s := fr.Speedup(intra, n)
+			if s != s { // NaN
+				continue
+			}
+			fmt.Fprintf(&b, " %.2f", s)
+			any = true
+		}
+		if !any {
+			b.WriteString(" n/a")
+		}
+	}
+	fmt.Println(b.String())
+	fmt.Println()
+}
+
+func parseNodes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad node count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdlsweep:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+package dls
+
+import "math"
+
+// --------------------------------------------------------------------- AF --
+
+// afSched implements adaptive factoring (Banicescu & Liu, 2000; Cariño &
+// Banicescu, 2008): unlike FAC, which needs σ and µ a priori, AF estimates
+// each worker's mean iteration time µ_w and variance σ_w² online and sizes
+// the next chunk from the current estimates:
+//
+//	D = Σ_w σ_w²/µ_w,  T = Σ_w 1/µ_w
+//	chunk_w = ( D + 2·T·R − √(D² + 4·D·T·R) ) / (2·µ_w·T²)
+//
+// with R the remaining iterations. In the σ→0 limit this hands worker w its
+// proportional share R·(1/µ_w)/T (the adaptive analogue of FAC's σ→0 →
+// STATIC degeneration); growing variance estimates shrink the chunks.
+// Until every worker has measurements it falls back to FAC2-style batching,
+// as practical implementations do.
+type afSched struct {
+	base
+	// Per-worker Welford estimators of iteration execution time.
+	count []float64
+	mean  []float64
+	m2    []float64
+	// issued approximates the scheduled-iterations counter so Chunk can
+	// estimate R without an external feedback channel. Callers that clamp
+	// chunks keep coverage exact regardless (the estimate only shapes
+	// sizes, never correctness).
+	issued int
+}
+
+func newAF(p Params) Schedule {
+	return &afSched{
+		base:  base{AF, p},
+		count: make([]float64, p.P),
+		mean:  make([]float64, p.P),
+		m2:    make([]float64, p.P),
+	}
+}
+
+// Record implements Adaptive: it folds a chunk's measured execution time
+// into worker w's per-iteration estimators.
+func (s *afSched) Record(w int, size int, execTime, schedTime float64) {
+	if w < 0 || w >= s.p.P || size <= 0 || execTime <= 0 {
+		return
+	}
+	perIter := execTime / float64(size)
+	s.count[w]++
+	delta := perIter - s.mean[w]
+	s.mean[w] += delta / s.count[w]
+	s.m2[w] += delta * (perIter - s.mean[w])
+}
+
+func (s *afSched) Chunk(step, worker int) int {
+	r := s.p.N - s.issued
+	if r < 1 {
+		return s.clampMin(1)
+	}
+	var d, t float64
+	sampled := 0
+	for w := 0; w < s.p.P; w++ {
+		if s.count[w] < 2 || s.mean[w] <= 0 {
+			continue
+		}
+		variance := s.m2[w] / (s.count[w] - 1)
+		d += variance / s.mean[w]
+		t += 1 / s.mean[w]
+		sampled++
+	}
+	var c int
+	if sampled < s.p.P || t <= 0 {
+		// Warm-up: FAC2-style batch so every worker gets measured quickly.
+		c = fac2Nominal(s.p.N, s.p.P, step/s.p.P+1)
+	} else {
+		mu := s.mean[worker]
+		if worker < 0 || worker >= s.p.P || s.count[worker] < 2 || mu <= 0 {
+			mu = float64(s.p.P) / t // harmonic-mean fallback
+		}
+		rf := float64(r)
+		x := d + 2*t*rf - math.Sqrt(d*d+4*d*t*rf)
+		c = int(x / (2 * mu * t * t))
+	}
+	if c < 1 {
+		c = 1
+	}
+	if c > r {
+		c = r
+	}
+	s.issued += c
+	return s.clampMin(c)
+}
+
+// -------------------------------------------------------------------- RND --
+
+// rndSched is random self-scheduling as implemented in LaPeSD-libGOMP
+// (Ciorba, Iwainsky & Buder, iWomp 2018): each scheduling step draws a
+// chunk size uniformly from [1, ⌈N/(2P)⌉]. The draw is a pure hash of the
+// scheduling step, so the technique stays deterministic, step-indexed and
+// safe for concurrent use — exactly like the other closed forms.
+type rndSched struct {
+	base
+	max int64
+}
+
+func newRND(p Params) Schedule {
+	max := int64(ceilDiv(maxInt(p.N, 1), 2*p.P))
+	if max < 1 {
+		max = 1
+	}
+	return &rndSched{base{RND, p}, max}
+}
+
+// splitmix64 is the SplitMix64 mixing function — a high-quality stateless
+// hash from a 64-bit counter to a 64-bit value.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (s *rndSched) Chunk(step, _ int) int {
+	h := splitmix64(uint64(step) + 0x243f6a8885a308d3)
+	return s.clampMin(int(int64(h%uint64(s.max)) + 1))
+}

@@ -1,0 +1,71 @@
+package dls
+
+// Assigner drives a Schedule under sequential (central-master) semantics:
+// it owns the scheduling-step counter and the scheduled-iterations counter
+// and clamps every chunk against the remaining work. The distributed
+// chunk-calculation executors in this repository reimplement exactly this
+// arithmetic with MPI_Fetch_and_op; Assigner is the reference they are
+// tested against, and the driver for shared-memory use via package parallel.
+type Assigner struct {
+	sched     Schedule
+	step      int
+	scheduled int
+}
+
+// NewAssigner wraps a schedule.
+func NewAssigner(s Schedule) *Assigner { return &Assigner{sched: s} }
+
+// Schedule returns the wrapped schedule.
+func (a *Assigner) Schedule() Schedule { return a.sched }
+
+// Next assigns the next chunk to the given worker. It returns the chunk
+// half-open range [start, start+size) and ok=false once the loop is
+// exhausted.
+func (a *Assigner) Next(worker int) (start, size int, ok bool) {
+	n := a.sched.Params().N
+	if a.scheduled >= n {
+		return n, 0, false
+	}
+	c := a.sched.Chunk(a.step, worker)
+	a.step++
+	if c > n-a.scheduled {
+		c = n - a.scheduled
+	}
+	start = a.scheduled
+	a.scheduled += c
+	return start, c, true
+}
+
+// Step reports how many chunks have been issued.
+func (a *Assigner) Step() int { return a.step }
+
+// Scheduled reports how many iterations have been assigned so far.
+func (a *Assigner) Scheduled() int { return a.scheduled }
+
+// Remaining reports the iterations not yet assigned.
+func (a *Assigner) Remaining() int { return a.sched.Params().N - a.scheduled }
+
+// ChunkSizes runs a fresh assigner to completion, cycling workers
+// round-robin, and returns every issued chunk size in order. It is the
+// standard way to inspect or test a technique's chunk profile.
+func ChunkSizes(s Schedule) []int {
+	a := NewAssigner(s)
+	p := s.Params().P
+	var out []int
+	for w := 0; ; w = (w + 1) % p {
+		_, size, ok := a.Next(w)
+		if !ok {
+			return out
+		}
+		out = append(out, size)
+	}
+}
+
+// SumChunks is a convenience summing a chunk profile.
+func SumChunks(chunks []int) int {
+	total := 0
+	for _, c := range chunks {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,310 @@
+package dls
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGSSSingleWorker(t *testing.T) {
+	s := MustNew(GSS, Params{N: 100, P: 1})
+	chunks := ChunkSizes(s)
+	if len(chunks) != 1 || chunks[0] != 100 {
+		t.Fatalf("GSS P=1 chunks = %v, want [100]", chunks)
+	}
+}
+
+func TestTSSStepCountFormula(t *testing.T) {
+	// S = ⌈2N/(F+L)⌉ with F = ⌈N/2P⌉, L = 1.
+	for _, tc := range []struct{ n, p int }{{1000, 4}, {4096, 16}, {100, 2}} {
+		f := (tc.n + 4*tc.p - 1) / (2 * tc.p)
+		steps := (2*tc.n + f) / (f + 1)
+		got := len(ChunkSizes(MustNew(TSS, Params{N: tc.n, P: tc.p})))
+		// Clamping at the tail may save a couple of steps.
+		if got > steps+1 || got < steps-3 {
+			t.Fatalf("TSS N=%d P=%d: %d steps, formula says ≈%d", tc.n, tc.p, got, steps)
+		}
+	}
+}
+
+func TestFSCChunkGrowsWithOverhead(t *testing.T) {
+	// Higher scheduling overhead h ⇒ larger optimal chunks.
+	base := Params{N: 1 << 20, P: 16, Sigma: 1e-4}
+	var prev int
+	for i, h := range []float64{1e-7, 1e-6, 1e-5, 1e-4} {
+		p := base
+		p.Overhead = h
+		c := MustNew(FSC, p).Chunk(0, 0)
+		if i > 0 && c <= prev {
+			t.Fatalf("FSC chunk did not grow with overhead: h=%g gives %d after %d", h, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestFSCChunkShrinksWithSigma(t *testing.T) {
+	base := Params{N: 1 << 20, P: 16, Overhead: 1e-5}
+	var prev int
+	for i, sigma := range []float64{1e-5, 1e-4, 1e-3, 1e-2} {
+		p := base
+		p.Sigma = sigma
+		c := MustNew(FSC, p).Chunk(0, 0)
+		if i > 0 && c >= prev {
+			t.Fatalf("FSC chunk did not shrink with σ: σ=%g gives %d after %d", sigma, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestAWFWeightsExposed(t *testing.T) {
+	s := MustNew(AWFC, Params{N: 1 << 16, P: 2}).(Adaptive)
+	aw := s.(interface{ Weights() []float64 })
+	w0 := aw.Weights()
+	if w0[0] != 1 || w0[1] != 1 {
+		t.Fatalf("initial weights = %v, want uniform", w0)
+	}
+	s.Record(0, 100, 1, 0)
+	s.Record(1, 100, 3, 0)
+	w1 := aw.Weights()
+	if w1[0] <= w1[1] {
+		t.Fatalf("weights after skewed rates = %v", w1)
+	}
+	// Normalization: mean stays 1.
+	if sum := w1[0] + w1[1]; sum < 1.999 || sum > 2.001 {
+		t.Fatalf("weights not normalized: %v", w1)
+	}
+	// Returned slice is a copy.
+	w1[0] = 99
+	if aw.Weights()[0] == 99 {
+		t.Fatal("Weights returned internal slice")
+	}
+}
+
+func TestAWFBatchVariantsRefreshOnlyAtBatchBoundaries(t *testing.T) {
+	s := MustNew(AWFB, Params{N: 1 << 16, P: 2}).(Adaptive)
+	// Prime batch 0 (uniform), then record skewed measurements.
+	before := s.Chunk(0, 0)
+	s.Record(0, 100, 1, 0)
+	s.Record(1, 100, 4, 0)
+	// Same batch: weights must not have moved yet.
+	if got := s.Chunk(1, 0); got != before {
+		t.Fatalf("AWF-B updated weights mid-batch: %d -> %d", before, got)
+	}
+	// New batch: now they shift.
+	c0 := s.Chunk(2, 0)
+	c1 := s.Chunk(3, 1)
+	if c0 <= c1 {
+		t.Fatalf("AWF-B did not adapt at batch boundary: %d vs %d", c0, c1)
+	}
+}
+
+func TestMinChunkAppliesToSS(t *testing.T) {
+	s := MustNew(SS, Params{N: 1000, P: 4, MinChunk: 8})
+	chunks := ChunkSizes(s)
+	for i, c := range chunks[:len(chunks)-1] {
+		if c != 8 {
+			t.Fatalf("SS with MinChunk=8: chunk[%d] = %d", i, c)
+		}
+	}
+}
+
+func TestWFNilWeightsUniform(t *testing.T) {
+	s := MustNew(WF, Params{N: 4096, P: 4})
+	for w := 0; w < 4; w++ {
+		if s.Chunk(0, w) != s.Chunk(0, 0) {
+			t.Fatal("uniform WF chunks differ across workers")
+		}
+	}
+	// Out-of-range worker ids fall back to weight 1.
+	if s.Chunk(0, -1) != s.Chunk(0, 99) {
+		t.Fatal("out-of-range workers not treated uniformly")
+	}
+}
+
+func TestTechniqueStringUnknown(t *testing.T) {
+	if Technique(999).String() == "" {
+		t.Fatal("unknown technique has empty name")
+	}
+}
+
+func TestAssignerStepCounts(t *testing.T) {
+	s := MustNew(FAC2, Params{N: 1024, P: 4})
+	a := NewAssigner(s)
+	for i := 0; i < 3; i++ {
+		a.Next(i)
+	}
+	if a.Step() != 3 {
+		t.Fatalf("Step = %d, want 3", a.Step())
+	}
+	if a.Scheduled() != 3*128 {
+		t.Fatalf("Scheduled = %d, want 384", a.Scheduled())
+	}
+	if a.Schedule() != s {
+		t.Fatal("Schedule accessor broken")
+	}
+}
+
+// Property: MinChunk is respected by every technique for all but the final
+// clamped chunk.
+func TestQuickMinChunkProperty(t *testing.T) {
+	f := func(nRaw uint16, pRaw, mRaw uint8) bool {
+		n := int(nRaw%4000) + 100
+		p := int(pRaw%8) + 1
+		m := int(mRaw%16) + 2
+		for _, tech := range []Technique{SS, GSS, TSS, FAC2, TFSS} {
+			par := allParams(n, p)
+			par.MinChunk = m
+			chunks := ChunkSizes(MustNew(tech, par))
+			for i, c := range chunks {
+				if i < len(chunks)-1 && c < m {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: weighted techniques cover the loop exactly even with extreme
+// weight skew.
+func TestQuickWeightedCoverage(t *testing.T) {
+	f := func(nRaw uint16, skewRaw uint8) bool {
+		n := int(nRaw % 5000)
+		skew := float64(skewRaw%50) + 1
+		p := Params{N: n, P: 4, Weights: []float64{skew, 1, 1, 0.25}}
+		return SumChunks(ChunkSizes(MustNew(WF, p))) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for every technique the first chunk never exceeds N and never
+// exceeds STATIC's share by more than the weighting factor.
+func TestQuickFirstChunkBounded(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw%10000) + 1
+		p := int(pRaw%16) + 1
+		for _, tech := range []Technique{STATIC, SS, GSS, TSS, FAC, FAC2, TFSS} {
+			c := MustNew(tech, allParams(n, p)).Chunk(0, 0)
+			if c < 1 || c > n+p { // ceil slack
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAFWarmupMatchesFAC2(t *testing.T) {
+	n, p := 1<<16, 4
+	af := MustNew(AF, Params{N: n, P: p})
+	fac2 := MustNew(FAC2, Params{N: n, P: p})
+	// Without measurements, AF batches like FAC2.
+	for s := 0; s < 8; s++ {
+		if af.Chunk(s, s%p) != fac2.Chunk(s, 0) {
+			t.Fatalf("AF warm-up diverges from FAC2 at step %d", s)
+		}
+	}
+}
+
+func TestAFAdaptsToVariance(t *testing.T) {
+	n, p := 1<<20, 2
+	af := MustNew(AF, Params{N: n, P: p}).(Adaptive)
+	// Equal means, but worker 1's times are wildly variable.
+	for i := 0; i < 20; i++ {
+		af.Record(0, 100, 0.1, 0)
+		if i%2 == 0 {
+			af.Record(1, 100, 0.02, 0)
+		} else {
+			af.Record(1, 100, 0.18, 0)
+		}
+	}
+	c0 := af.Chunk(100, 0)
+	c1 := af.Chunk(101, 1)
+	if c0 <= 0 || c1 <= 0 {
+		t.Fatalf("AF produced non-positive chunks: %d, %d", c0, c1)
+	}
+	// High variance shrinks chunks relative to a zero-variance peer with
+	// the same mean (via the smaller 1/µ weight in the D term): the steady
+	// worker receives at least as much.
+	if c0 < c1 {
+		t.Fatalf("steady worker chunk %d smaller than noisy worker's %d", c0, c1)
+	}
+}
+
+func TestAFAdaptsToSpeed(t *testing.T) {
+	// AF sizes chunks ∝ 1/µ_w (proportional allocation when variance is
+	// modest). Chunk mutates the remaining-work estimate, so compare two
+	// identically-trained instances at the same step.
+	n, p := 1<<20, 2
+	mk := func() Adaptive {
+		af := MustNew(AF, Params{N: n, P: p}).(Adaptive)
+		for i := 0; i < 20; i++ {
+			af.Record(0, 100, 0.05+0.001*float64(i%3), 0) // fast
+			af.Record(1, 100, 0.20+0.004*float64(i%3), 0) // 4× slower
+		}
+		return af
+	}
+	c0 := mk().Chunk(50, 0)
+	c1 := mk().Chunk(50, 1)
+	ratio := float64(c0) / float64(c1)
+	if ratio < 3.0 || ratio > 5.5 {
+		t.Fatalf("AF fast/slow chunk ratio = %.2f, want ≈4", ratio)
+	}
+}
+
+func TestAFIgnoresBadRecords(t *testing.T) {
+	af := MustNew(AF, Params{N: 1000, P: 2}).(Adaptive)
+	af.Record(-1, 10, 1, 0)
+	af.Record(9, 10, 1, 0)
+	af.Record(0, 0, 1, 0)
+	af.Record(0, 10, 0, 0)
+	// Still in warm-up: chunks equal FAC2's.
+	fac2 := MustNew(FAC2, Params{N: 1000, P: 2})
+	if af.Chunk(0, 0) != fac2.Chunk(0, 0) {
+		t.Fatal("invalid records changed AF state")
+	}
+}
+
+func TestRNDDeterministicAndBounded(t *testing.T) {
+	n, p := 10000, 4
+	a := MustNew(RND, Params{N: n, P: p})
+	b := MustNew(RND, Params{N: n, P: p})
+	maxChunk := (n + 4*p - 1) / (2 * p)
+	seen := map[int]bool{}
+	for s := 0; s < 200; s++ {
+		ca, cb := a.Chunk(s, 0), b.Chunk(s, 1)
+		if ca != cb {
+			t.Fatalf("RND not deterministic at step %d: %d vs %d", s, ca, cb)
+		}
+		if ca < 1 || ca > maxChunk {
+			t.Fatalf("RND chunk %d out of [1, %d]", ca, maxChunk)
+		}
+		seen[ca] = true
+	}
+	if len(seen) < 20 {
+		t.Fatalf("RND produced only %d distinct sizes in 200 steps", len(seen))
+	}
+}
+
+func TestRNDCoversUniformly(t *testing.T) {
+	// Mean RND chunk ≈ max/2 = N/(4P); over many steps the empirical mean
+	// must sit near it.
+	n, p := 1<<20, 8
+	s := MustNew(RND, Params{N: n, P: p})
+	total := 0
+	const steps = 4000
+	for i := 0; i < steps; i++ {
+		total += s.Chunk(i, 0)
+	}
+	mean := float64(total) / steps
+	want := float64(n) / (4 * float64(p))
+	if mean < 0.85*want || mean > 1.15*want {
+		t.Fatalf("RND mean chunk = %.0f, want ≈%.0f", mean, want)
+	}
+}

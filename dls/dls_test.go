@@ -1,0 +1,548 @@
+package dls
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// allParams builds a valid Params for any technique.
+func allParams(n, p int) Params {
+	return Params{N: n, P: p, Mean: 1.0, Sigma: 0.5, Overhead: 1e-5}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for _, tech := range All() {
+		got, err := Parse(tech.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tech.String(), err)
+		}
+		if got != tech {
+			t.Fatalf("Parse(%q) = %v", tech.String(), got)
+		}
+	}
+	if _, err := Parse("awfb"); err != nil {
+		t.Fatal("Parse should accept lowercase and missing dash")
+	}
+	if _, err := Parse("NOPE"); err == nil {
+		t.Fatal("Parse accepted an unknown name")
+	}
+}
+
+func TestIsWeightedIsAdaptive(t *testing.T) {
+	if !WF.IsWeighted() || WF.IsAdaptive() {
+		t.Fatal("WF must be weighted but not adaptive")
+	}
+	for _, a := range []Technique{AWFB, AWFC, AWFD, AWFE} {
+		if !a.IsAdaptive() || !a.IsWeighted() {
+			t.Fatalf("%v must be adaptive and weighted", a)
+		}
+	}
+	for _, s := range []Technique{STATIC, SS, GSS, TSS, FAC, FAC2, TFSS, FSC} {
+		if s.IsAdaptive() || s.IsWeighted() {
+			t.Fatalf("%v must be neither weighted nor adaptive", s)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		tech Technique
+		p    Params
+	}{
+		{"negative N", GSS, Params{N: -1, P: 4}},
+		{"zero P", GSS, Params{N: 10, P: 0}},
+		{"negative MinChunk", SS, Params{N: 10, P: 2, MinChunk: -1}},
+		{"FAC without mean", FAC, Params{N: 10, P: 2}},
+		{"FSC without sigma", FSC, Params{N: 10, P: 2, Overhead: 1e-5}},
+		{"FSC without overhead", FSC, Params{N: 10, P: 2, Sigma: 1}},
+		{"WF weight count", WF, Params{N: 10, P: 3, Weights: []float64{1, 2}}},
+		{"WF non-positive weight", WF, Params{N: 10, P: 2, Weights: []float64{1, 0}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.tech, tc.p); err == nil {
+				t.Fatalf("New(%v, %+v) accepted invalid params", tc.tech, tc.p)
+			}
+		})
+	}
+}
+
+// TestExactCoverage is the central invariant: for every technique and a grid
+// of loop/worker sizes, sequential assignment covers exactly N iterations
+// with positive chunk sizes.
+func TestExactCoverage(t *testing.T) {
+	ns := []int{0, 1, 2, 7, 16, 100, 1000, 4096, 12345}
+	ps := []int{1, 2, 3, 4, 16, 64, 100}
+	for _, tech := range All() {
+		for _, n := range ns {
+			for _, p := range ps {
+				s := MustNew(tech, allParams(n, p))
+				chunks := ChunkSizes(s)
+				if got := SumChunks(chunks); got != n {
+					t.Fatalf("%v N=%d P=%d: covered %d iterations", tech, n, p, got)
+				}
+				for i, c := range chunks {
+					if c <= 0 {
+						t.Fatalf("%v N=%d P=%d: chunk[%d] = %d", tech, n, p, i, c)
+					}
+				}
+				if n == 0 && len(chunks) != 0 {
+					t.Fatalf("%v: empty loop produced %d chunks", tech, len(chunks))
+				}
+			}
+		}
+	}
+}
+
+// TestCoverageUnderArbitraryStepInterleaving mirrors the distributed
+// chunk-calculation executor: steps may be claimed by any worker in any
+// order; the clamp arithmetic must still yield exact coverage.
+func TestCoverageUnderArbitraryStepInterleaving(t *testing.T) {
+	for _, tech := range []Technique{STATIC, SS, GSS, TSS, FAC, FAC2, TFSS} {
+		s := MustNew(tech, allParams(10000, 8))
+		// Simulate 8 workers claiming steps in a skewed order: worker w
+		// claims bursts of consecutive steps.
+		scheduled, step := 0, 0
+		for scheduled < 10000 {
+			w := step % 8
+			burst := 1 + (step*7)%3
+			for b := 0; b < burst && scheduled < 10000; b++ {
+				c := s.Chunk(step, w)
+				step++
+				if c > 10000-scheduled {
+					c = 10000 - scheduled
+				}
+				scheduled += c
+			}
+		}
+		if scheduled != 10000 {
+			t.Fatalf("%v: interleaved coverage = %d", tech, scheduled)
+		}
+	}
+}
+
+func TestStaticChunks(t *testing.T) {
+	s := MustNew(STATIC, Params{N: 100, P: 4})
+	chunks := ChunkSizes(s)
+	if len(chunks) != 4 {
+		t.Fatalf("STATIC issued %d chunks, want 4", len(chunks))
+	}
+	for _, c := range chunks {
+		if c != 25 {
+			t.Fatalf("STATIC chunks = %v, want four 25s", chunks)
+		}
+	}
+	// Non-divisible: ceil split, last clamped.
+	chunks = ChunkSizes(MustNew(STATIC, Params{N: 10, P: 4}))
+	want := []int{3, 3, 3, 1}
+	if len(chunks) != 4 {
+		t.Fatalf("chunks = %v, want %v", chunks, want)
+	}
+	for i := range want {
+		if chunks[i] != want[i] {
+			t.Fatalf("chunks = %v, want %v", chunks, want)
+		}
+	}
+}
+
+func TestSSAlwaysOne(t *testing.T) {
+	s := MustNew(SS, Params{N: 57, P: 3})
+	chunks := ChunkSizes(s)
+	if len(chunks) != 57 {
+		t.Fatalf("SS issued %d chunks, want 57", len(chunks))
+	}
+	for _, c := range chunks {
+		if c != 1 {
+			t.Fatalf("SS produced chunk of %d", c)
+		}
+	}
+}
+
+// gssSequentialReference is the textbook GSS rule: chunk = ⌈R/P⌉ on the
+// remaining iterations R.
+func gssSequentialReference(n, p int) []int {
+	var out []int
+	r := n
+	for r > 0 {
+		c := (r + p - 1) / p
+		out = append(out, c)
+		r -= c
+	}
+	return out
+}
+
+func TestGSSFirstChunkAndDecrease(t *testing.T) {
+	s := MustNew(GSS, Params{N: 1000, P: 4})
+	chunks := ChunkSizes(s)
+	if chunks[0] != 250 {
+		t.Fatalf("GSS first chunk = %d, want N/P = 250", chunks[0])
+	}
+	for i := 1; i < len(chunks); i++ {
+		if chunks[i] > chunks[i-1] {
+			t.Fatalf("GSS chunks increase at %d: %v", i, chunks[:i+1])
+		}
+	}
+}
+
+// The closed form and the textbook remaining-based rule are both
+// ceiling-rule variants of the same geometric decay. Early chunks must agree
+// almost exactly; the tail may differ because the closed form's per-step
+// ceiling hands out iterations slightly faster, so its step count is a bit
+// smaller (never larger than sequential + 1).
+func TestGSSClosedFormMatchesSequentialReference(t *testing.T) {
+	for _, n := range []int{64, 1000, 4096, 100000} {
+		for _, p := range []int{2, 4, 16} {
+			closed := ChunkSizes(MustNew(GSS, Params{N: n, P: p}))
+			seq := gssSequentialReference(n, p)
+			if len(closed) > len(seq)+1 {
+				t.Fatalf("GSS N=%d P=%d: %d closed-form steps vs %d sequential", n, p, len(closed), len(seq))
+			}
+			if float64(len(closed)) < 0.6*float64(len(seq)) {
+				t.Fatalf("GSS N=%d P=%d: closed form used only %d of %d sequential steps", n, p, len(closed), len(seq))
+			}
+			half := len(closed) / 2
+			for i := 0; i < half && i < len(seq); i++ {
+				if d := closed[i] - seq[i]; d < -2 || d > 2 {
+					t.Fatalf("GSS N=%d P=%d chunk %d: closed %d vs sequential %d", n, p, i, closed[i], seq[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTSSTzenNiExample(t *testing.T) {
+	// Tzen & Ni's canonical setting: N=1000, P=4 ⇒ F=125, L=1, S=16,
+	// δ=124/15≈8.27. First chunk 125, linear decrease, ~16 steps.
+	s := MustNew(TSS, Params{N: 1000, P: 4})
+	chunks := ChunkSizes(s)
+	if chunks[0] != 125 {
+		t.Fatalf("TSS first chunk = %d, want 125", chunks[0])
+	}
+	if len(chunks) < 14 || len(chunks) > 18 {
+		t.Fatalf("TSS issued %d chunks, want ≈16", len(chunks))
+	}
+	for i := 1; i < len(chunks); i++ {
+		if chunks[i] > chunks[i-1] {
+			t.Fatalf("TSS chunks increase at %d: %v", i, chunks)
+		}
+	}
+	// Linear decrement: consecutive differences within ⌈δ⌉+1 of each other.
+	for i := 2; i < len(chunks)-1; i++ {
+		d1 := chunks[i-2] - chunks[i-1]
+		d2 := chunks[i-1] - chunks[i]
+		if diff := d1 - d2; diff < -2 || diff > 2 {
+			t.Fatalf("TSS decrement not linear at %d: %v", i, chunks)
+		}
+	}
+}
+
+func TestFAC2HalvingBatches(t *testing.T) {
+	s := MustNew(FAC2, Params{N: 1024, P: 4})
+	chunks := ChunkSizes(s)
+	// Batch 0: 1024/(2·4)=128 ×4; batch 1: 64 ×4; batch 2: 32 ×4 ...
+	want := []int{128, 128, 128, 128, 64, 64, 64, 64, 32, 32, 32, 32}
+	for i := range want {
+		if chunks[i] != want[i] {
+			t.Fatalf("FAC2 chunks = %v..., want prefix %v", chunks[:len(want)], want)
+		}
+	}
+	if chunks[0]*2 != ChunkSizes(MustNew(GSS, Params{N: 1024, P: 4}))[0] {
+		t.Fatal("FAC2 initial chunk must be half of GSS's")
+	}
+}
+
+func TestFACZeroSigmaDegeneratesToStatic(t *testing.T) {
+	s := MustNew(FAC, Params{N: 1000, P: 4, Mean: 1, Sigma: 0})
+	chunks := ChunkSizes(s)
+	if len(chunks) != 4 {
+		t.Fatalf("FAC σ=0 issued %d chunks, want 4 (STATIC-like): %v", len(chunks), chunks)
+	}
+	if chunks[0] != 250 {
+		t.Fatalf("FAC σ=0 first chunk = %d, want 250", chunks[0])
+	}
+}
+
+func TestFACChunksShrinkWithVariance(t *testing.T) {
+	// FAC sizes chunks against the measured variability: the higher σ/µ,
+	// the smaller the chunks. With b = P/(2√R)·σ/µ ≈ 0.19 (σ/µ=3 here) FAC
+	// stays *coarser* than FAC2 (x < 2); only large σ/µ pushes it below.
+	low := ChunkSizes(MustNew(FAC, Params{N: 4096, P: 8, Mean: 1, Sigma: 0.5}))
+	mid := ChunkSizes(MustNew(FAC, Params{N: 4096, P: 8, Mean: 1, Sigma: 3}))
+	high := ChunkSizes(MustNew(FAC, Params{N: 4096, P: 8, Mean: 1, Sigma: 64}))
+	if !(low[0] > mid[0] && mid[0] > high[0]) {
+		t.Fatalf("FAC first chunks %d, %d, %d do not shrink with σ", low[0], mid[0], high[0])
+	}
+	fac2 := ChunkSizes(MustNew(FAC2, Params{N: 4096, P: 8}))
+	if high[0] >= fac2[0] {
+		t.Fatalf("FAC(σ/µ=64) first chunk %d not below FAC2's %d", high[0], fac2[0])
+	}
+	if mid[0] <= fac2[0] {
+		t.Fatalf("FAC(σ/µ=3) first chunk %d should exceed FAC2's %d (x<2)", mid[0], fac2[0])
+	}
+}
+
+func TestFACBatchesAreEqualWithinBatch(t *testing.T) {
+	s := MustNew(FAC, Params{N: 10000, P: 4, Mean: 1, Sigma: 0.8})
+	for step := 0; step < 40; step++ {
+		batchStart := (step / 4) * 4
+		if s.Chunk(step, 0) != s.Chunk(batchStart, 0) {
+			t.Fatalf("FAC chunk varies within batch at step %d", step)
+		}
+	}
+}
+
+func TestFSCChunkSizeFormula(t *testing.T) {
+	p := Params{N: 100000, P: 16, Sigma: 0.5, Overhead: 1e-4}
+	s := MustNew(FSC, p)
+	// ℓ = (√2·N·h/(σP√log P))^(2/3)
+	want := math.Pow(math.Sqrt2*float64(p.N)*p.Overhead/(p.Sigma*float64(p.P)*math.Sqrt(math.Log(float64(p.P)))), 2.0/3.0)
+	got := s.Chunk(0, 0)
+	if got < int(want) || got > int(want)+1 {
+		t.Fatalf("FSC chunk = %d, want ⌈%.2f⌉", got, want)
+	}
+	// All chunks equal.
+	for step := 1; step < 10; step++ {
+		if s.Chunk(step, 0) != got {
+			t.Fatal("FSC chunk size not constant")
+		}
+	}
+}
+
+func TestFSCNeverExceedsStaticShare(t *testing.T) {
+	s := MustNew(FSC, Params{N: 64, P: 8, Sigma: 1e-9, Overhead: 10})
+	if c := s.Chunk(0, 0); c > 8 {
+		t.Fatalf("FSC chunk %d exceeds N/P = 8", c)
+	}
+}
+
+func TestTFSSBatchStructure(t *testing.T) {
+	n, p := 2000, 4
+	tfss := MustNew(TFSS, Params{N: n, P: p})
+	tss := MustNew(TSS, Params{N: n, P: p})
+	// Batch 0 chunk is the mean of the first P TSS chunks.
+	sum := 0
+	for k := 0; k < p; k++ {
+		sum += tss.Chunk(k, 0)
+	}
+	if got, want := tfss.Chunk(0, 0), sum/p; got != want {
+		t.Fatalf("TFSS batch-0 chunk = %d, want %d", got, want)
+	}
+	// Within a batch, chunks are equal; across batches, non-increasing.
+	prev := tfss.Chunk(0, 0)
+	for b := 1; b < 6; b++ {
+		c := tfss.Chunk(b*p, 0)
+		for k := 1; k < p; k++ {
+			if tfss.Chunk(b*p+k, 0) != c {
+				t.Fatalf("TFSS batch %d not uniform", b)
+			}
+		}
+		if c > prev {
+			t.Fatalf("TFSS batch chunk increased: %d -> %d", prev, c)
+		}
+		prev = c
+	}
+}
+
+func TestWFScalesByWeight(t *testing.T) {
+	p := Params{N: 1 << 20, P: 4, Weights: []float64{2, 1, 1, 0.5}}
+	s := MustNew(WF, p)
+	fast := s.Chunk(0, 0)
+	slow := s.Chunk(0, 3)
+	norm := s.Chunk(0, 1)
+	// Weights normalize to mean 1: 2/1.125, 1/1.125, ..., so fast ≈ 4×slow.
+	if fast <= norm || norm <= slow {
+		t.Fatalf("WF chunks not ordered by weight: fast=%d norm=%d slow=%d", fast, norm, slow)
+	}
+	ratio := float64(fast) / float64(slow)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("WF fast/slow chunk ratio = %.2f, want ≈4", ratio)
+	}
+}
+
+func TestWFUniformEqualsFAC2(t *testing.T) {
+	n, p := 100000, 8
+	wf := MustNew(WF, Params{N: n, P: p})
+	fac2 := MustNew(FAC2, Params{N: n, P: p})
+	for step := 0; step < 64; step++ {
+		if wf.Chunk(step, step%p) != fac2.Chunk(step, 0) {
+			t.Fatalf("uniform WF diverges from FAC2 at step %d", step)
+		}
+	}
+}
+
+func TestAWFAdaptsTowardFasterWorker(t *testing.T) {
+	for _, variant := range []Technique{AWFB, AWFC, AWFD, AWFE} {
+		s := MustNew(variant, Params{N: 1 << 20, P: 2}).(Adaptive)
+		// Worker 0 executes twice as fast as worker 1.
+		for i := 0; i < 10; i++ {
+			s.Record(0, 100, 1.0, 0.1)
+			s.Record(1, 100, 2.0, 0.1)
+		}
+		// Query an early batch (batch 4) so nominal chunks are still large,
+		// while forcing the batch-adaptive variants to refresh weights.
+		c0 := s.Chunk(4*s.Params().P, 0)
+		c1 := s.Chunk(4*s.Params().P+1, 1)
+		if c0 <= c1 {
+			t.Fatalf("%v: fast worker chunk %d not larger than slow worker's %d", variant, c0, c1)
+		}
+		ratio := float64(c0) / float64(c1)
+		if ratio < 1.5 || ratio > 2.6 {
+			t.Fatalf("%v: chunk ratio %.2f, want ≈2", variant, ratio)
+		}
+	}
+}
+
+func TestAWFDCountsOverhead(t *testing.T) {
+	// Same execution times, very different scheduling overheads: only the
+	// D/E variants should tilt weights.
+	build := func(v Technique) (int, int) {
+		s := MustNew(v, Params{N: 1 << 20, P: 2}).(Adaptive)
+		for i := 0; i < 8; i++ {
+			s.Record(0, 100, 1.0, 0.0)
+			s.Record(1, 100, 1.0, 1.0) // heavy scheduling overhead
+		}
+		return s.Chunk(8, 0), s.Chunk(9, 1)
+	}
+	b0, b1 := build(AWFB)
+	if b0 != b1 {
+		t.Fatalf("AWF-B weighted by overhead: %d vs %d", b0, b1)
+	}
+	d0, d1 := build(AWFD)
+	if d0 <= d1 {
+		t.Fatalf("AWF-D ignored overhead: %d vs %d", d0, d1)
+	}
+}
+
+func TestAWFIgnoresBadRecords(t *testing.T) {
+	s := MustNew(AWFC, Params{N: 1000, P: 2}).(Adaptive)
+	s.Record(-1, 10, 1, 0) // out of range
+	s.Record(5, 10, 1, 0)  // out of range
+	s.Record(0, 0, 1, 0)   // empty chunk
+	s.Record(0, 10, 0, 0)  // zero time
+	if c0, c1 := s.Chunk(0, 0), s.Chunk(1, 1); c0 != c1 {
+		t.Fatalf("weights moved on invalid records: %d vs %d", c0, c1)
+	}
+}
+
+func TestMinChunkRespected(t *testing.T) {
+	s := MustNew(GSS, Params{N: 10000, P: 4, MinChunk: 32})
+	chunks := ChunkSizes(s)
+	for i, c := range chunks[:len(chunks)-1] { // final chunk may clamp below
+		if c < 32 {
+			t.Fatalf("chunk[%d] = %d below MinChunk", i, c)
+		}
+	}
+}
+
+func TestAssignerRanges(t *testing.T) {
+	s := MustNew(GSS, Params{N: 1000, P: 4})
+	a := NewAssigner(s)
+	covered := make([]bool, 1000)
+	for {
+		start, size, ok := a.Next(0)
+		if !ok {
+			break
+		}
+		for i := start; i < start+size; i++ {
+			if covered[i] {
+				t.Fatalf("iteration %d assigned twice", i)
+			}
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("iteration %d never assigned", i)
+		}
+	}
+	if a.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after exhaustion", a.Remaining())
+	}
+	if _, _, ok := a.Next(0); ok {
+		t.Fatal("Next returned ok after exhaustion")
+	}
+}
+
+// Property: coverage holds for random N, P across every technique.
+func TestQuickCoverageProperty(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw % 5000)
+		p := int(pRaw%32) + 1
+		for _, tech := range All() {
+			s := MustNew(tech, allParams(n, p))
+			if SumChunks(ChunkSizes(s)) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for the decreasing-chunk techniques, the profile never
+// increases (ignoring the clamped final chunk).
+func TestQuickMonotoneNonIncreasing(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw%10000) + 1
+		p := int(pRaw%16) + 1
+		for _, tech := range []Technique{GSS, TSS, FAC, FAC2, TFSS} {
+			chunks := ChunkSizes(MustNew(tech, allParams(n, p)))
+			for i := 1; i < len(chunks)-1; i++ {
+				if chunks[i] > chunks[i-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scheduling-step count orders as STATIC ≤ FAC2/GSS ≤ SS, the
+// overhead spectrum the paper describes in §2.
+func TestQuickStepCountSpectrum(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw%8000) + 100
+		p := int(pRaw%15) + 2
+		nStatic := len(ChunkSizes(MustNew(STATIC, Params{N: n, P: p})))
+		nGSS := len(ChunkSizes(MustNew(GSS, Params{N: n, P: p})))
+		nSS := len(ChunkSizes(MustNew(SS, Params{N: n, P: p})))
+		return nStatic <= nGSS && nGSS <= nSS && nSS == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkChunkGSS(b *testing.B) {
+	s := MustNew(GSS, Params{N: 1 << 20, P: 16})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Chunk(i%300, 0)
+	}
+}
+
+func BenchmarkChunkFAC(b *testing.B) {
+	s := MustNew(FAC, Params{N: 1 << 20, P: 16, Mean: 1, Sigma: 0.5})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Chunk(i%300, 0)
+	}
+}
+
+func BenchmarkAssignerFullLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := NewAssigner(MustNew(FAC2, Params{N: 1 << 16, P: 16}))
+		for {
+			if _, _, ok := a.Next(0); !ok {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package dls_test
+
+import (
+	"fmt"
+
+	"repro/dls"
+)
+
+// Inspect the chunk profile of guided self-scheduling.
+func ExampleChunkSizes() {
+	sched := dls.MustNew(dls.GSS, dls.Params{N: 100, P: 4})
+	fmt.Println(dls.ChunkSizes(sched))
+	// Output: [25 19 15 11 8 6 5 4 3 2 2]
+}
+
+// Drive a schedule sequentially with an Assigner; chunks are clamped so the
+// loop is covered exactly.
+func ExampleAssigner() {
+	a := dls.NewAssigner(dls.MustNew(dls.FAC2, dls.Params{N: 64, P: 2}))
+	for {
+		start, size, ok := a.Next(0)
+		if !ok {
+			break
+		}
+		fmt.Printf("[%d,%d) ", start, start+size)
+	}
+	// Output: [0,16) [16,32) [32,40) [40,48) [48,52) [52,56) [56,58) [58,60) [60,61) [61,62) [62,63) [63,64)
+}
+
+// Step-indexed chunk calculation: the form used by the paper's distributed
+// chunk-calculation approach, where any worker computes the size of step s
+// without consulting a master.
+func ExampleSchedule_chunk() {
+	sched := dls.MustNew(dls.TSS, dls.Params{N: 1000, P: 4})
+	for s := 0; s < 5; s++ {
+		fmt.Print(sched.Chunk(s, 0), " ")
+	}
+	// Output: 125 116 108 100 91
+}
+
+// Weighted factoring scales chunks by per-worker speed.
+func ExampleTechnique_weighted() {
+	sched := dls.MustNew(dls.WF, dls.Params{
+		N: 1 << 10, P: 2, Weights: []float64{3, 1},
+	})
+	fmt.Println("fast worker:", sched.Chunk(0, 0))
+	fmt.Println("slow worker:", sched.Chunk(1, 1))
+	// Output:
+	// fast worker: 384
+	// slow worker: 128
+}
+
+// Parse accepts the conventional names, case-insensitively.
+func ExampleParse() {
+	t, _ := dls.Parse("awf-b")
+	fmt.Println(t, t.IsAdaptive())
+	// Output: AWF-B true
+}

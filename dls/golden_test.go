@@ -1,0 +1,64 @@
+package dls
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestGoldenChunkProfiles pins the exact chunk sequences of every
+// non-adaptive technique at the canonical configuration N=1000, P=4 (the
+// setting used throughout the loop-scheduling literature). Correctness
+// (coverage, positivity, monotonicity) is established by the invariant
+// tests; these snapshots catch unintended formula changes, with the full
+// profile in the failure text. Each sequence ends where the
+// scheduled-iterations clamp exhausts the loop.
+func TestGoldenChunkProfiles(t *testing.T) {
+	golden := map[Technique][]int{
+		STATIC: {250, 250, 250, 250},
+		GSS:    {250, 188, 141, 106, 80, 60, 45, 34, 26, 19, 15, 11, 8, 6, 5, 4, 2},
+		TSS:    {125, 116, 108, 100, 91, 83, 75, 67, 58, 50, 42, 34, 25, 17, 9},
+		// FAC with σ/µ = 0.5: b₀ = 4/(2√1000)·0.5 ≈ 0.032, x₀ ≈ 1.04 —
+		// the first batch hands out nearly everything, as designed.
+		FAC: {240, 240, 240, 240, 5, 5, 5, 5, 2, 2, 2, 2, 2, 2, 2, 2, 1, 1, 1, 1},
+		FAC2: {125, 125, 125, 125, 63, 63, 63, 63, 32, 32, 32, 32, 16, 16,
+			16, 16, 8, 8, 8, 8, 4, 4, 4, 4, 2, 2, 2, 2},
+		TFSS: {112, 112, 112, 112, 79, 79, 79, 79, 46, 46, 46, 46, 13, 13, 13, 13},
+		WF: {125, 125, 125, 125, 63, 63, 63, 63, 32, 32, 32, 32, 16, 16,
+			16, 16, 8, 8, 8, 8, 4, 4, 4, 4, 2, 2, 2, 2},
+	}
+	for tech, want := range golden {
+		got := ChunkSizes(MustNew(tech, allParams(1000, 4)))
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%v profile changed:\n got  %v\n want %v", tech, got, want)
+		}
+	}
+	ss := ChunkSizes(MustNew(SS, allParams(1000, 4)))
+	if len(ss) != 1000 {
+		t.Errorf("SS issued %d chunks, want 1000", len(ss))
+	}
+}
+
+// TestGoldenFSC pins FSC chunk sizes at two settings.
+func TestGoldenFSC(t *testing.T) {
+	// Tiny h/σ ratio ⇒ minimal chunks.
+	if got := MustNew(FSC, allParams(1000, 4)).Chunk(0, 0); got != 1 {
+		t.Errorf("FSC canonical chunk = %d, want 1", got)
+	}
+	// ℓ = (√2·10⁵·10⁻³/(0.2·16·√log16))^(2/3) ≈ 8.2 ⇒ 9 after ceiling.
+	p := Params{N: 100000, P: 16, Sigma: 0.2, Overhead: 1e-3}
+	if got := MustNew(FSC, p).Chunk(0, 0); got != 9 {
+		t.Errorf("FSC large-h chunk = %d, want 9", got)
+	}
+}
+
+// TestGoldenRND pins the first RND draws so the hash stays stable across
+// refactors (the simulation's determinism depends on it).
+func TestGoldenRND(t *testing.T) {
+	s := MustNew(RND, Params{N: 1000, P: 4})
+	want := []int{55, 80, 40, 110, 28, 10, 71, 86}
+	for i, w := range want {
+		if got := s.Chunk(i, 0); got != w {
+			t.Errorf("RND chunk(%d) = %d, want %d", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package dls
+
+import "math"
+
+// base carries the shared fields of all schedules.
+type base struct {
+	t Technique
+	p Params
+}
+
+func (b *base) Technique() Technique { return b.t }
+func (b *base) Params() Params       { return b.p }
+
+func (b *base) clampMin(c int) int {
+	return maxInt(c, maxInt(1, b.p.MinChunk))
+}
+
+// ---------------------------------------------------------------- STATIC --
+
+type staticSched struct{ base }
+
+func newStatic(p Params) Schedule { return &staticSched{base{STATIC, p}} }
+
+// Chunk assigns ⌈N/P⌉ to each of the first P steps. Later steps (which only
+// occur when clamping already exhausted the loop) still return a positive
+// size so callers always terminate via the scheduled-iterations clamp.
+func (s *staticSched) Chunk(step, _ int) int {
+	if s.p.N == 0 {
+		return s.clampMin(1)
+	}
+	return s.clampMin(ceilDiv(s.p.N, s.p.P))
+}
+
+// -------------------------------------------------------------------- SS --
+
+type ssSched struct{ base }
+
+func newSS(p Params) Schedule { return &ssSched{base{SS, p}} }
+
+func (s *ssSched) Chunk(_, _ int) int { return s.clampMin(1) }
+
+// ------------------------------------------------------------------- FSC --
+
+type fscSched struct {
+	base
+	size int
+}
+
+// newFSC computes the Kruskal–Weiss optimal fixed chunk size
+//
+//	ℓ = ( √2 · N · h / (σ · P · √(log P)) )^(2/3)
+//
+// which balances the scheduling overhead h against the load-imbalance cost
+// driven by the iteration-time standard deviation σ.
+func newFSC(p Params) Schedule {
+	logP := math.Log(float64(p.P))
+	if logP < 1 {
+		logP = 1 // P=1,2: avoid a degenerate divisor; a single worker takes everything anyway
+	}
+	l := math.Pow(math.Sqrt2*float64(p.N)*p.Overhead/(p.Sigma*float64(p.P)*math.Sqrt(logP)), 2.0/3.0)
+	size := int(math.Ceil(l))
+	if size < 1 {
+		size = 1
+	}
+	if p.N > 0 && size > ceilDiv(p.N, p.P) {
+		size = ceilDiv(p.N, p.P)
+	}
+	if size < 1 {
+		size = 1
+	}
+	return &fscSched{base{FSC, p}, size}
+}
+
+func (s *fscSched) Chunk(_, _ int) int { return s.clampMin(s.size) }
+
+// ------------------------------------------------------------------- GSS --
+
+type gssSched struct{ base }
+
+func newGSS(p Params) Schedule { return &gssSched{base{GSS, p}} }
+
+// Chunk uses the closed form of guided self-scheduling,
+//
+//	C(s) = ⌈ (N/P) · (1 − 1/P)^s ⌉,
+//
+// the step-indexed formulation required by distributed chunk calculation:
+// it depends only on the scheduling step, not on execution history.
+func (s *gssSched) Chunk(step, _ int) int {
+	if s.p.P == 1 {
+		if step == 0 {
+			return s.clampMin(s.p.N)
+		}
+		return s.clampMin(1)
+	}
+	f := float64(s.p.N) / float64(s.p.P) * math.Pow(1-1/float64(s.p.P), float64(step))
+	return s.clampMin(int(math.Ceil(f)))
+}
+
+// ------------------------------------------------------------------- TSS --
+
+type tssSched struct {
+	base
+	first, last int
+	steps       int
+	delta       float64
+}
+
+// newTSS uses Tzen & Ni's recommended parameters: first chunk F = ⌈N/(2P)⌉,
+// last chunk L = 1, so the number of scheduling steps is S = ⌈2N/(F+L)⌉ and
+// the per-step linear decrement is δ = (F−L)/(S−1).
+func newTSS(p Params) Schedule {
+	f := ceilDiv(maxInt(p.N, 1), 2*p.P)
+	l := 1
+	if f < l {
+		f = l
+	}
+	steps := ceilDiv(2*maxInt(p.N, 1), f+l)
+	var delta float64
+	if steps > 1 {
+		delta = float64(f-l) / float64(steps-1)
+	}
+	return &tssSched{base{TSS, p}, f, l, steps, delta}
+}
+
+func (s *tssSched) Chunk(step, _ int) int {
+	c := float64(s.first) - float64(step)*s.delta
+	return s.clampMin(int(c))
+}
+
+// ------------------------------------------------------------------- FAC --
+
+type facSched struct {
+	base
+	// batchChunk[j] is the chunk size in batch j, precomputed by replaying
+	// the factoring recurrence; the slice is extended on demand.
+	batchChunk []int
+	remaining  []int // remaining iterations at the start of each batch
+}
+
+// newFAC implements the probabilistic factoring rule of Hummel, Schonberg &
+// Flynn (CACM 1992), as implemented in the authors' DLS4LB library: with
+// R_j iterations remaining at batch j and b_j = (P / (2√R_j)) · (σ/µ),
+//
+//	x_0 = 1 + b_0² + b_0·√(b_0² + 2)     (first batch)
+//	x_j = 2 + b_j² + b_j·√(b_j² + 4)     (later batches)
+//	chunk_j = ⌈ R_j / (x_j · P) ⌉.
+//
+// With σ → 0 the first batch degenerates to STATIC (x_0 → 1), and with a
+// large σ/µ the chunks shrink toward SS — the behaviour FAC is designed for.
+func newFAC(p Params) Schedule {
+	return &facSched{base: base{FAC, p}, remaining: []int{p.N}}
+}
+
+func (s *facSched) extendTo(batch int) {
+	for len(s.batchChunk) <= batch {
+		j := len(s.batchChunk)
+		r := s.remaining[j]
+		if r <= 0 {
+			s.batchChunk = append(s.batchChunk, 1)
+			s.remaining = append(s.remaining, 0)
+			continue
+		}
+		b := float64(s.p.P) / (2 * math.Sqrt(float64(r))) * (s.p.Sigma / s.p.Mean)
+		var x float64
+		if j == 0 {
+			x = 1 + b*b + b*math.Sqrt(b*b+2)
+		} else {
+			x = 2 + b*b + b*math.Sqrt(b*b+4)
+		}
+		c := int(math.Ceil(float64(r) / (x * float64(s.p.P))))
+		if c < 1 {
+			c = 1
+		}
+		s.batchChunk = append(s.batchChunk, c)
+		left := r - c*s.p.P
+		if left < 0 {
+			left = 0
+		}
+		s.remaining = append(s.remaining, left)
+	}
+}
+
+func (s *facSched) Chunk(step, _ int) int {
+	batch := step / s.p.P
+	s.extendTo(batch)
+	return s.clampMin(s.batchChunk[batch])
+}
+
+// ------------------------------------------------------------------ FAC2 --
+
+type fac2Sched struct{ base }
+
+func newFAC2(p Params) Schedule { return &fac2Sched{base{FAC2, p}} }
+
+// fac2Nominal is the factoring-by-two batch chunk ⌈N/(2^batches·P)⌉, with
+// the shift guarded so deep batches (long tails of clamped 1-chunks) cannot
+// overflow.
+func fac2Nominal(n, p, batches int) int {
+	if batches > 40 || batches < 1 {
+		return 1
+	}
+	div := p << uint(batches)
+	if div <= 0 || div > n {
+		return 1
+	}
+	return ceilDiv(n, div)
+}
+
+// Chunk halves the (nominal) remaining work every batch of P steps:
+//
+//	C(s) = ⌈ N / (2^(⌊s/P⌋+1) · P) ⌉,
+//
+// i.e. each batch hands out half of what the previous batch left, split
+// evenly over P chunks. The initial chunk is half of GSS's, as the paper
+// notes in §2.
+func (s *fac2Sched) Chunk(step, _ int) int {
+	return s.clampMin(fac2Nominal(s.p.N, s.p.P, step/s.p.P+1))
+}
+
+// ------------------------------------------------------------------ TFSS --
+
+type tfssSched struct {
+	base
+	tss        *tssSched
+	batchChunk []int
+}
+
+// newTFSS implements trapezoid factoring self-scheduling (Chronopoulos,
+// Andonie, Benche & Grosu, CLUSTER 2001): work is issued in batches of P
+// equal chunks, where the batch chunk size is the average of the next P TSS
+// chunk sizes — combining TSS's linear decrease with factoring's batching.
+func newTFSS(p Params) Schedule {
+	return &tfssSched{base: base{TFSS, p}, tss: newTSS(p).(*tssSched)}
+}
+
+func (s *tfssSched) extendTo(batch int) {
+	for len(s.batchChunk) <= batch {
+		j := len(s.batchChunk)
+		sum := 0
+		for k := 0; k < s.p.P; k++ {
+			sum += s.tss.Chunk(j*s.p.P+k, 0)
+		}
+		c := sum / s.p.P
+		if c < 1 {
+			c = 1
+		}
+		s.batchChunk = append(s.batchChunk, c)
+	}
+}
+
+func (s *tfssSched) Chunk(step, _ int) int {
+	batch := step / s.p.P
+	s.extendTo(batch)
+	return s.clampMin(s.batchChunk[batch])
+}

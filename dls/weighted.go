@@ -1,0 +1,155 @@
+package dls
+
+// --------------------------------------------------------------------- WF --
+
+type wfSched struct {
+	base
+	weights []float64
+}
+
+// newWF implements weighted factoring (Hummel, Schmidt, Uma & Wein, SPAA
+// 1996): chunks follow FAC2's batch sizes, but each worker's share is scaled
+// by its relative weight. Weights are normalized to mean 1 so the batch
+// still hands out R_j/2 iterations in expectation.
+func newWF(p Params) Schedule {
+	w := normalizeWeights(p.Weights, p.P)
+	return &wfSched{base{WF, p}, w}
+}
+
+func (s *wfSched) Chunk(step, worker int) int {
+	nominal := fac2Nominal(s.p.N, s.p.P, step/s.p.P+1)
+	wt := 1.0
+	if worker >= 0 && worker < len(s.weights) {
+		wt = s.weights[worker]
+	}
+	return s.clampMin(int(float64(nominal)*wt + 0.5))
+}
+
+// normalizeWeights scales weights so that their mean is exactly 1; a nil
+// slice yields uniform weights.
+func normalizeWeights(in []float64, p int) []float64 {
+	out := make([]float64, p)
+	if in == nil {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	var sum float64
+	for _, v := range in {
+		sum += v
+	}
+	for i := range out {
+		out[i] = in[i] * float64(p) / sum
+	}
+	return out
+}
+
+// -------------------------------------------------------------- AWF family --
+
+type awfSched struct {
+	base
+	variant Technique
+
+	iters []float64 // iterations executed per worker
+	times []float64 // execution time per worker (incl. overhead for D/E)
+
+	weights   []float64
+	lastBatch int  // last batch for which weights were recomputed (B/D)
+	dirty     bool // measurements arrived since the last recompute
+}
+
+// newAWF builds one of the adaptive weighted factoring variants (Banicescu,
+// Velusamy & Devaprasad; Cariño & Banicescu). All use FAC2-style batches
+// with per-worker weights derived from measured execution rates:
+//
+//	AWF-B: weights updated at batch boundaries, pure execution time.
+//	AWF-C: weights updated after every chunk, pure execution time.
+//	AWF-D: as AWF-B but time includes the scheduling overhead.
+//	AWF-E: as AWF-C but time includes the scheduling overhead.
+func newAWF(t Technique, p Params) Schedule {
+	s := &awfSched{
+		base:      base{t, p},
+		variant:   t,
+		iters:     make([]float64, p.P),
+		times:     make([]float64, p.P),
+		weights:   normalizeWeights(nil, p.P),
+		lastBatch: -1,
+	}
+	return s
+}
+
+// Record implements Adaptive.
+func (s *awfSched) Record(w int, size int, execTime, schedTime float64) {
+	if w < 0 || w >= s.p.P || size <= 0 {
+		return
+	}
+	t := execTime
+	if s.variant == AWFD || s.variant == AWFE {
+		t += schedTime
+	}
+	if t <= 0 {
+		return
+	}
+	s.iters[w] += float64(size)
+	s.times[w] += t
+	s.dirty = true
+	if s.variant == AWFC || s.variant == AWFE {
+		s.recompute()
+	}
+}
+
+// recompute refreshes the normalized weights from measured rates. Workers
+// without measurements receive the mean measured rate, so early batches stay
+// near-uniform instead of starving unmeasured workers.
+func (s *awfSched) recompute() {
+	if !s.dirty {
+		return
+	}
+	s.dirty = false
+	rates := make([]float64, s.p.P)
+	var sum float64
+	var known int
+	for w := range rates {
+		if s.times[w] > 0 {
+			rates[w] = s.iters[w] / s.times[w]
+			sum += rates[w]
+			known++
+		}
+	}
+	if known == 0 {
+		return
+	}
+	mean := sum / float64(known)
+	total := 0.0
+	for w := range rates {
+		if rates[w] == 0 {
+			rates[w] = mean
+		}
+		total += rates[w]
+	}
+	for w := range rates {
+		s.weights[w] = rates[w] * float64(s.p.P) / total
+	}
+}
+
+func (s *awfSched) Chunk(step, worker int) int {
+	batch := step / s.p.P
+	if (s.variant == AWFB || s.variant == AWFD) && batch > s.lastBatch {
+		s.recompute()
+		s.lastBatch = batch
+	}
+	nominal := fac2Nominal(s.p.N, s.p.P, batch+1)
+	wt := 1.0
+	if worker >= 0 && worker < len(s.weights) {
+		wt = s.weights[worker]
+	}
+	return s.clampMin(int(float64(nominal)*wt + 0.5))
+}
+
+// Weights returns a copy of the current normalized weights; diagnostic.
+func (s *awfSched) Weights() []float64 {
+	out := make([]float64, len(s.weights))
+	copy(out, s.weights)
+	return out
+}

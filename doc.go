@@ -1,0 +1,29 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	A. Eleliemy and F. M. Ciorba,
+//	"Hierarchical Dynamic Loop Self-Scheduling on Distributed-Memory
+//	Systems Using an MPI+MPI Approach", arXiv:1903.09510 (IPDPSW 2019).
+//
+// Public API:
+//
+//   - repro/dls — the dynamic loop self-scheduling techniques (STATIC, SS,
+//     FSC, GSS, TSS, FAC, FAC2, WF, TFSS, AWF-B/C/D/E) in both sequential
+//     and step-indexed (distributed chunk calculation) form.
+//   - repro/parallel — self-scheduled parallel loops for real Go programs.
+//   - repro/hdls — the paper's experiments: hierarchical MPI+MPI vs.
+//     MPI+OpenMP executors on a simulated miniHPC cluster, with whole-figure
+//     sweeps (Figures 4–7).
+//
+// The substrates live under internal/: a deterministic process-oriented
+// discrete-event engine (internal/sim), the machine model
+// (internal/cluster), an MPI-3 runtime model with shared-memory windows and
+// lock-polling passive-target RMA (internal/mpi), an OpenMP runtime model
+// (internal/openmp), the hierarchical executors (internal/core), and the
+// real application kernels (internal/mandelbrot, internal/spinimage) whose
+// measured per-iteration work builds the workload profiles
+// (internal/workload).
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; see EXPERIMENTS.md for the measured-vs-paper record
+// and DESIGN.md for the architecture and substitution rationale.
+package repro

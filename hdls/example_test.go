@@ -1,0 +1,33 @@
+package hdls_test
+
+import (
+	"fmt"
+
+	"repro/dls"
+	"repro/hdls"
+)
+
+// Run one cell of the paper's evaluation: GSS across nodes, STATIC within,
+// proposed MPI+MPI approach, Mandelbrot workload. Virtual times are
+// deterministic, so the comparison below always holds.
+func ExampleRun() {
+	mm, err := hdls.Run(hdls.Config{
+		App: hdls.Mandelbrot, Nodes: 2, Scale: 128,
+		Inter: dls.GSS, Intra: dls.STATIC, Approach: hdls.MPIMPI,
+	})
+	if err != nil {
+		panic(err)
+	}
+	omp, err := hdls.Run(hdls.Config{
+		App: hdls.Mandelbrot, Nodes: 2, Scale: 128,
+		Inter: dls.GSS, Intra: dls.STATIC, Approach: hdls.MPIOpenMP,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("MPI+MPI faster:", mm.ParallelTime < omp.ParallelTime)
+	fmt.Println("barrier-free:", mm.BarrierWait == 0)
+	// Output:
+	// MPI+MPI faster: true
+	// barrier-free: true
+}

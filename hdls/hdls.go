@@ -1,0 +1,394 @@
+// Package hdls is the public experiment API of the hierarchical dynamic
+// loop self-scheduling reproduction (Eleliemy & Ciorba, arXiv:1903.09510).
+// It wires the simulated miniHPC cluster, the paper's two applications
+// (Mandelbrot and PSIA) and the two hierarchical executors (MPI+MPI and
+// MPI+OpenMP) into single-call experiments and whole-figure sweeps.
+//
+// A minimal run:
+//
+//	res, err := hdls.Run(hdls.Config{
+//	    App: hdls.Mandelbrot, Nodes: 4,
+//	    Inter: dls.GSS, Intra: dls.STATIC,
+//	    Approach: hdls.MPIMPI,
+//	})
+//
+// Figures 4–7 of the paper are regenerated with RunFigure.
+package hdls
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/dls"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Approach re-exports the executor selection.
+type Approach = core.Approach
+
+// The available approaches.
+const (
+	MPIMPI          = core.MPIMPI
+	MPIOpenMP       = core.MPIOpenMP
+	MPIOpenMPNoWait = core.MPIOpenMPNoWait
+)
+
+// App selects the workload application.
+type App int
+
+// The paper's two applications.
+const (
+	// Mandelbrot: escape-time kernel, highly imbalanced (§4).
+	Mandelbrot App = iota
+	// PSIA: parallel spin-image generation, mildly imbalanced (§4).
+	PSIA
+)
+
+func (a App) String() string {
+	switch a {
+	case Mandelbrot:
+		return "Mandelbrot"
+	case PSIA:
+		return "PSIA"
+	}
+	return fmt.Sprintf("App(%d)", int(a))
+}
+
+// ParseApp maps an application name to its App value.
+func ParseApp(s string) (App, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "mandelbrot", "mandel":
+		return Mandelbrot, nil
+	case "psia", "spinimage", "spin-image":
+		return PSIA, nil
+	}
+	return 0, fmt.Errorf("hdls: unknown application %q", s)
+}
+
+// Config describes one experiment. Zero values select the paper defaults:
+// 16 workers per node, scale 8 (fast), seed 1.
+type Config struct {
+	App   App
+	Nodes int
+	// WorkersPerNode defaults to 16, the paper's configuration.
+	WorkersPerNode int
+	Inter, Intra   dls.Technique
+	Approach       Approach
+	// Scale divides the workload (N and total work together, preserving
+	// per-iteration granularity). 1 is the full experiment size; the
+	// default 8 keeps single runs interactive.
+	Scale int
+	Seed  int64
+	// Profile overrides App with a custom workload.
+	Profile *workload.Profile
+	// ExtendedRuntime enables TSS/FAC2 intra-node under MPI+OpenMP.
+	ExtendedRuntime bool
+	// CollectTrace records the full event trace.
+	CollectTrace bool
+	// NoiseCV adds systemic variability (0 = deterministic machine).
+	NoiseCV float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.WorkersPerNode == 0 {
+		c.WorkersPerNode = 16
+	}
+	if c.Scale == 0 {
+		c.Scale = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result is the outcome of one experiment.
+type Result = core.Result
+
+// profileFor resolves the workload.
+func profileFor(c Config) *workload.Profile {
+	if c.Profile != nil {
+		return c.Profile
+	}
+	switch c.App {
+	case PSIA:
+		return workload.PSIAProfile(c.Scale)
+	default:
+		return workload.MandelbrotProfile(c.Scale)
+	}
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) {
+	c := cfg.withDefaults()
+	cl := cluster.MiniHPC(c.Nodes)
+	cl.NoiseCV = c.NoiseCV
+	return core.Run(core.Config{
+		Cluster:         cl,
+		WorkersPerNode:  c.WorkersPerNode,
+		Inter:           c.Inter,
+		Intra:           c.Intra,
+		Workload:        profileFor(c),
+		Approach:        c.Approach,
+		Seed:            c.Seed,
+		ExtendedRuntime: c.ExtendedRuntime,
+		CollectTrace:    c.CollectTrace,
+	})
+}
+
+// --------------------------------------------------------------- figures --
+
+// FigureInter maps the paper's figure number to its first-level technique.
+var FigureInter = map[int]dls.Technique{
+	4: dls.STATIC,
+	5: dls.GSS,
+	6: dls.TSS,
+	7: dls.FAC2,
+}
+
+// FigureIntras is the second-level technique set of every figure.
+var FigureIntras = []dls.Technique{dls.STATIC, dls.SS, dls.GSS, dls.TSS, dls.FAC2}
+
+// DefaultNodes is the paper's system-size sweep.
+var DefaultNodes = []int{2, 4, 8, 16}
+
+// FigureOptions configures a figure sweep.
+type FigureOptions struct {
+	Scale int   // workload scale divisor (default 8)
+	Nodes []int // system sizes (default 2,4,8,16)
+	Seed  int64
+	// Extended fills in the MPI+OpenMP TSS/FAC2 cells the paper could not
+	// run on the Intel runtime. Off by default for fidelity.
+	Extended bool
+	// Approaches defaults to {MPIMPI, MPIOpenMP}.
+	Approaches []Approach
+	// Progress, if non-nil, observes each completed cell.
+	Progress func(cell string)
+}
+
+// FigureResult holds a regenerated figure: Times[approach][intra][node
+// index] in seconds, with NaN marking combinations that are unsupported
+// (MPI+OpenMP with TSS/FAC2 intra on the stock runtime).
+type FigureResult struct {
+	Figure     int
+	App        App
+	Inter      dls.Technique
+	Intras     []dls.Technique
+	Nodes      []int
+	Approaches []Approach
+	Times      map[Approach][][]float64
+}
+
+// RunFigure regenerates one panel (one application) of the paper's Figure
+// 4, 5, 6 or 7.
+func RunFigure(figure int, app App, opt FigureOptions) (*FigureResult, error) {
+	inter, ok := FigureInter[figure]
+	if !ok {
+		return nil, fmt.Errorf("hdls: no figure %d (4–7 exist)", figure)
+	}
+	if opt.Scale == 0 {
+		opt.Scale = 8
+	}
+	if opt.Nodes == nil {
+		opt.Nodes = DefaultNodes
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Approaches == nil {
+		opt.Approaches = []Approach{MPIMPI, MPIOpenMP}
+	}
+	fr := &FigureResult{
+		Figure:     figure,
+		App:        app,
+		Inter:      inter,
+		Intras:     FigureIntras,
+		Nodes:      opt.Nodes,
+		Approaches: opt.Approaches,
+		Times:      map[Approach][][]float64{},
+	}
+	for _, ap := range opt.Approaches {
+		fr.Times[ap] = make([][]float64, len(fr.Intras))
+		for i := range fr.Intras {
+			fr.Times[ap][i] = make([]float64, len(opt.Nodes))
+		}
+	}
+	for ii, intra := range fr.Intras {
+		for ni, nodes := range opt.Nodes {
+			for _, ap := range opt.Approaches {
+				cellName := fmt.Sprintf("fig%d %v %v+%v %dn %v", figure, app, inter, intra, nodes, ap)
+				supported := true
+				if (ap == MPIOpenMP || ap == MPIOpenMPNoWait) && !opt.Extended {
+					if intra == dls.TSS || intra == dls.FAC2 {
+						supported = false // Intel runtime limitation (§5)
+					}
+				}
+				if !supported {
+					fr.Times[ap][ii][ni] = math.NaN()
+					continue
+				}
+				res, err := Run(Config{
+					App: app, Nodes: nodes, Inter: inter, Intra: intra,
+					Approach: ap, Scale: opt.Scale, Seed: opt.Seed,
+					ExtendedRuntime: opt.Extended,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", cellName, err)
+				}
+				fr.Times[ap][ii][ni] = float64(res.ParallelTime)
+				if opt.Progress != nil {
+					opt.Progress(cellName)
+				}
+			}
+		}
+	}
+	return fr, nil
+}
+
+// Table renders the figure as a text table shaped like the paper's panels:
+// one block per intra-node technique, rows per approach, columns per
+// system size.
+func (fr *FigureResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d(%s): inter-node %v, %s, parallel loop time (s)\n",
+		fr.Figure, strings.ToLower(fr.App.String()[:1]), fr.Inter, fr.App)
+	fmt.Fprintf(&b, "%-22s", "intra \\ nodes")
+	for _, n := range fr.Nodes {
+		fmt.Fprintf(&b, "%10d", n)
+	}
+	b.WriteString("\n")
+	for ii, intra := range fr.Intras {
+		for _, ap := range fr.Approaches {
+			fmt.Fprintf(&b, "%-8s %-13s", intra, ap)
+			for ni := range fr.Nodes {
+				v := fr.Times[ap][ii][ni]
+				if math.IsNaN(v) {
+					fmt.Fprintf(&b, "%10s", "n/a")
+				} else {
+					fmt.Fprintf(&b, "%10.3f", v)
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the figure as CSV rows:
+// figure,app,inter,intra,approach,nodes,seconds.
+func (fr *FigureResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,app,inter,intra,approach,nodes,seconds\n")
+	for ii, intra := range fr.Intras {
+		for _, ap := range fr.Approaches {
+			for ni, n := range fr.Nodes {
+				v := fr.Times[ap][ii][ni]
+				val := "NA"
+				if !math.IsNaN(v) {
+					val = fmt.Sprintf("%.6f", v)
+				}
+				fmt.Fprintf(&b, "%d,%s,%s,%s,%s,%d,%s\n",
+					fr.Figure, fr.App, fr.Inter, intra, ap, n, val)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Speedup returns MPI+OpenMP time / MPI+MPI time for one cell, the paper's
+// comparison direction (>1 means the proposed approach wins). NaN when
+// either cell is unavailable.
+func (fr *FigureResult) Speedup(intra dls.Technique, nodes int) float64 {
+	ii, ni := -1, -1
+	for i, t := range fr.Intras {
+		if t == intra {
+			ii = i
+		}
+	}
+	for i, n := range fr.Nodes {
+		if n == nodes {
+			ni = i
+		}
+	}
+	if ii < 0 || ni < 0 {
+		return math.NaN()
+	}
+	a, okA := fr.Times[MPIMPI]
+	b, okB := fr.Times[MPIOpenMP]
+	if !okA || !okB {
+		return math.NaN()
+	}
+	return b[ii][ni] / a[ii][ni]
+}
+
+// Efficiency returns the parallel efficiency (ideal time / measured time,
+// in (0, 1]) for one cell of the figure, using the figure app's workload at
+// the given scale. NaN for unavailable cells.
+func (fr *FigureResult) Efficiency(ap Approach, intra dls.Technique, nodes, scale, workersPerNode int) float64 {
+	ii, ni := -1, -1
+	for i, t := range fr.Intras {
+		if t == intra {
+			ii = i
+		}
+	}
+	for i, n := range fr.Nodes {
+		if n == nodes {
+			ni = i
+		}
+	}
+	times, ok := fr.Times[ap]
+	if ii < 0 || ni < 0 || !ok {
+		return math.NaN()
+	}
+	v := times[ii][ni]
+	if math.IsNaN(v) || v <= 0 {
+		return math.NaN()
+	}
+	return float64(IdealTime(fr.App, scale, nodes, workersPerNode)) / v
+}
+
+// EfficiencyTable renders per-cell parallel efficiency (1.00 = perfect),
+// the scalability view of the figure.
+func (fr *FigureResult) EfficiencyTable(scale, workersPerNode int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d %s — parallel efficiency (ideal/measured)\n", fr.Figure, fr.App)
+	fmt.Fprintf(&b, "%-22s", "intra \\ nodes")
+	for _, n := range fr.Nodes {
+		fmt.Fprintf(&b, "%8d", n)
+	}
+	b.WriteString("\n")
+	for _, intra := range fr.Intras {
+		for _, ap := range fr.Approaches {
+			fmt.Fprintf(&b, "%-8s %-13s", intra, ap)
+			for _, n := range fr.Nodes {
+				e := fr.Efficiency(ap, intra, n, scale, workersPerNode)
+				if math.IsNaN(e) {
+					fmt.Fprintf(&b, "%8s", "n/a")
+				} else {
+					fmt.Fprintf(&b, "%8.2f", e)
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// IdealTime returns total work / total workers for the figure's app and a
+// node count — the lower bound the paper's best configurations approach.
+func IdealTime(app App, scale, nodes, workersPerNode int) sim.Time {
+	var prof *workload.Profile
+	if app == PSIA {
+		prof = workload.PSIAProfile(scale)
+	} else {
+		prof = workload.MandelbrotProfile(scale)
+	}
+	return prof.Total() / sim.Time(nodes*workersPerNode)
+}

@@ -1,0 +1,260 @@
+package hdls
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/dls"
+	"repro/internal/workload"
+)
+
+func TestAppParseAndString(t *testing.T) {
+	for _, s := range []string{"mandelbrot", "Mandelbrot", "mandel"} {
+		if a, err := ParseApp(s); err != nil || a != Mandelbrot {
+			t.Fatalf("ParseApp(%q) = %v, %v", s, a, err)
+		}
+	}
+	if a, err := ParseApp("psia"); err != nil || a != PSIA {
+		t.Fatalf("ParseApp(psia) = %v, %v", a, err)
+	}
+	if _, err := ParseApp("nope"); err == nil {
+		t.Fatal("ParseApp accepted junk")
+	}
+	if Mandelbrot.String() != "Mandelbrot" || PSIA.String() != "PSIA" {
+		t.Fatal("App.String broken")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	res, err := Run(Config{
+		App: Mandelbrot, Nodes: 2,
+		Inter: dls.GSS, Intra: dls.STATIC,
+		Approach: MPIMPI, Scale: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 32 {
+		t.Fatalf("Workers = %d, want 32 (default 16 per node)", res.Workers)
+	}
+	if res.ParallelTime <= 0 {
+		t.Fatal("non-positive parallel time")
+	}
+}
+
+func TestRunCustomProfile(t *testing.T) {
+	prof := workload.Uniform(512, 20e-6, 80e-6, 3)
+	res, err := Run(Config{
+		Profile: prof, Nodes: 2, WorkersPerNode: 4,
+		Inter: dls.FAC2, Intra: dls.GSS, Approach: MPIOpenMP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 8 {
+		t.Fatalf("Workers = %d, want 8", res.Workers)
+	}
+}
+
+func TestRunFigureSmall(t *testing.T) {
+	var cells []string
+	fr, err := RunFigure(5, Mandelbrot, FigureOptions{
+		Scale: 64, Nodes: []int{2, 4},
+		Progress: func(c string) { cells = append(cells, c) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Inter != dls.GSS {
+		t.Fatalf("figure 5 inter = %v, want GSS", fr.Inter)
+	}
+	// 5 intras × 2 nodes × 2 approaches minus 2×2×1 unsupported OpenMP cells.
+	wantCells := 5*2*2 - 2*2
+	if len(cells) != wantCells {
+		t.Fatalf("progress reported %d cells, want %d", len(cells), wantCells)
+	}
+	// TSS/FAC2 intra are NaN for MPI+OpenMP (Intel runtime limitation).
+	for ii, intra := range fr.Intras {
+		for ni := range fr.Nodes {
+			omp := fr.Times[MPIOpenMP][ii][ni]
+			mm := fr.Times[MPIMPI][ii][ni]
+			if intra == dls.TSS || intra == dls.FAC2 {
+				if !math.IsNaN(omp) {
+					t.Fatalf("OpenMP %v cell should be NaN", intra)
+				}
+			} else if math.IsNaN(omp) {
+				t.Fatalf("OpenMP %v cell unexpectedly NaN", intra)
+			}
+			if math.IsNaN(mm) || mm <= 0 {
+				t.Fatalf("MPI+MPI %v cell = %v", intra, mm)
+			}
+		}
+	}
+	// More nodes must not be slower in any MPI+MPI cell of this figure.
+	for ii := range fr.Intras {
+		if fr.Times[MPIMPI][ii][1] > fr.Times[MPIMPI][ii][0]*1.1 {
+			t.Fatalf("MPI+MPI %v: 4 nodes (%v) slower than 2 nodes (%v)",
+				fr.Intras[ii], fr.Times[MPIMPI][ii][1], fr.Times[MPIMPI][ii][0])
+		}
+	}
+}
+
+func TestRunFigureExtendedFillsCells(t *testing.T) {
+	fr, err := RunFigure(4, Mandelbrot, FigureOptions{
+		Scale: 64, Nodes: []int{2}, Extended: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ii := range fr.Intras {
+		if math.IsNaN(fr.Times[MPIOpenMP][ii][0]) {
+			t.Fatalf("extended sweep left %v cell NaN", fr.Intras[ii])
+		}
+	}
+}
+
+func TestRunFigureRejectsUnknownFigure(t *testing.T) {
+	if _, err := RunFigure(3, Mandelbrot, FigureOptions{}); err == nil {
+		t.Fatal("accepted figure 3")
+	}
+}
+
+func TestTableAndCSV(t *testing.T) {
+	fr, err := RunFigure(6, PSIA, FigureOptions{Scale: 64, Nodes: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := fr.Table()
+	if !strings.Contains(tbl, "TSS") || !strings.Contains(tbl, "PSIA") {
+		t.Fatalf("table missing headers:\n%s", tbl)
+	}
+	if !strings.Contains(tbl, "n/a") {
+		t.Fatalf("table missing n/a marks for unsupported cells:\n%s", tbl)
+	}
+	csv := fr.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+5*2*1 {
+		t.Fatalf("CSV has %d lines, want 11:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "figure,app,inter") {
+		t.Fatalf("bad CSV header %q", lines[0])
+	}
+	if !strings.Contains(csv, ",NA") {
+		t.Fatal("CSV missing NA cells")
+	}
+}
+
+func TestSpeedupLookup(t *testing.T) {
+	fr, err := RunFigure(5, Mandelbrot, FigureOptions{Scale: 64, Nodes: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fr.Speedup(dls.STATIC, 2)
+	if math.IsNaN(s) || s <= 0 {
+		t.Fatalf("Speedup = %v", s)
+	}
+	if !math.IsNaN(fr.Speedup(dls.STATIC, 99)) {
+		t.Fatal("Speedup for missing node count should be NaN")
+	}
+	if !math.IsNaN(fr.Speedup(dls.TSS, 2)) {
+		t.Fatal("Speedup against an n/a cell should be NaN")
+	}
+}
+
+func TestIdealTimeScalesWithWorkers(t *testing.T) {
+	a := IdealTime(Mandelbrot, 64, 2, 16)
+	b := IdealTime(Mandelbrot, 64, 4, 16)
+	ratio := float64(a) / float64(b)
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Fatalf("ideal time ratio = %v, want 2", ratio)
+	}
+}
+
+// TestPaperQuotedRatios checks the paper's §5 headline numbers in shape:
+// GSS+STATIC Mandelbrot — MPI+OpenMP/MPI+MPI ≈ 61.5/19.6 ≈ 3.1× at the
+// smallest size; PSIA — 245/233 ≈ 1.05×, a much smaller win. We assert the
+// ordering and magnitudes loosely (×2 bands), not the absolute seconds.
+func TestPaperQuotedRatios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	mandel, err := RunFigure(5, Mandelbrot, FigureOptions{Scale: 16, Nodes: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := mandel.Speedup(dls.STATIC, 2)
+	if rm < 1.5 {
+		t.Fatalf("Mandelbrot GSS+STATIC speedup = %.2f, paper reports ≈3.1", rm)
+	}
+	psia, err := RunFigure(5, PSIA, FigureOptions{Scale: 16, Nodes: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := psia.Speedup(dls.STATIC, 2)
+	if rp < 0.95 {
+		t.Fatalf("PSIA GSS+STATIC speedup = %.2f, MPI+MPI should not lose", rp)
+	}
+	if rp >= rm {
+		t.Fatalf("PSIA speedup %.2f not smaller than Mandelbrot's %.2f (paper: 1.05 vs 3.1)", rp, rm)
+	}
+}
+
+func TestEfficiencyTable(t *testing.T) {
+	fr, err := RunFigure(5, Mandelbrot, FigureOptions{Scale: 64, Nodes: []int{2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := fr.Efficiency(MPIMPI, dls.STATIC, 2, 64, 16)
+	if math.IsNaN(e) || e <= 0 || e > 1.001 {
+		t.Fatalf("efficiency = %v, want (0,1]", e)
+	}
+	// MPI+MPI GSS+STATIC runs near-ideal on this workload.
+	if e < 0.85 {
+		t.Fatalf("MPI+MPI GSS+STATIC efficiency = %.2f, want near 1", e)
+	}
+	// Unavailable cell.
+	if !math.IsNaN(fr.Efficiency(MPIOpenMP, dls.TSS, 2, 64, 16)) {
+		t.Fatal("efficiency of an n/a cell should be NaN")
+	}
+	tbl := fr.EfficiencyTable(64, 16)
+	if !strings.Contains(tbl, "efficiency") || !strings.Contains(tbl, "n/a") {
+		t.Fatalf("efficiency table malformed:\n%s", tbl)
+	}
+}
+
+func TestNoWaitThroughFacade(t *testing.T) {
+	res, err := Run(Config{
+		App: Mandelbrot, Nodes: 2, Scale: 64,
+		Inter: dls.GSS, Intra: dls.STATIC,
+		Approach: MPIOpenMPNoWait,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BarrierWait != 0 {
+		t.Fatalf("nowait executor reported barrier wait %v", res.BarrierWait)
+	}
+}
+
+func TestNoiseThroughFacade(t *testing.T) {
+	a, err := Run(Config{
+		App: PSIA, Nodes: 2, Scale: 64,
+		Inter: dls.FAC2, Intra: dls.GSS, Approach: MPIMPI,
+		NoiseCV: 0.2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{
+		App: PSIA, Nodes: 2, Scale: 64,
+		Inter: dls.FAC2, Intra: dls.GSS, Approach: MPIMPI,
+		NoiseCV: 0.2, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ParallelTime == b.ParallelTime {
+		t.Fatal("different seeds with noise gave identical times")
+	}
+}

@@ -1,0 +1,412 @@
+// Package core implements the paper's contribution: hierarchical dynamic
+// loop self-scheduling on distributed memory with two executors sharing one
+// distributed chunk-calculation substrate.
+//
+// Both executors schedule at two levels. At the inter-node level, a global
+// work queue — two counters (scheduling step, scheduled iterations) in an
+// RMA window on rank 0 — is advanced with MPI_Fetch_and_op; every node
+// computes its own chunks from the step it obtained (Eleliemy & Ciorba's
+// distributed chunk calculation, no master process). At the intra-node
+// level the two approaches differ, and that difference is the paper:
+//
+//   - MPI+MPI (§3): all ranks of a node share a local work queue in an
+//     MPI-3 shared-memory window guarded by MPI_Win_lock / MPI_Win_sync.
+//     Whenever a rank finds the local queue empty it fetches a fresh global
+//     chunk and refills — "the fastest process always takes this
+//     responsibility" — so no rank ever waits for teammates.
+//
+//   - MPI+OpenMP (HLS-style baseline): one rank per node executes each
+//     global chunk with an OpenMP worksharing loop; the loop's implicit
+//     barrier synchronizes all threads before the next chunk is fetched.
+//
+// A third executor, MPIOpenMPNoWait, implements the paper's future-work
+// idea: OpenMP threads pipeline across chunk boundaries with the fastest
+// thread fetching new chunks under MPI_THREAD_MULTIPLE.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/dls"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Approach selects the intra-node execution model.
+type Approach int
+
+// The implemented approaches.
+const (
+	// MPIMPI is the paper's proposed approach (§3).
+	MPIMPI Approach = iota
+	// MPIOpenMP is the existing hierarchical baseline (§4).
+	MPIOpenMP
+	// MPIOpenMPNoWait is the paper's future-work variant: no implicit
+	// barrier, threads self-schedule across chunk boundaries.
+	MPIOpenMPNoWait
+)
+
+func (a Approach) String() string {
+	switch a {
+	case MPIMPI:
+		return "MPI+MPI"
+	case MPIOpenMP:
+		return "MPI+OpenMP"
+	case MPIOpenMPNoWait:
+		return "MPI+OpenMP(nowait)"
+	}
+	return fmt.Sprintf("Approach(%d)", int(a))
+}
+
+// Config describes one hierarchical scheduling experiment.
+type Config struct {
+	Cluster cluster.Config
+	// WorkersPerNode is the number of MPI ranks per node (MPI+MPI) or
+	// OpenMP threads per node (MPI+OpenMP). The paper uses 16.
+	WorkersPerNode int
+	// Inter is the DLS technique at the inter-node level (P = nodes).
+	Inter dls.Technique
+	// Intra is the technique at the intra-node level, applied per chunk
+	// (P = WorkersPerNode).
+	Intra dls.Technique
+	// IntraChunk is the OpenMP schedule-clause chunk argument (0 = default).
+	IntraChunk int
+	// Workload supplies the loop and its per-iteration costs.
+	Workload *workload.Profile
+	Approach Approach
+	// Seed drives the engine RNG (noise); runs are bit-deterministic per seed.
+	Seed int64
+	// ExtendedRuntime permits TSS/FAC2 intra-node under MPI+OpenMP,
+	// modelling the LaPeSD-libGOMP runtime the paper defers to future work.
+	// Without it those combinations error, matching the Intel runtime.
+	ExtendedRuntime bool
+	// CollectTrace records a full per-chunk event trace (memory-heavy for
+	// SS runs; coverage is always verified via a bitmap regardless).
+	CollectTrace bool
+	// QueueCapacity bounds the node-local work queue in chunks
+	// (default WorkersPerNode, which is also the provable upper bound).
+	QueueCapacity int
+	// ChunkCalcCost is the CPU cost of computing one chunk's size inside a
+	// critical section (default 0.15 µs).
+	ChunkCalcCost sim.Time
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.QueueCapacity <= 0 {
+		out.QueueCapacity = out.WorkersPerNode
+	}
+	if out.ChunkCalcCost <= 0 {
+		out.ChunkCalcCost = 0.15 * sim.Microsecond
+	}
+	return out
+}
+
+// intraSupported lists the techniques valid at the intra-node level for the
+// MPI+MPI executor (weighted/adaptive techniques need per-worker feedback
+// plumbing that the shared-queue word layout doesn't carry).
+func intraSupported(t dls.Technique) bool {
+	switch t {
+	case dls.STATIC, dls.SS, dls.FSC, dls.GSS, dls.TSS, dls.FAC, dls.FAC2, dls.TFSS, dls.RND:
+		return true
+	}
+	return false
+}
+
+// Validate checks the configuration, including the paper's runtime
+// constraint: the stock OpenMP runtime only offers static/dynamic/guided.
+func (c *Config) Validate() error {
+	if err := c.Cluster.Validate(); err != nil {
+		return err
+	}
+	if c.WorkersPerNode <= 0 || c.WorkersPerNode > c.Cluster.CoresPerNode {
+		return fmt.Errorf("core: WorkersPerNode %d out of 1..%d", c.WorkersPerNode, c.Cluster.CoresPerNode)
+	}
+	if c.Workload == nil || c.Workload.N() == 0 {
+		return fmt.Errorf("core: empty workload")
+	}
+	if !intraSupported(c.Inter) && c.Inter != dls.WF {
+		return fmt.Errorf("core: inter-node technique %v unsupported", c.Inter)
+	}
+	if !intraSupported(c.Intra) {
+		return fmt.Errorf("core: intra-node technique %v unsupported", c.Intra)
+	}
+	if c.Approach == MPIOpenMP || c.Approach == MPIOpenMPNoWait {
+		kind, err := mapIntraToOpenMP(c.Intra)
+		if err != nil {
+			return err
+		}
+		if kind.Extended() && !c.ExtendedRuntime {
+			return fmt.Errorf("core: intra %v requires the extended OpenMP runtime "+
+				"(the paper's Intel stack supports only static/dynamic/guided; set ExtendedRuntime)", c.Intra)
+		}
+	}
+	return nil
+}
+
+// Result reports one experiment.
+type Result struct {
+	Approach     Approach
+	Inter, Intra dls.Technique
+	Nodes        int
+	Workers      int // total workers = Nodes × WorkersPerNode
+
+	// ParallelTime is the paper's metric: the time at which the last
+	// worker finished executing loop iterations.
+	ParallelTime sim.Time
+	// WorkerFinish is each worker's last-execution completion time.
+	WorkerFinish []sim.Time
+	// WorkerCompute is each worker's accumulated execution time.
+	WorkerCompute []sim.Time
+	// LoadImbalance is max/mean − 1 over worker finish times.
+	LoadImbalance float64
+
+	GlobalChunks int // chunks issued by the global queue
+	LocalChunks  int // sub-chunks issued at the intra-node level
+
+	// LockAttempts / LockAcquisitions count MPI_Win_lock activity on the
+	// local queues (MPI+MPI only); their ratio exposes the polling storms.
+	LockAttempts     int64
+	LockAcquisitions int64
+	// BarrierWait is the accumulated implicit-barrier idle time
+	// (MPI+OpenMP only) — the overhead the paper's Figure 2 illustrates.
+	BarrierWait sim.Time
+
+	// Trace is non-nil when Config.CollectTrace was set.
+	Trace *trace.Trace
+}
+
+// Run executes the configured experiment on a fresh simulation and returns
+// its result. The run fails if the executors violate the exact-coverage
+// invariant — every loop iteration executed exactly once.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.withDefaults()
+	h := newHarness(&c)
+	var err error
+	switch c.Approach {
+	case MPIMPI:
+		err = h.runMPIMPI()
+	case MPIOpenMP:
+		err = h.runMPIOpenMP()
+	case MPIOpenMPNoWait:
+		err = h.runMPIOpenMPNoWait()
+	default:
+		return nil, fmt.Errorf("core: unknown approach %v", c.Approach)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := h.checkCoverage(); err != nil {
+		return nil, err
+	}
+	return h.result(), nil
+}
+
+// harness carries the shared bookkeeping of one run.
+type harness struct {
+	cfg  *Config
+	eng  *sim.Engine
+	prof *workload.Profile
+
+	nWorkers int
+	finish   []sim.Time
+	compute  []sim.Time
+
+	bitmap   []uint64
+	executed int
+
+	globalChunks int
+	localChunks  int
+	lockAtt      int64
+	lockAcq      int64
+	barrierWait  sim.Time
+
+	tr *trace.Trace
+
+	// Intra-level schedule cache keyed by (node, chunk length); schedules
+	// are pure functions of (step, worker) so sharing them per node is safe
+	// and keeps FAC's batch replay O(log) amortized.
+	intraCache []map[int]dls.Schedule
+	sigma      float64
+}
+
+func newHarness(c *Config) *harness {
+	n := c.Workload.N()
+	h := &harness{
+		cfg:      c,
+		eng:      sim.NewEngine(c.Seed),
+		prof:     c.Workload,
+		nWorkers: c.Cluster.Nodes * c.WorkersPerNode,
+		bitmap:   make([]uint64, (n+63)/64),
+	}
+	h.finish = make([]sim.Time, h.nWorkers)
+	h.compute = make([]sim.Time, h.nWorkers)
+	h.intraCache = make([]map[int]dls.Schedule, c.Cluster.Nodes)
+	for i := range h.intraCache {
+		h.intraCache[i] = make(map[int]dls.Schedule)
+	}
+	h.sigma = h.prof.CoV() * h.prof.Mean()
+	if c.CollectTrace {
+		h.tr = trace.New(h.nWorkers)
+	}
+	return h
+}
+
+// interP returns the number of requesters the global queue serves.
+//
+// Under MPI+OpenMP only the per-node ranks request chunks, so P = nodes.
+// Under MPI+MPI every rank participates in the distributed chunk
+// calculation, so dynamic techniques use P = nodes × WorkersPerNode —
+// finer global chunks that the local queues subdivide (this is what lets
+// the proposed approach track the ideal time in Figs. 5–7). STATIC is the
+// exception on both sides: a static division is decided "prior to
+// execution" across the node groups (one N/nodes slab per node, the
+// paper's "STATIC is the first level of scheduling (the inter-node
+// scheduling)"), which is why Fig. 4 shows the two approaches matching.
+func (h *harness) interP() int {
+	if h.cfg.Approach == MPIMPI && h.cfg.Inter != dls.STATIC {
+		return h.cfg.Cluster.Nodes * h.cfg.WorkersPerNode
+	}
+	return h.cfg.Cluster.Nodes
+}
+
+// interSchedule builds the global-queue schedule for interP requesters.
+// Weighted factoring at the inter level (the heterogeneity extension) takes
+// its per-requester weights from the cluster's node speeds.
+func (h *harness) interSchedule(p int) dls.Schedule {
+	params := dls.Params{
+		N: h.prof.N(), P: p,
+		Mean: h.prof.Mean(), Sigma: h.sigma,
+		Overhead: 3e-6, // FSC: global scheduling op ≈ one remote atomic
+	}
+	if h.cfg.Inter == dls.WF {
+		weights := make([]float64, p)
+		for i := range weights {
+			node := i
+			if p > h.cfg.Cluster.Nodes {
+				node = i / h.cfg.WorkersPerNode // requesters are ranks
+			}
+			weights[i] = h.cfg.Cluster.Speed(node)
+		}
+		params.Weights = weights
+	}
+	return dls.MustNew(h.cfg.Inter, params)
+}
+
+// intraChunkSize returns the sub-chunk size for a chunk of length origLen at
+// intra scheduling step, requested by node-local worker w.
+func (h *harness) intraChunkSize(node, origLen, step, w int) int {
+	c := h.cfg
+	switch c.Intra {
+	case dls.SS:
+		return 1
+	case dls.STATIC:
+		return (origLen + c.WorkersPerNode - 1) / c.WorkersPerNode
+	case dls.GSS:
+		p := float64(c.WorkersPerNode)
+		if p == 1 {
+			if step == 0 {
+				return origLen
+			}
+			return 1
+		}
+		f := float64(origLen) / p * math.Pow(1-1/p, float64(step))
+		s := int(math.Ceil(f))
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	sched, ok := h.intraCache[node][origLen]
+	if !ok {
+		sched = dls.MustNew(c.Intra, dls.Params{
+			N: origLen, P: c.WorkersPerNode,
+			Mean: h.prof.Mean(), Sigma: h.sigma,
+			Overhead: 3e-6,
+		})
+		h.intraCache[node][origLen] = sched
+	}
+	return sched.Chunk(step, w)
+}
+
+// execute accounts one executed range for worker w: coverage bitmap,
+// compute time, finish time, and the optional trace event.
+func (h *harness) execute(w, node, a, b int, start, end sim.Time) {
+	for i := a; i < b; i++ {
+		idx, bit := i/64, uint64(1)<<uint(i%64)
+		if h.bitmap[idx]&bit != 0 {
+			panic(fmt.Sprintf("core: iteration %d executed twice (worker %d)", i, w))
+		}
+		h.bitmap[idx] |= bit
+	}
+	h.executed += b - a
+	h.compute[w] += end - start
+	if end > h.finish[w] {
+		h.finish[w] = end
+	}
+	if h.tr != nil {
+		h.tr.Add(trace.Event{
+			Worker: w, Node: node, Kind: trace.KindExec,
+			Start: start, End: end, IterStart: a, IterEnd: b,
+		})
+	}
+}
+
+func (h *harness) checkCoverage() error {
+	n := h.prof.N()
+	if h.executed != n {
+		return fmt.Errorf("core: executed %d of %d iterations", h.executed, n)
+	}
+	for i := 0; i < n; i++ {
+		if h.bitmap[i/64]&(uint64(1)<<uint(i%64)) == 0 {
+			return fmt.Errorf("core: iteration %d never executed", i)
+		}
+	}
+	if h.tr != nil {
+		if err := h.tr.Validate(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *harness) makespan() sim.Time {
+	var m sim.Time
+	for _, f := range h.finish {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+func (h *harness) result() *Result {
+	fin := make([]float64, len(h.finish))
+	for i, f := range h.finish {
+		fin[i] = float64(f)
+	}
+	return &Result{
+		Approach:         h.cfg.Approach,
+		Inter:            h.cfg.Inter,
+		Intra:            h.cfg.Intra,
+		Nodes:            h.cfg.Cluster.Nodes,
+		Workers:          h.nWorkers,
+		ParallelTime:     h.makespan(),
+		WorkerFinish:     append([]sim.Time(nil), h.finish...),
+		WorkerCompute:    append([]sim.Time(nil), h.compute...),
+		LoadImbalance:    stats.LoadImbalance(fin),
+		GlobalChunks:     h.globalChunks,
+		LocalChunks:      h.localChunks,
+		LockAttempts:     h.lockAtt,
+		LockAcquisitions: h.lockAcq,
+		BarrierWait:      h.barrierWait,
+		Trace:            h.tr,
+	}
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/dls"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// testConfig returns a small, fast experiment config.
+func testConfig(nodes, perNode int, prof *workload.Profile) Config {
+	return Config{
+		Cluster:        cluster.MiniHPC(nodes),
+		WorkersPerNode: perNode,
+		Inter:          dls.GSS,
+		Intra:          dls.STATIC,
+		Workload:       prof,
+		Approach:       MPIMPI,
+		Seed:           1,
+	}
+}
+
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run(%v %v+%v): %v", cfg.Approach, cfg.Inter, cfg.Intra, err)
+	}
+	return res
+}
+
+func TestValidateRejects(t *testing.T) {
+	prof := workload.Constant(100, 1e-6)
+	base := testConfig(2, 4, prof)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"zero workers", func(c *Config) { c.WorkersPerNode = 0 }, "WorkersPerNode"},
+		{"oversubscribed", func(c *Config) { c.WorkersPerNode = 99 }, "WorkersPerNode"},
+		{"nil workload", func(c *Config) { c.Workload = nil }, "workload"},
+		{"adaptive inter", func(c *Config) { c.Inter = dls.AWFB }, "unsupported"},
+		{"adaptive intra", func(c *Config) { c.Intra = dls.AWFB }, "unsupported"},
+		{"weighted intra", func(c *Config) { c.Intra = dls.WF }, "unsupported"},
+		{"TSS intra on stock OpenMP", func(c *Config) {
+			c.Approach = MPIOpenMP
+			c.Intra = dls.TSS
+		}, "extended"},
+		{"FAC2 intra on stock OpenMP", func(c *Config) {
+			c.Approach = MPIOpenMP
+			c.Intra = dls.FAC2
+		}, "extended"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			_, err := Run(cfg)
+			if err == nil {
+				t.Fatal("Run accepted an invalid config")
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(tc.want)) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// The extended runtime unlocks TSS/FAC2 intra for MPI+OpenMP.
+	cfg := base
+	cfg.Approach = MPIOpenMP
+	cfg.Intra = dls.TSS
+	cfg.ExtendedRuntime = true
+	mustRun(t, cfg)
+}
+
+// TestCoverageAllCombinations drives every approach × inter × intra cell:
+// Run fails internally if any iteration is lost or duplicated.
+func TestCoverageAllCombinations(t *testing.T) {
+	prof := workload.Uniform(2000, 20e-6, 60e-6, 3)
+	inters := []dls.Technique{dls.STATIC, dls.SS, dls.FSC, dls.GSS, dls.TSS, dls.FAC, dls.FAC2, dls.TFSS}
+	intras := []dls.Technique{dls.STATIC, dls.SS, dls.GSS, dls.TSS, dls.FAC2}
+	for _, app := range []Approach{MPIMPI, MPIOpenMP, MPIOpenMPNoWait} {
+		for _, inter := range inters {
+			for _, intra := range intras {
+				cfg := testConfig(2, 4, prof)
+				cfg.Approach = app
+				cfg.Inter = inter
+				cfg.Intra = intra
+				cfg.ExtendedRuntime = true
+				res := mustRun(t, cfg)
+				if res.ParallelTime <= 0 {
+					t.Fatalf("%v %v+%v: non-positive parallel time", app, inter, intra)
+				}
+				if res.Workers != 8 {
+					t.Fatalf("Workers = %d, want 8", res.Workers)
+				}
+				if res.GlobalChunks < cfg.Cluster.Nodes {
+					t.Fatalf("%v %v+%v: only %d global chunks", app, inter, intra, res.GlobalChunks)
+				}
+				if res.LocalChunks < res.GlobalChunks {
+					t.Fatalf("%v %v+%v: local chunks %d < global %d", app, inter, intra, res.LocalChunks, res.GlobalChunks)
+				}
+			}
+		}
+	}
+}
+
+func TestCoverageEdgeSizes(t *testing.T) {
+	for _, n := range []int{1, 3, 7, 17, 63} {
+		prof := workload.Constant(n, 10e-6)
+		for _, app := range []Approach{MPIMPI, MPIOpenMP, MPIOpenMPNoWait} {
+			cfg := testConfig(2, 4, prof)
+			cfg.Approach = app
+			mustRun(t, cfg)
+		}
+	}
+	// Single node, single worker.
+	cfg := testConfig(1, 1, workload.Constant(50, 1e-6))
+	mustRun(t, cfg)
+}
+
+func TestStaticInterChunkCounts(t *testing.T) {
+	// STATIC at the inter-node level is a static division across node
+	// groups under both approaches: exactly one global chunk per node.
+	prof := workload.Constant(1024, 10e-6)
+	for _, app := range []Approach{MPIOpenMP, MPIMPI} {
+		cfg := testConfig(4, 4, prof)
+		cfg.Approach = app
+		cfg.Inter = dls.STATIC
+		if res := mustRun(t, cfg); res.GlobalChunks != 4 {
+			t.Fatalf("%v: STATIC inter issued %d global chunks, want 4 (one per node)", app, res.GlobalChunks)
+		}
+	}
+	// Dynamic inter techniques serve every rank under MPI+MPI: the first
+	// FAC2 batch alone spans 16 chunks.
+	cfg := testConfig(4, 4, prof)
+	cfg.Inter = dls.FAC2
+	if res := mustRun(t, cfg); res.GlobalChunks <= 4 {
+		t.Fatalf("MPI+MPI: FAC2 inter issued only %d global chunks", res.GlobalChunks)
+	}
+}
+
+func TestSSIntraIssuesOneIterationSubChunks(t *testing.T) {
+	n := 512
+	prof := workload.Constant(n, 10e-6)
+	cfg := testConfig(2, 4, prof)
+	cfg.Intra = dls.SS
+	res := mustRun(t, cfg)
+	if res.LocalChunks != n {
+		t.Fatalf("SS intra issued %d sub-chunks, want %d", res.LocalChunks, n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	prof := workload.Exponential(1024, 50e-6, 9)
+	for _, app := range []Approach{MPIMPI, MPIOpenMP, MPIOpenMPNoWait} {
+		cfg := testConfig(2, 8, prof)
+		cfg.Approach = app
+		a := mustRun(t, cfg)
+		b := mustRun(t, cfg)
+		if a.ParallelTime != b.ParallelTime {
+			t.Fatalf("%v: nondeterministic parallel time %v vs %v", app, a.ParallelTime, b.ParallelTime)
+		}
+		for i := range a.WorkerFinish {
+			if a.WorkerFinish[i] != b.WorkerFinish[i] {
+				t.Fatalf("%v: worker %d finish differs", app, i)
+			}
+		}
+	}
+}
+
+func TestTraceCollection(t *testing.T) {
+	prof := workload.Uniform(256, 10e-6, 50e-6, 5)
+	for _, app := range []Approach{MPIMPI, MPIOpenMP} {
+		cfg := testConfig(2, 4, prof)
+		cfg.Approach = app
+		cfg.CollectTrace = true
+		res := mustRun(t, cfg)
+		if res.Trace == nil {
+			t.Fatalf("%v: no trace collected", app)
+		}
+		// Trace was validated inside Run; sanity-check the Gantt renders.
+		g := res.Trace.Gantt(60)
+		if !strings.Contains(g, "#") {
+			t.Fatalf("%v: Gantt has no execution marks:\n%s", app, g)
+		}
+		busy := res.Trace.BusyTime()
+		for w := range busy {
+			diff := float64(busy[w] - res.WorkerCompute[w])
+			if diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%v: trace busy %v != accounted compute %v for worker %d",
+					app, busy[w], res.WorkerCompute[w], w)
+			}
+		}
+	}
+}
+
+func TestComputeConservation(t *testing.T) {
+	// Total compute across workers must equal the workload total (no noise,
+	// homogeneous speeds).
+	prof := workload.Uniform(2048, 10e-6, 30e-6, 7)
+	for _, app := range []Approach{MPIMPI, MPIOpenMP, MPIOpenMPNoWait} {
+		cfg := testConfig(2, 8, prof)
+		cfg.Approach = app
+		res := mustRun(t, cfg)
+		var total sim.Time
+		for _, c := range res.WorkerCompute {
+			total += c
+		}
+		diff := float64(total - prof.Total())
+		if diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("%v: compute %v != workload total %v", app, total, prof.Total())
+		}
+	}
+}
+
+func TestBarrierWaitOnlyForOpenMP(t *testing.T) {
+	// Spiked workload under STATIC intra: the OpenMP implicit barrier must
+	// accumulate idle time; MPI+MPI has no barrier by construction.
+	prof := workload.Bimodal(512, 5e-6, 500e-6, 0.05, 11)
+	cfgOMP := testConfig(2, 8, prof)
+	cfgOMP.Approach = MPIOpenMP
+	omp := mustRun(t, cfgOMP)
+	if omp.BarrierWait <= 0 {
+		t.Fatal("MPI+OpenMP reported zero barrier wait on an imbalanced loop")
+	}
+	cfgMPI := testConfig(2, 8, prof)
+	mpi := mustRun(t, cfgMPI)
+	if mpi.BarrierWait != 0 {
+		t.Fatalf("MPI+MPI reported barrier wait %v", mpi.BarrierWait)
+	}
+	if mpi.LockAcquisitions == 0 {
+		t.Fatal("MPI+MPI reported no lock acquisitions")
+	}
+	if omp.LockAcquisitions != 0 {
+		t.Fatal("MPI+OpenMP reported local-queue lock acquisitions")
+	}
+}
+
+func TestLockPollingUnderSSContention(t *testing.T) {
+	// Fine-grained SS on many workers: the polling protocol must need
+	// multiple attempts per acquisition.
+	prof := workload.Constant(2048, 10e-6)
+	cfg := testConfig(1, 16, prof)
+	cfg.Intra = dls.SS
+	res := mustRun(t, cfg)
+	ratio := float64(res.LockAttempts) / float64(res.LockAcquisitions)
+	if ratio < 1.3 {
+		t.Fatalf("attempts/acquisition = %.2f under 16-way SS, want contention", ratio)
+	}
+	// A single worker polls exactly once per acquisition.
+	cfg1 := testConfig(1, 1, prof)
+	cfg1.Intra = dls.SS
+	res1 := mustRun(t, cfg1)
+	if res1.LockAttempts != res1.LockAcquisitions {
+		t.Fatalf("solo worker needed %d attempts for %d acquisitions", res1.LockAttempts, res1.LockAcquisitions)
+	}
+}
+
+// --- Shape assertions from the paper (small-scale) --------------------------
+
+// imbalancedProfile is a small real-Mandelbrot workload (1024×128 pixels):
+// strongly imbalanced *and* spatially correlated, like the paper's kernel —
+// contiguous sub-blocks have wildly different costs, which is what makes
+// the implicit barrier expensive. (I.i.d. noise would average out within
+// 100-iteration sub-chunks and mask the effect.) The resolution is high
+// enough that no single indivisible row dominates the makespan.
+func imbalancedProfile() *workload.Profile {
+	return workload.MandelbrotProfile(8)
+}
+
+func TestShapeGSSStaticMPIMPIWins(t *testing.T) {
+	// Fig. 5: with a dynamic inter technique and STATIC intra, avoiding the
+	// implicit barrier lets MPI+MPI finish markedly earlier.
+	prof := imbalancedProfile()
+	mpiCfg := testConfig(2, 16, prof)
+	mpiCfg.Inter, mpiCfg.Intra = dls.GSS, dls.STATIC
+	ompCfg := mpiCfg
+	ompCfg.Approach = MPIOpenMP
+	a := mustRun(t, mpiCfg)
+	b := mustRun(t, ompCfg)
+	if float64(b.ParallelTime) < 1.15*float64(a.ParallelTime) {
+		t.Fatalf("GSS+STATIC: MPI+OpenMP %v not clearly slower than MPI+MPI %v",
+			b.ParallelTime, a.ParallelTime)
+	}
+}
+
+func TestShapeSSIntraMPIMPILoses(t *testing.T) {
+	// Figs. 4–7, SS column: MPI_Win_lock polling makes SS the worst case
+	// for the proposed approach, while OpenMP's cheap atomics shrug it off.
+	prof := workload.Constant(8192, 30e-6)
+	mpiCfg := testConfig(2, 16, prof)
+	mpiCfg.Inter, mpiCfg.Intra = dls.STATIC, dls.SS
+	ompCfg := mpiCfg
+	ompCfg.Approach = MPIOpenMP
+	a := mustRun(t, mpiCfg)
+	b := mustRun(t, ompCfg)
+	if float64(a.ParallelTime) < 1.5*float64(b.ParallelTime) {
+		t.Fatalf("STATIC+SS: MPI+MPI %v not clearly slower than MPI+OpenMP %v",
+			a.ParallelTime, b.ParallelTime)
+	}
+}
+
+func TestShapeStaticInterParity(t *testing.T) {
+	// Fig. 4: with STATIC inter (one scheduling round per node group) and a
+	// non-SS intra technique, the approaches perform the same.
+	prof := imbalancedProfile()
+	for _, intra := range []dls.Technique{dls.STATIC, dls.GSS, dls.TSS, dls.FAC2} {
+		mpiCfg := testConfig(2, 16, prof)
+		mpiCfg.Inter, mpiCfg.Intra = dls.STATIC, intra
+		ompCfg := mpiCfg
+		ompCfg.Approach = MPIOpenMP
+		ompCfg.ExtendedRuntime = true // allow TSS/FAC2 intra for the parity check
+		a := mustRun(t, mpiCfg)
+		b := mustRun(t, ompCfg)
+		ratio := float64(a.ParallelTime) / float64(b.ParallelTime)
+		if ratio < 0.75 || ratio > 1.3 {
+			t.Fatalf("STATIC+%v: approaches differ by %.2f×, want parity", intra, ratio)
+		}
+	}
+}
+
+func TestShapeNoWaitRecoversBarrierLoss(t *testing.T) {
+	// §6 future work: removing the barrier should recover part of the
+	// MPI+OpenMP loss. Use an i.i.d. workload: its barrier waits come from
+	// block-sum variance rather than an indivisible hot block, so the
+	// pipeline across chunk boundaries has something to recover.
+	prof := workload.Exponential(8192, 150e-6, 1903)
+	base := testConfig(2, 16, prof)
+	base.Inter, base.Intra = dls.GSS, dls.STATIC
+	omp := base
+	omp.Approach = MPIOpenMP
+	nw := base
+	nw.Approach = MPIOpenMPNoWait
+	a := mustRun(t, omp)
+	b := mustRun(t, nw)
+	if b.ParallelTime >= a.ParallelTime {
+		t.Fatalf("nowait %v not faster than barrier variant %v", b.ParallelTime, a.ParallelTime)
+	}
+}
+
+func TestHeterogeneousClusterStillCovers(t *testing.T) {
+	prof := workload.Uniform(2048, 20e-6, 60e-6, 13)
+	cfg := testConfig(2, 8, prof)
+	cfg.Cluster = cluster.MiniHPCHetero(2, 1.0, 0.5)
+	res := mustRun(t, cfg)
+	// The slow node stretches the makespan beyond the homogeneous run.
+	homo := mustRun(t, testConfig(2, 8, prof))
+	if res.ParallelTime <= homo.ParallelTime {
+		t.Fatalf("hetero run %v not slower than homogeneous %v", res.ParallelTime, homo.ParallelTime)
+	}
+}
+
+func TestNoiseKeepsDeterminismPerSeed(t *testing.T) {
+	prof := workload.Uniform(512, 20e-6, 60e-6, 17)
+	cfg := testConfig(2, 4, prof)
+	cfg.Cluster.NoiseCV = 0.1
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if a.ParallelTime != b.ParallelTime {
+		t.Fatal("same seed with noise produced different results")
+	}
+	cfg.Seed = 2
+	c := mustRun(t, cfg)
+	if c.ParallelTime == a.ParallelTime {
+		t.Fatal("different seed with noise produced identical results")
+	}
+}
+
+func TestQueueCapacityOverride(t *testing.T) {
+	prof := workload.Uniform(1024, 10e-6, 40e-6, 19)
+	cfg := testConfig(2, 8, prof)
+	cfg.QueueCapacity = 8 // == WorkersPerNode, the provable bound
+	mustRun(t, cfg)
+}
+
+func BenchmarkRunMPIMPIGSSStatic(b *testing.B) {
+	prof := workload.Uniform(4096, 50e-6, 150e-6, 1)
+	cfg := testConfig(2, 16, prof)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunMPIOpenMPGSSStatic(b *testing.B) {
+	prof := workload.Uniform(4096, 50e-6, 150e-6, 1)
+	cfg := testConfig(2, 16, prof)
+	cfg.Approach = MPIOpenMP
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Global-queue window layout (hosted by world rank 0).
+const (
+	gwStep      = 0 // latest scheduling step
+	gwScheduled = 1 // total scheduled iterations
+)
+
+// Local-queue shared-window layout (hosted at node rank 0). The queue is a
+// ring of chunk entries plus a done flag, maintained under MPI_Win_lock
+// exactly as §3 describes.
+const (
+	lqHead  = 0 // ring index of the oldest chunk
+	lqCount = 1 // chunks currently queued
+	lqDone  = 2 // set once the global queue is exhausted
+	lqBase  = 3 // first ring entry
+	lqWords = 4 // words per entry: cur, end, step, orig
+)
+
+const (
+	entCur = iota
+	entEnd
+	entStep
+	entOrig
+)
+
+// runMPIMPI executes the proposed hierarchical MPI+MPI approach: one MPI
+// rank per core, a shared local work queue per node, distributed chunk
+// calculation against the global window.
+func (h *harness) runMPIMPI() error {
+	c := h.cfg
+	world, err := mpi.NewWorld(h.eng, &c.Cluster, c.WorkersPerNode)
+	if err != nil {
+		return err
+	}
+	inter := h.interSchedule(h.interP())
+	n := h.prof.N()
+	ringWords := lqBase + c.QueueCapacity*lqWords
+
+	// Per-node window handles are filled in during setup (every rank of a
+	// node receives the same *Win from the collective allocation).
+	localWins := make([]*mpi.Win, c.Cluster.Nodes)
+
+	runErr := world.Run(func(r *mpi.Rank) {
+		gw := world.Comm().WinAllocate(r, "global-queue", 2)
+		nodeComm := world.SplitTypeShared(r)
+		lw := nodeComm.WinAllocateShared(r, fmt.Sprintf("local-queue-%d", r.Node()), ringWords)
+		localWins[r.Node()] = lw
+		world.Comm().Barrier(r)
+
+		h.mpimpiWorker(r, gw, lw, nodeComm.RankOf(r), inter, n)
+	})
+	if runErr != nil {
+		return runErr
+	}
+	for _, lw := range localWins {
+		if lw == nil {
+			continue
+		}
+		h.lockAtt += lw.LockAttempts
+		h.lockAcq += lw.LockAcquisitions
+	}
+	return nil
+}
+
+// mpimpiWorker is the §3 worker loop. w is the node-local rank.
+//
+// The worker first tries to obtain a sub-chunk from the node's local work
+// queue. If the queue is empty, the worker — which at that moment *is* "the
+// fastest MPI process within the compute node" (§3) — keeps holding the
+// queue lock while it obtains a fresh chunk from the global work queue and
+// installs it. Holding the lock across the fill serializes fills per node
+// (teammates poll the lock meanwhile), which is what preserves one-chunk-
+// per-node semantics under inter-node STATIC and prevents a thundering herd
+// against the global window at startup.
+func (h *harness) mpimpiWorker(r *mpi.Rank, gw, lw *mpi.Win, w int, inter interSched, n int) {
+	c := h.cfg
+	node := r.Node()
+	worker := r.Rank() // world rank == global worker index (one rank/core)
+
+	for {
+		schedT0 := r.Now()
+		lw.Lock(r, 0, mpi.LockExclusive)
+		lw.Sync(r)
+
+		// Stage 1: sub-chunk from the local queue.
+		if int(lw.SharedRead(r, 0, lqCount)) > 0 {
+			a, b := h.takeHeadLocked(r, lw, w)
+			lw.Sync(r)
+			lw.Unlock(r, 0, mpi.LockExclusive)
+			h.traceSched(worker, node, trace.KindSchedLocal, schedT0, r.Now())
+			h.execRange(r, worker, node, a, b)
+			continue
+		}
+		if lw.SharedRead(r, 0, lqDone) != 0 {
+			lw.Sync(r)
+			lw.Unlock(r, 0, mpi.LockExclusive)
+			h.traceSched(worker, node, trace.KindSchedLocal, schedT0, r.Now())
+			return
+		}
+
+		// Stage 2: queue empty — this worker fills it from the global
+		// queue (distributed chunk calculation: two atomics, chunk size
+		// computed locally from the obtained step). The requester identity
+		// matters only for weighted techniques: under MPI+MPI every rank
+		// is a requester, so pass the rank (its node's speed weights it).
+		step := gw.FetchAndOp(r, 0, gwStep, 1)
+		requester := node
+		if h.interP() > h.cfg.Cluster.Nodes {
+			requester = r.Rank()
+		}
+		size := inter.Chunk(int(step), requester)
+		r.Proc().Sleep(c.ChunkCalcCost)
+		start := gw.FetchAndOp(r, 0, gwScheduled, int64(size))
+		if int(start) >= n {
+			// Global queue exhausted: publish completion to the node.
+			lw.SharedWrite(r, 0, lqDone, 1)
+			lw.Sync(r)
+			lw.Unlock(r, 0, mpi.LockExclusive)
+			h.traceSched(worker, node, trace.KindSchedGlobal, schedT0, r.Now())
+			return
+		}
+		end := int(start) + size
+		if end > n {
+			end = n
+		}
+		h.globalChunks++
+
+		// Stage 3: install the chunk and take this worker's own sub-chunk
+		// within the same critical section.
+		cnt := int(lw.SharedRead(r, 0, lqCount))
+		if cnt >= c.QueueCapacity {
+			panic("core: local work queue overflow")
+		}
+		head := int(lw.SharedRead(r, 0, lqHead))
+		slot := (head + cnt) % c.QueueCapacity
+		base := lqBase + slot*lqWords
+		lw.SharedWrite(r, 0, base+entCur, start)
+		lw.SharedWrite(r, 0, base+entEnd, int64(end))
+		lw.SharedWrite(r, 0, base+entStep, 0)
+		lw.SharedWrite(r, 0, base+entOrig, int64(end-int(start)))
+		lw.SharedWrite(r, 0, lqCount, int64(cnt+1))
+		a, b := h.takeHeadLocked(r, lw, w)
+		lw.Sync(r)
+		lw.Unlock(r, 0, mpi.LockExclusive)
+		h.traceSched(worker, node, trace.KindSchedGlobal, schedT0, r.Now())
+		if a < b {
+			h.execRange(r, worker, node, a, b)
+		}
+	}
+}
+
+// takeHeadLocked removes one sub-chunk from the head chunk. The caller
+// holds the queue lock.
+func (h *harness) takeHeadLocked(r *mpi.Rank, lw *mpi.Win, w int) (int, int) {
+	c := h.cfg
+	head := int(lw.SharedRead(r, 0, lqHead))
+	base := lqBase + head*lqWords
+	cur := int(lw.SharedRead(r, 0, base+entCur))
+	end := int(lw.SharedRead(r, 0, base+entEnd))
+	step := int(lw.SharedRead(r, 0, base+entStep))
+	orig := int(lw.SharedRead(r, 0, base+entOrig))
+	size := h.intraChunkSize(r.Node(), orig, step, w)
+	r.Proc().Sleep(c.ChunkCalcCost)
+	if size > end-cur {
+		size = end - cur
+	}
+	nxt := cur + size
+	lw.SharedWrite(r, 0, base+entCur, int64(nxt))
+	lw.SharedWrite(r, 0, base+entStep, int64(step+1))
+	if nxt >= end {
+		cnt := int(lw.SharedRead(r, 0, lqCount))
+		lw.SharedWrite(r, 0, lqHead, int64((head+1)%c.QueueCapacity))
+		lw.SharedWrite(r, 0, lqCount, int64(cnt-1))
+	}
+	h.localChunks++
+	return cur, nxt
+}
+
+// execRange executes iterations [a, b) on the calling rank.
+func (h *harness) execRange(r *mpi.Rank, worker, node, a, b int) {
+	t0 := r.Now()
+	r.Compute(h.prof.Range(a, b))
+	h.execute(worker, node, a, b, t0, r.Now())
+}
+
+func (h *harness) traceSched(worker, node int, kind trace.Kind, t0, t1 sim.Time) {
+	if h.tr == nil || t1 <= t0 {
+		return
+	}
+	h.tr.Add(trace.Event{Worker: worker, Node: node, Kind: kind, Start: t0, End: t1})
+}
+
+// interSched is the subset of dls.Schedule the executors use.
+type interSched interface {
+	Chunk(step, worker int) int
+}

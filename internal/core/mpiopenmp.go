@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/dls"
+	"repro/internal/mpi"
+	"repro/internal/openmp"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func mapIntraToOpenMP(t dls.Technique) (openmp.ScheduleKind, error) {
+	return openmp.MapTechnique(t)
+}
+
+// runMPIOpenMP executes the hierarchical MPI+OpenMP baseline: one MPI rank
+// per node fetches chunks via distributed chunk calculation and executes
+// each with an OpenMP worksharing loop (implicit barrier after every
+// chunk — the overhead the proposed approach removes).
+func (h *harness) runMPIOpenMP() error {
+	c := h.cfg
+	world, err := mpi.NewWorld(h.eng, &c.Cluster, 1)
+	if err != nil {
+		return err
+	}
+	kind, err := mapIntraToOpenMP(c.Intra)
+	if err != nil {
+		return err
+	}
+	inter := h.interSchedule(h.interP())
+	n := h.prof.N()
+
+	return world.Run(func(r *mpi.Rank) {
+		gw := world.Comm().WinAllocate(r, "global-queue", 2)
+		team, err := openmp.NewTeam(h.eng, &c.Cluster, r.Node(), c.WorkersPerNode)
+		if err != nil {
+			panic(err)
+		}
+		world.Comm().Barrier(r)
+		node := r.Node()
+
+		for {
+			schedT0 := r.Now()
+			step := gw.FetchAndOp(r, 0, gwStep, 1)
+			size := inter.Chunk(int(step), node)
+			r.Proc().Sleep(c.ChunkCalcCost)
+			start := int(gw.FetchAndOp(r, 0, gwScheduled, int64(size)))
+			h.traceSched(node*c.WorkersPerNode, node, trace.KindSchedGlobal, schedT0, r.Now())
+			if start >= n {
+				break
+			}
+			end := start + size
+			if end > n {
+				end = n
+			}
+			h.globalChunks++
+
+			res := team.ParallelFor(r.Proc(), openmp.For{
+				N:        end - start,
+				Schedule: kind,
+				Chunk:    c.IntraChunk,
+				RangeCost: func(a, b int) sim.Time {
+					return h.prof.Range(start+a, start+b)
+				},
+				Visit: func(tid, a, b int, t0, t1 sim.Time) {
+					worker := node*c.WorkersPerNode + tid
+					h.execute(worker, node, start+a, start+b, t0, t1)
+					h.localChunks++
+				},
+			})
+			h.barrierWait += res.BarrierWait
+			if h.tr != nil {
+				// Record each thread's barrier idle interval.
+				for tid, fin := range res.ThreadFinish {
+					if res.MaxFinish > fin {
+						h.tr.Add(trace.Event{
+							Worker: node*c.WorkersPerNode + tid, Node: node,
+							Kind: trace.KindBarrier, Start: fin, End: res.MaxFinish,
+						})
+					}
+				}
+			}
+		}
+	})
+}
+
+// nowaitState is the per-node shared state of the nowait extension: the
+// current chunk plus refill coordination. It lives in host memory; the
+// simulated costs (atomics, MPI calls, polling) are charged explicitly.
+type nowaitState struct {
+	cur, end, step, orig int
+	exhausted            bool
+	refilling            bool
+	refillMu             sim.Mutex
+}
+
+// threadMPIPenalty is the extra per-call cost of MPI_THREAD_MULTIPLE
+// (runtime-internal locking) paid by threads issuing MPI calls.
+const threadMPIPenalty = 0.6 * sim.Microsecond
+
+// runMPIOpenMPNoWait implements the paper's future-work variant: OpenMP
+// threads never meet a barrier; whichever thread drains the chunk fetches
+// the next one via MPI while the others keep executing or briefly poll.
+// The implementation mirrors the "many synchronization statements" the
+// paper warns about: a per-node refill mutex plus polling on the shared
+// chunk descriptor.
+func (h *harness) runMPIOpenMPNoWait() error {
+	c := h.cfg
+	world, err := mpi.NewWorld(h.eng, &c.Cluster, 1)
+	if err != nil {
+		return err
+	}
+	if _, err := mapIntraToOpenMP(c.Intra); err != nil {
+		return err
+	}
+	inter := h.interSchedule(h.interP())
+	n := h.prof.N()
+
+	return world.Run(func(r *mpi.Rank) {
+		gw := world.Comm().WinAllocate(r, "global-queue", 2)
+		world.Comm().Barrier(r)
+		node := r.Node()
+		st := &nowaitState{}
+		var atomicPort sim.Server
+		doneThreads := 0
+		var join sim.WaitQueue
+
+		threadBody := func(p *sim.Proc, tid int) {
+			worker := node*c.WorkersPerNode + tid
+			for {
+				// Grab a sub-chunk from the current chunk (atomic).
+				atomicPort.Serve(p, c.Cluster.Mem.LocalAtomic)
+				if st.cur < st.end {
+					size := h.intraChunkSize(node, st.orig, st.step, tid)
+					if size > st.end-st.cur {
+						size = st.end - st.cur
+					}
+					a := st.cur
+					st.cur += size
+					st.step++
+					h.localChunks++
+					t0 := p.Now()
+					d := c.Cluster.ExecTime(node, h.prof.Range(a, a+size), h.eng.Rand())
+					p.Sleep(d)
+					h.execute(worker, node, a, a+size, t0, p.Now())
+					continue
+				}
+				if st.exhausted {
+					break
+				}
+				// Chunk drained: exactly one thread refills via MPI.
+				if st.refillMu.TryLock() {
+					if st.cur >= st.end && !st.exhausted {
+						schedT0 := p.Now()
+						p.Sleep(threadMPIPenalty)
+						step := gw.FetchAndOpFrom(p, node, 0, gwStep, 1)
+						size := inter.Chunk(int(step), node)
+						p.Sleep(c.ChunkCalcCost)
+						start := int(gw.FetchAndOpFrom(p, node, 0, gwScheduled, int64(size)))
+						h.traceSched(worker, node, trace.KindSchedGlobal, schedT0, p.Now())
+						if start >= n {
+							st.exhausted = true
+						} else {
+							end := start + size
+							if end > n {
+								end = n
+							}
+							h.globalChunks++
+							st.orig = end - start
+							st.step = 0
+							st.cur, st.end = start, end
+						}
+					}
+					st.refillMu.Unlock()
+					continue
+				}
+				// Another thread is refilling: poll briefly.
+				p.Sleep(1 * sim.Microsecond)
+			}
+			doneThreads++
+			join.WakeAll()
+		}
+
+		for tid := 1; tid < c.WorkersPerNode; tid++ {
+			tid := tid
+			h.eng.Spawn(fmt.Sprintf("nw-n%d-t%d", node, tid), func(p *sim.Proc) {
+				threadBody(p, tid)
+			})
+		}
+		threadBody(r.Proc(), 0)
+		for doneThreads < c.WorkersPerNode {
+			join.Wait(r.Proc())
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package mandelbrot
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestValidate(t *testing.T) {
+	good := Default(64, 64)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Width: 0, Height: 10, MaxIter: 10, XMin: 0, XMax: 1, YMin: 0, YMax: 1},
+		{Width: 10, Height: 10, MaxIter: 0, XMin: 0, XMax: 1, YMin: 0, YMax: 1},
+		{Width: 10, Height: 10, MaxIter: 10, XMin: 1, XMax: 0, YMin: 0, YMax: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad[%d] accepted", i)
+		}
+	}
+}
+
+func TestKnownPoints(t *testing.T) {
+	// A grid positioned so we can reason about specific points.
+	p := Params{
+		Width: 3, Height: 1,
+		XMin: -0.5, XMax: 2.5, // pixel centers at 0, 1, 2
+		YMin: -0.5, YMax: 0.5, // center row y = 0
+		MaxIter: 500,
+	}
+	// c = 0: never escapes (in the set).
+	if got := p.EscapeXY(0, 0); got != 500 {
+		t.Fatalf("escape(c=0) = %d, want MaxIter", got)
+	}
+	// c = 1: escapes quickly (orbit 0,1,2,5,...).
+	if got := p.EscapeXY(1, 0); got >= 10 {
+		t.Fatalf("escape(c=1) = %d, want small", got)
+	}
+	// c = 2: escapes even faster.
+	if p.EscapeXY(2, 0) > p.EscapeXY(1, 0) {
+		t.Fatal("escape(c=2) should not exceed escape(c=1)")
+	}
+}
+
+func TestInSetCardioidSample(t *testing.T) {
+	// Points well inside the main cardioid must never escape.
+	p := Default(256, 256)
+	p.MaxIter = 1000
+	inside := []complex128{-0.1, -0.5, complex(0.2, 0.2)}
+	for _, c := range inside {
+		// Find the nearest pixel to c and confirm it is in the set.
+		px := int((real(c) - p.XMin) / (p.XMax - p.XMin) * float64(p.Width))
+		py := int((imag(c) - p.YMin) / (p.YMax - p.YMin) * float64(p.Height))
+		if got := p.EscapeXY(px, py); got != p.MaxIter {
+			t.Fatalf("pixel near %v escaped after %d", c, got)
+		}
+	}
+}
+
+func TestEscapeRowMajorConsistency(t *testing.T) {
+	p := Default(16, 8)
+	for i := 0; i < p.N(); i += 7 {
+		if p.Escape(i) != p.EscapeXY(i%16, i/16) {
+			t.Fatalf("Escape(%d) inconsistent with EscapeXY", i)
+		}
+	}
+}
+
+func TestEscapeCountsDeterministic(t *testing.T) {
+	p := Default(32, 32)
+	a := p.EscapeCounts()
+	b := p.EscapeCounts()
+	if len(a) != 1024 {
+		t.Fatalf("len = %d, want 1024", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic escape at %d", i)
+		}
+	}
+}
+
+func TestWorkloadIsHighlyImbalanced(t *testing.T) {
+	// The paper uses Mandelbrot precisely for its algorithmic imbalance;
+	// the default region must show a large cost spread.
+	p := Default(128, 128)
+	counts := p.EscapeCounts()
+	xs := make([]float64, len(counts))
+	for i, c := range counts {
+		xs[i] = float64(c)
+	}
+	if cov := stats.CoV(xs); cov < 1.0 {
+		t.Fatalf("escape-count CoV = %.2f, want > 1 (high imbalance)", cov)
+	}
+	min, max := stats.MinMax(xs)
+	if max/min < 50 {
+		t.Fatalf("max/min cost ratio = %.1f, want ≫ 1", max/min)
+	}
+}
+
+func TestLogisticVariantDiffers(t *testing.T) {
+	std := Default(64, 64)
+	log := std
+	log.Variant = Logistic
+	log.XMin, log.XMax, log.YMin, log.YMax = 2.5, 4.0, -1.0, 1.0 // λ window
+	s := std.EscapeCounts()
+	l := log.EscapeCounts()
+	same := true
+	for i := range s {
+		if s[i] != l[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("logistic variant produced identical counts to standard")
+	}
+	// λ = 2 (real axis): logistic map converges to fixed point, never escapes.
+	if got := log.EscapeXY(0, 32); got < log.MaxIter/2 {
+		t.Fatalf("λ≈2.5 escaped after %d, expected bounded orbit", got)
+	}
+}
+
+func TestRenderAndPGM(t *testing.T) {
+	p := Default(16, 16)
+	counts := p.EscapeCounts()
+	img := p.Render(counts)
+	if len(img) != 256 {
+		t.Fatalf("render length = %d", len(img))
+	}
+	// In-set pixels are black; there must be at least one, and some white-ish.
+	hasBlack := false
+	for i, c := range counts {
+		if c == p.MaxIter && img[i] != 0 {
+			t.Fatal("in-set pixel not black")
+		}
+		if img[i] == 0 {
+			hasBlack = true
+		}
+	}
+	if !hasBlack {
+		t.Fatal("no in-set pixels in default region")
+	}
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, 16, 16, img); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("P5\n16 16\n255\n")) {
+		t.Fatalf("bad PGM header: %q", buf.Bytes()[:16])
+	}
+	if err := WritePGM(&buf, 4, 4, img); err == nil {
+		t.Fatal("WritePGM accepted mismatched dimensions")
+	}
+}
+
+func BenchmarkEscapeCounts64(b *testing.B) {
+	p := Default(64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.EscapeCounts()
+	}
+}

@@ -1,0 +1,281 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Comm is a communicator: an ordered group of world ranks. Comm rank i is
+// world rank ranks[i].
+type Comm struct {
+	world *World
+	ranks []int
+	name  string
+	colls map[int]*collState
+	nodes int // distinct nodes spanned (computed lazily)
+}
+
+// Size reports the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Name returns the communicator's debug name.
+func (c *Comm) Name() string { return c.name }
+
+// RankOf returns r's rank within c, or -1 if r is not a member.
+func (c *Comm) RankOf(r *Rank) int {
+	for i, wr := range c.ranks {
+		if wr == r.rank {
+			return i
+		}
+	}
+	return -1
+}
+
+// WorldRank translates a comm rank to a world rank.
+func (c *Comm) WorldRank(commRank int) int { return c.ranks[commRank] }
+
+// spansNodes reports how many distinct nodes the communicator covers.
+func (c *Comm) spansNodes() int {
+	if c.nodes == 0 {
+		seen := map[int]bool{}
+		for _, wr := range c.ranks {
+			seen[c.world.ranks[wr].node] = true
+		}
+		c.nodes = len(seen)
+	}
+	return c.nodes
+}
+
+// SplitTypeShared models MPI_Comm_split_type(MPI_COMM_TYPE_SHARED): it
+// returns the communicator of all world ranks sharing r's node. The result
+// is memoized so every rank of a node receives the same *Comm.
+func (w *World) SplitTypeShared(r *Rank) *Comm {
+	if w.nodeComms == nil {
+		w.nodeComms = make([]*Comm, w.cfg.Nodes)
+	}
+	n := r.node
+	if w.nodeComms[n] == nil {
+		var members []int
+		for _, rk := range w.ranks {
+			if rk.node == n {
+				members = append(members, rk.rank)
+			}
+		}
+		w.nodeComms[n] = &Comm{world: w, ranks: members, name: fmt.Sprintf("node%d", n)}
+	}
+	return w.nodeComms[n]
+}
+
+// Split builds a communicator from the members with the same color, ordered
+// by (key, world rank). All ranks of c must call it; ranks passing a
+// negative color receive nil (MPI_COMM_NULL).
+func (c *Comm) Split(r *Rank, color, key int) *Comm {
+	type kv struct{ color, key, world int }
+	st := c.enter(r, "split")
+	if st.payload == nil {
+		st.payload = make([]kv, c.Size())
+	}
+	parts := st.payload.([]kv)
+	parts[c.RankOf(r)] = kv{color, key, r.rank}
+	c.arriveAndWait(r, st, c.latencyCost(1, 8))
+	var result *Comm
+	if color >= 0 {
+		if st.extra == nil {
+			st.extra = map[int]*Comm{}
+		}
+		comms := st.extra.(map[int]*Comm)
+		if comms[color] == nil {
+			var members []kv
+			for _, p := range parts {
+				if p.color == color {
+					members = append(members, p)
+				}
+			}
+			// stable order by (key, world rank)
+			for i := 1; i < len(members); i++ {
+				for j := i; j > 0; j-- {
+					a, b := members[j-1], members[j]
+					if b.key < a.key || (b.key == a.key && b.world < a.world) {
+						members[j-1], members[j] = b, a
+					}
+				}
+			}
+			ranks := make([]int, len(members))
+			for i, m := range members {
+				ranks[i] = m.world
+			}
+			comms[color] = &Comm{world: c.world, ranks: ranks, name: fmt.Sprintf("%s/color%d", c.name, color)}
+		}
+		result = comms[color]
+	}
+	c.leave(r, st)
+	return result
+}
+
+// collState tracks one in-flight collective operation on a communicator.
+type collState struct {
+	arrived int
+	passed  int
+	wait    sim.WaitQueue
+	rootIn  bool
+	acc     float64
+	vals    []float64
+	payload interface{}
+	extra   interface{}
+	kind    string
+}
+
+// enter locates (or creates) the state for this rank's next collective call
+// on c, enforcing that all ranks invoke collectives in the same order.
+func (c *Comm) enter(r *Rank, kind string) *collState {
+	if c.colls == nil {
+		c.colls = make(map[int]*collState)
+	}
+	if r.collSeq == nil {
+		r.collSeq = make(map[*Comm]int)
+	}
+	seq := r.collSeq[c]
+	r.collSeq[c] = seq + 1
+	st := c.colls[seq]
+	if st == nil {
+		st = &collState{kind: kind, vals: make([]float64, c.Size())}
+		c.colls[seq] = st
+	} else if st.kind != kind {
+		panic(fmt.Sprintf("mpi: collective mismatch on %s: %s vs %s", c.name, st.kind, kind))
+	}
+	return st
+}
+
+// arriveAndWait blocks r until every rank has arrived, then charges cost.
+func (c *Comm) arriveAndWait(r *Rank, st *collState, cost sim.Time) {
+	st.arrived++
+	if st.arrived == c.Size() {
+		st.wait.WakeAll()
+	} else {
+		st.wait.Wait(r.proc)
+	}
+	r.proc.Sleep(cost)
+}
+
+// leave retires the state once every rank has passed through.
+func (c *Comm) leave(r *Rank, st *collState) {
+	st.passed++
+	if st.passed == c.Size() {
+		seq := r.collSeq[c] - 1
+		delete(c.colls, seq)
+	}
+}
+
+// latencyCost models a tree collective: depth × per-hop cost, where the
+// per-hop cost is the network latency for multi-node communicators and a
+// cheap shared-memory flag for node-local ones, plus a bandwidth term.
+func (c *Comm) latencyCost(rounds int, bytes int) sim.Time {
+	w := c.world
+	depth := sim.Time(math.Ceil(math.Log2(float64(c.Size()))))
+	if c.Size() == 1 {
+		return 0
+	}
+	var perHop sim.Time
+	if c.spansNodes() > 1 {
+		perHop = w.cfg.Net.Latency + w.cfg.Net.PortService +
+			sim.Time(float64(bytes)/w.cfg.Net.Bandwidth)
+	} else {
+		perHop = 4*w.cfg.Mem.LocalAtomic + sim.Time(float64(bytes)/w.cfg.Mem.CopyBandwidth)
+	}
+	return sim.Time(rounds) * depth * perHop
+}
+
+// Barrier blocks until every rank of c has entered.
+func (c *Comm) Barrier(r *Rank) {
+	st := c.enter(r, "barrier")
+	c.arriveAndWait(r, st, c.latencyCost(2, 0))
+	c.leave(r, st)
+}
+
+// ReduceOp names a reduction operator.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (op ReduceOp) apply(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	}
+	panic("mpi: unknown ReduceOp")
+}
+
+// Bcast distributes root's value to every rank. Non-root ranks block until
+// the root has entered; the root does not wait for the others.
+func (c *Comm) Bcast(r *Rank, root int, val float64) float64 {
+	st := c.enter(r, "bcast")
+	me := c.RankOf(r)
+	if me == root {
+		st.acc = val
+		st.rootIn = true
+		st.wait.WakeAll()
+		r.proc.Sleep(c.latencyCost(1, 8))
+	} else {
+		for !st.rootIn {
+			st.wait.Wait(r.proc)
+		}
+		r.proc.Sleep(c.latencyCost(1, 8))
+	}
+	out := st.acc
+	st.passed++
+	if st.passed == c.Size() {
+		delete(c.colls, r.collSeq[c]-1)
+	}
+	return out
+}
+
+// Allreduce combines every rank's value with op and returns the result on
+// all ranks. All ranks block until the last has entered.
+func (c *Comm) Allreduce(r *Rank, val float64, op ReduceOp) float64 {
+	st := c.enter(r, "allreduce")
+	if st.arrived == 0 {
+		st.acc = val
+	} else {
+		st.acc = op.apply(st.acc, val)
+	}
+	c.arriveAndWait(r, st, c.latencyCost(2, 8))
+	out := st.acc
+	c.leave(r, st)
+	return out
+}
+
+// Gather collects each rank's value on root, in comm-rank order. Non-root
+// ranks return nil and do not wait for completion beyond their own send.
+func (c *Comm) Gather(r *Rank, root int, val float64) []float64 {
+	st := c.enter(r, "gather")
+	me := c.RankOf(r)
+	st.vals[me] = val
+	st.arrived++
+	if me == root {
+		for st.arrived < c.Size() {
+			st.wait.Wait(r.proc)
+		}
+		r.proc.Sleep(c.latencyCost(1, 8*c.Size()))
+		out := make([]float64, c.Size())
+		copy(out, st.vals)
+		c.leave(r, st)
+		return out
+	}
+	if st.arrived == c.Size() {
+		st.wait.WakeAll()
+	}
+	r.proc.Sleep(c.latencyCost(1, 8))
+	c.leave(r, st)
+	return nil
+}

@@ -1,0 +1,169 @@
+// Package mpi models an MPI-3 runtime on top of the discrete-event engine in
+// internal/sim. It provides the subset of MPI the paper's implementation
+// rests on — two-sided messaging, collectives, passive-target RMA with the
+// lock-polling protocol, and MPI-3 shared-memory windows
+// (MPI_Win_allocate_shared / MPI_Comm_split_type(SHARED)) — with explicit
+// cost models taken from the cluster description.
+//
+// Ranks are simulated processes; window memory is real Go memory touched
+// only while a rank holds engine control, so the model is race-free by
+// construction while contention and queueing emerge from the Server ports.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Wildcards for two-sided matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// World is a set of ranks placed on a simulated cluster: rank r lives on
+// node r/ranksPerNode, core r%ranksPerNode.
+type World struct {
+	eng          *sim.Engine
+	cfg          *cluster.Config
+	ranksPerNode int
+	ranks        []*Rank
+
+	// nicPort serializes inter-node message handling per node.
+	nicPort []*sim.Server
+	// memPort serializes RMA operations (including lock attempts) targeting
+	// windows hosted on a node. This is the resource whose saturation
+	// produces the paper's lock-polling pathology.
+	memPort []*sim.Server
+
+	world     *Comm
+	nodeComms []*Comm
+	wins      []*Win
+}
+
+// NewWorld creates ranksPerNode ranks on each node of cfg. ranksPerNode must
+// not exceed cfg.CoresPerNode: one rank per core, as in the paper's runs.
+func NewWorld(eng *sim.Engine, cfg *cluster.Config, ranksPerNode int) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ranksPerNode <= 0 || ranksPerNode > cfg.CoresPerNode {
+		return nil, fmt.Errorf("mpi: ranksPerNode %d out of range 1..%d", ranksPerNode, cfg.CoresPerNode)
+	}
+	w := &World{
+		eng:          eng,
+		cfg:          cfg,
+		ranksPerNode: ranksPerNode,
+		nicPort:      make([]*sim.Server, cfg.Nodes),
+		memPort:      make([]*sim.Server, cfg.Nodes),
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		w.nicPort[n] = &sim.Server{}
+		w.memPort[n] = &sim.Server{}
+	}
+	size := cfg.Nodes * ranksPerNode
+	w.ranks = make([]*Rank, size)
+	worldRanks := make([]int, size)
+	for r := 0; r < size; r++ {
+		w.ranks[r] = &Rank{
+			world: w,
+			rank:  r,
+			node:  r / ranksPerNode,
+			core:  r % ranksPerNode,
+		}
+		worldRanks[r] = r
+	}
+	w.world = &Comm{world: w, ranks: worldRanks, name: "world"}
+	return w, nil
+}
+
+// Engine returns the owning simulation engine.
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Cluster returns the machine description.
+func (w *World) Cluster() *cluster.Config { return w.cfg }
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Comm returns the world communicator.
+func (w *World) Comm() *Comm { return w.world }
+
+// Rank returns rank r's handle.
+func (w *World) Rank(r int) *Rank { return w.ranks[r] }
+
+// MemPortBusy reports the cumulative RMA service time on node n's window
+// port; used by overhead-accounting metrics and tests.
+func (w *World) MemPortBusy(n int) sim.Time { return w.memPort[n].BusyTime() }
+
+// Start spawns one simulated process per rank, all running body. It must be
+// called before the engine runs.
+func (w *World) Start(body func(*Rank)) {
+	for _, r := range w.ranks {
+		r := r
+		r.proc = w.eng.Spawn(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {
+			body(r)
+		})
+	}
+}
+
+// Run is a convenience that spawns body on every rank and drives the engine
+// to completion, returning the engine's error (e.g. deadlock).
+func (w *World) Run(body func(*Rank)) error {
+	w.Start(body)
+	return w.eng.Run()
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	world *World
+	rank  int
+	node  int
+	core  int
+	proc  *sim.Proc
+
+	mailbox  []*Message    // arrived, unmatched messages
+	recvWait sim.WaitQueue // parked receivers
+	recvSrc  int           // active posted receive (valid while recvWait nonempty)
+	recvTag  int
+
+	collSeq map[*Comm]int // per-communicator collective call counter
+
+	computeTime sim.Time // cumulative execution time (for utilization stats)
+}
+
+// Rank returns the world rank number.
+func (r *Rank) Rank() int { return r.rank }
+
+// Node returns the node index the rank is pinned to.
+func (r *Rank) Node() int { return r.node }
+
+// Core returns the core index within the node.
+func (r *Rank) Core() int { return r.core }
+
+// World returns the owning world.
+func (r *Rank) World() *World { return r.world }
+
+// Proc exposes the underlying simulated process.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Now reports virtual time.
+func (r *Rank) Now() sim.Time { return r.proc.Now() }
+
+// Compute executes ref seconds of reference-core work on this rank's core,
+// scaled by the node's speed and the cluster's noise model.
+func (r *Rank) Compute(ref sim.Time) {
+	d := r.world.cfg.ExecTime(r.node, ref, r.world.eng.Rand())
+	r.computeTime += d
+	r.proc.Sleep(d)
+}
+
+// ComputeTime reports the cumulative time this rank spent in Compute.
+func (r *Rank) ComputeTime() sim.Time { return r.computeTime }
+
+// sameNode reports whether two ranks share a node (shared-memory domain).
+func (w *World) sameNode(a, b int) bool {
+	return w.ranks[a].node == w.ranks[b].node
+}

@@ -1,0 +1,664 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func newTestWorld(t testing.TB, nodes, perNode int) (*sim.Engine, *World) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cfg := cluster.MiniHPC(nodes)
+	w, err := NewWorld(eng, &cfg, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, w
+}
+
+func TestWorldLayout(t *testing.T) {
+	_, w := newTestWorld(t, 3, 4)
+	if w.Size() != 12 {
+		t.Fatalf("Size = %d, want 12", w.Size())
+	}
+	for r := 0; r < 12; r++ {
+		rk := w.Rank(r)
+		if rk.Node() != r/4 || rk.Core() != r%4 {
+			t.Fatalf("rank %d placed at node %d core %d", r, rk.Node(), rk.Core())
+		}
+	}
+}
+
+func TestNewWorldRejectsOversubscription(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := cluster.MiniHPC(2)
+	if _, err := NewWorld(eng, &cfg, cfg.CoresPerNode+1); err == nil {
+		t.Fatal("NewWorld accepted ranksPerNode > CoresPerNode")
+	}
+	if _, err := NewWorld(eng, &cfg, 0); err == nil {
+		t.Fatal("NewWorld accepted ranksPerNode = 0")
+	}
+}
+
+func TestSendRecvAcrossNodes(t *testing.T) {
+	_, w := newTestWorld(t, 2, 1)
+	var got *Message
+	var recvAt sim.Time
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 7, 1024, "payload")
+		} else {
+			got = r.Recv(0, 7)
+			recvAt = r.Now()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Src != 0 || got.Tag != 7 || got.Payload.(string) != "payload" {
+		t.Fatalf("bad message: %+v", got)
+	}
+	// Inter-node: must include at least the wire latency.
+	if recvAt < w.Cluster().Net.Latency {
+		t.Fatalf("receive completed at %v, faster than latency %v", recvAt, w.Cluster().Net.Latency)
+	}
+}
+
+func TestSendRecvIntraNodeFasterThanInterNode(t *testing.T) {
+	timeFor := func(nodes, perNode int, dst int) sim.Time {
+		_, w := newTestWorld(t, nodes, perNode)
+		var at sim.Time
+		if err := w.Run(func(r *Rank) {
+			switch r.Rank() {
+			case 0:
+				r.Send(dst, 0, 64, nil)
+			case dst:
+				r.Recv(0, 0)
+				at = r.Now()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	intra := timeFor(1, 2, 1)
+	inter := timeFor(2, 1, 1)
+	if intra >= inter {
+		t.Fatalf("intra-node %v not faster than inter-node %v", intra, inter)
+	}
+}
+
+func TestRecvBlocksUntilArrival(t *testing.T) {
+	_, w := newTestWorld(t, 2, 1)
+	var recvAt sim.Time
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Proc().Sleep(5)
+			r.Send(1, 1, 8, nil)
+		} else {
+			r.Recv(AnySource, AnyTag)
+			recvAt = r.Now()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recvAt < 5 {
+		t.Fatalf("Recv returned at %v, before message was sent", recvAt)
+	}
+}
+
+func TestRecvMatchingByTagAndSource(t *testing.T) {
+	_, w := newTestWorld(t, 1, 3)
+	var order []int
+	err := w.Run(func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			r.Send(2, 10, 8, nil)
+		case 1:
+			r.Proc().Sleep(1e-3)
+			r.Send(2, 20, 8, nil)
+		case 2:
+			m := r.Recv(1, 20) // must skip the earlier tag-10 message
+			order = append(order, m.Tag)
+			m = r.Recv(AnySource, AnyTag)
+			order = append(order, m.Tag)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 20 || order[1] != 10 {
+		t.Fatalf("receive order = %v, want [20 10]", order)
+	}
+}
+
+func TestIprobe(t *testing.T) {
+	_, w := newTestWorld(t, 1, 2)
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 5, 8, nil)
+		} else {
+			if r.Iprobe(0, 5) {
+				t.Error("Iprobe true before any delay")
+			}
+			r.Proc().Sleep(1e-3)
+			if !r.Iprobe(0, 5) {
+				t.Error("Iprobe false after message arrival")
+			}
+			if r.Iprobe(0, 99) {
+				t.Error("Iprobe matched wrong tag")
+			}
+			r.Recv(0, 5)
+			if r.PendingMessages() != 0 {
+				t.Error("mailbox not drained")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	_, w := newTestWorld(t, 2, 4)
+	var minExit sim.Time = 1 << 30
+	err := w.Run(func(r *Rank) {
+		r.Proc().Sleep(sim.Time(r.Rank()) * 0.5) // staggered arrivals
+		w.Comm().Barrier(r)
+		if r.Now() < minExit {
+			minExit = r.Now()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastArrival := sim.Time(7) * 0.5
+	if minExit < lastArrival {
+		t.Fatalf("a rank left the barrier at %v, before last arrival %v", minExit, lastArrival)
+	}
+}
+
+func TestBarrierRepeats(t *testing.T) {
+	_, w := newTestWorld(t, 2, 2)
+	count := 0
+	err := w.Run(func(r *Rank) {
+		for i := 0; i < 5; i++ {
+			w.Comm().Barrier(r)
+		}
+		count++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("%d ranks completed, want 4", count)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	_, w := newTestWorld(t, 2, 2)
+	got := make([]float64, 4)
+	err := w.Run(func(r *Rank) {
+		val := -1.0
+		if r.Rank() == 2 {
+			val = 42.5
+		}
+		got[r.Rank()] = w.Comm().Bcast(r, 2, val)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 42.5 {
+			t.Fatalf("rank %d got %v, want 42.5", i, v)
+		}
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	_, w := newTestWorld(t, 2, 3)
+	sums := make([]float64, 6)
+	maxs := make([]float64, 6)
+	err := w.Run(func(r *Rank) {
+		sums[r.Rank()] = w.Comm().Allreduce(r, float64(r.Rank()+1), OpSum)
+		maxs[r.Rank()] = w.Comm().Allreduce(r, float64(r.Rank()), OpMax)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sums {
+		if sums[i] != 21 { // 1+2+...+6
+			t.Fatalf("rank %d sum = %v, want 21", i, sums[i])
+		}
+		if maxs[i] != 5 {
+			t.Fatalf("rank %d max = %v, want 5", i, maxs[i])
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	_, w := newTestWorld(t, 1, 4)
+	var rootGot []float64
+	err := w.Run(func(r *Rank) {
+		out := w.Comm().Gather(r, 1, float64(r.Rank()*r.Rank()))
+		if r.Rank() == 1 {
+			rootGot = out
+		} else if out != nil {
+			t.Errorf("non-root rank %d got non-nil gather result", r.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 4, 9}
+	for i := range want {
+		if rootGot[i] != want[i] {
+			t.Fatalf("gather = %v, want %v", rootGot, want)
+		}
+	}
+}
+
+func TestSplitTypeShared(t *testing.T) {
+	_, w := newTestWorld(t, 2, 3)
+	comms := make([]*Comm, 6)
+	ranks := make([]int, 6)
+	err := w.Run(func(r *Rank) {
+		c := w.SplitTypeShared(r)
+		comms[r.Rank()] = c
+		ranks[r.Rank()] = c.RankOf(r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comms[0] != comms[1] || comms[1] != comms[2] {
+		t.Fatal("node 0 ranks got different node communicators")
+	}
+	if comms[3] != comms[4] || comms[4] != comms[5] {
+		t.Fatal("node 1 ranks got different node communicators")
+	}
+	if comms[0] == comms[3] {
+		t.Fatal("different nodes share a node communicator")
+	}
+	for i := 0; i < 6; i++ {
+		if ranks[i] != i%3 {
+			t.Fatalf("world rank %d has node rank %d, want %d", i, ranks[i], i%3)
+		}
+		if comms[i].Size() != 3 {
+			t.Fatalf("node comm size = %d, want 3", comms[i].Size())
+		}
+	}
+}
+
+func TestCommSplitByColor(t *testing.T) {
+	_, w := newTestWorld(t, 2, 2)
+	sizes := make([]int, 4)
+	myRank := make([]int, 4)
+	err := w.Run(func(r *Rank) {
+		c := w.Comm().Split(r, r.Rank()%2, -r.Rank())
+		sizes[r.Rank()] = c.Size()
+		myRank[r.Rank()] = c.RankOf(r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if sizes[i] != 2 {
+			t.Fatalf("rank %d split comm size = %d, want 2", i, sizes[i])
+		}
+	}
+	// Keys were -rank, so higher world ranks come first within a color.
+	if myRank[0] != 1 || myRank[2] != 0 {
+		t.Fatalf("color-0 ordering wrong: rank0→%d rank2→%d", myRank[0], myRank[2])
+	}
+}
+
+func TestWinAllocateAndAtomics(t *testing.T) {
+	_, w := newTestWorld(t, 2, 2)
+	const perRank = 100
+	sum := int64(0)
+	err := w.Run(func(r *Rank) {
+		win := w.Comm().WinAllocate(r, "ctr", 4)
+		for i := 0; i < perRank; i++ {
+			win.FetchAndOp(r, 0, 0, 1)
+		}
+		w.Comm().Barrier(r)
+		if r.Rank() == 0 {
+			sum = win.FetchAndOp(r, 0, 0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 4*perRank {
+		t.Fatalf("counter = %d, want %d", sum, 4*perRank)
+	}
+}
+
+func TestFetchAndOpReturnsDistinctOldValues(t *testing.T) {
+	_, w := newTestWorld(t, 2, 4)
+	seen := map[int64]int{}
+	err := w.Run(func(r *Rank) {
+		win := w.Comm().WinAllocate(r, "ctr", 1)
+		for i := 0; i < 10; i++ {
+			old := win.FetchAndOp(r, 0, 0, 1)
+			seen[old]++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 80 {
+		t.Fatalf("got %d distinct ticket values, want 80", len(seen))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("ticket %d issued %d times", v, n)
+		}
+		if v < 0 || v >= 80 {
+			t.Fatalf("ticket %d out of range", v)
+		}
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	_, w := newTestWorld(t, 1, 2)
+	winners := 0
+	err := w.Run(func(r *Rank) {
+		win := w.Comm().WinAllocate(r, "cas", 1)
+		if win.CompareAndSwap(r, 0, 0, 0, int64(r.Rank())+100) == 0 {
+			winners++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winners != 1 {
+		t.Fatalf("%d CAS winners, want exactly 1", winners)
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	_, w := newTestWorld(t, 2, 1)
+	var got []int64
+	err := w.Run(func(r *Rank) {
+		win := w.Comm().WinAllocate(r, "buf", 8)
+		if r.Rank() == 0 {
+			win.Put(r, 1, 2, []int64{10, 20, 30})
+			r.Send(1, 0, 1, nil) // notify
+		} else {
+			r.Recv(0, 0)
+			got = win.Get(r, 1, 2, 3)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Get = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExclusiveLockMutualExclusion(t *testing.T) {
+	_, w := newTestWorld(t, 1, 8)
+	inside, peak := 0, 0
+	err := w.Run(func(r *Rank) {
+		nc := w.SplitTypeShared(r)
+		win := nc.WinAllocateShared(r, "q", 2)
+		for i := 0; i < 5; i++ {
+			win.Lock(r, 0, LockExclusive)
+			inside++
+			if inside > peak {
+				peak = inside
+			}
+			r.Compute(10 * sim.Microsecond)
+			inside--
+			win.Unlock(r, 0, LockExclusive)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak != 1 {
+		t.Fatalf("peak lock holders = %d, want 1", peak)
+	}
+}
+
+func TestSharedLockAllowsReadersExcludesWriter(t *testing.T) {
+	_, w := newTestWorld(t, 1, 4)
+	readersPeak := 0
+	readers := 0
+	var writerAt, lastReaderRelease sim.Time
+	err := w.Run(func(r *Rank) {
+		nc := w.SplitTypeShared(r)
+		win := nc.WinAllocateShared(r, "rw", 1)
+		if r.Rank() < 3 {
+			win.Lock(r, 0, LockShared)
+			readers++
+			if readers > readersPeak {
+				readersPeak = readers
+			}
+			r.Proc().Sleep(100 * sim.Microsecond)
+			readers--
+			if r.Now() > lastReaderRelease {
+				lastReaderRelease = r.Now()
+			}
+			win.Unlock(r, 0, LockShared)
+		} else {
+			r.Proc().Sleep(10 * sim.Microsecond) // let readers in first
+			win.Lock(r, 0, LockExclusive)
+			writerAt = r.Now()
+			win.Unlock(r, 0, LockExclusive)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readersPeak < 2 {
+		t.Fatalf("readers did not overlap: peak = %d", readersPeak)
+	}
+	if writerAt < lastReaderRelease {
+		t.Fatalf("writer entered at %v before readers released at %v", writerAt, lastReaderRelease)
+	}
+}
+
+func TestLockAttemptsGrowUnderContention(t *testing.T) {
+	attemptsFor := func(perNode int) float64 {
+		eng := sim.NewEngine(1)
+		cfg := cluster.MiniHPC(1)
+		w, err := NewWorld(eng, &cfg, perNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var win *Win
+		if err := w.Run(func(r *Rank) {
+			nc := w.SplitTypeShared(r)
+			wn := nc.WinAllocateShared(r, "q", 1)
+			win = wn
+			for i := 0; i < 20; i++ {
+				wn.Lock(r, 0, LockExclusive)
+				r.Proc().Sleep(2 * sim.Microsecond)
+				wn.Unlock(r, 0, LockExclusive)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return float64(win.LockAttempts) / float64(win.LockAcquisitions)
+	}
+	solo := attemptsFor(1)
+	crowd := attemptsFor(16)
+	if solo != 1 {
+		t.Fatalf("uncontended attempts per acquisition = %v, want 1", solo)
+	}
+	if crowd < 1.5 {
+		t.Fatalf("contended attempts per acquisition = %v, want noticeably > 1", crowd)
+	}
+}
+
+func TestRemoteAtomicSlowerThanLocal(t *testing.T) {
+	_, w := newTestWorld(t, 2, 2)
+	var localT, remoteT sim.Time
+	err := w.Run(func(r *Rank) {
+		win := w.Comm().WinAllocate(r, "x", 1)
+		w.Comm().Barrier(r)
+		if r.Rank() == 1 { // same node as target rank 0
+			t0 := r.Now()
+			win.FetchAndOp(r, 0, 0, 1)
+			localT = r.Now() - t0
+		}
+		if r.Rank() == 2 { // different node
+			r.Proc().Sleep(sim.Millisecond) // avoid port interference
+			t0 := r.Now()
+			win.FetchAndOp(r, 0, 0, 1)
+			remoteT = r.Now() - t0
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remoteT <= localT {
+		t.Fatalf("remote atomic %v not slower than local %v", remoteT, localT)
+	}
+	if remoteT < 2*w.Cluster().Net.Latency {
+		t.Fatalf("remote atomic %v cheaper than a round trip %v", remoteT, 2*w.Cluster().Net.Latency)
+	}
+}
+
+func TestSharedWindowDirectAccess(t *testing.T) {
+	_, w := newTestWorld(t, 1, 2)
+	var got int64
+	err := w.Run(func(r *Rank) {
+		nc := w.SplitTypeShared(r)
+		win := nc.WinAllocateShared(r, "s", 4)
+		if r.Rank() == 0 {
+			win.SharedWrite(r, 1, 3, 77)
+			win.Sync(r)
+		}
+		nc.Barrier(r)
+		if r.Rank() == 1 {
+			win.Sync(r)
+			got = win.SharedRead(r, 1, 3)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Fatalf("SharedRead = %d, want 77", got)
+	}
+}
+
+func TestWinAllocateSharedRejectsMultiNodeComm(t *testing.T) {
+	_, w := newTestWorld(t, 2, 1)
+	panicked := 0
+	err := w.Run(func(r *Rank) {
+		defer func() {
+			if recover() != nil {
+				panicked++
+			}
+		}()
+		w.Comm().WinAllocateShared(r, "bad", 1)
+	})
+	// Engine may report deadlock since ranks bail out of the collective.
+	_ = err
+	if panicked == 0 {
+		t.Fatal("WinAllocateShared on a multi-node communicator did not panic")
+	}
+}
+
+func TestComputeScalesWithNodeSpeed(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := cluster.MiniHPCHetero(2, 1.0, 0.5)
+	w, err := NewWorld(eng, &cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([]sim.Time, 2)
+	if err := w.Run(func(r *Rank) {
+		t0 := r.Now()
+		r.Compute(1)
+		times[r.Rank()] = r.Now() - t0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if times[0] != 1 {
+		t.Fatalf("full-speed node took %v, want 1", times[0])
+	}
+	if times[1] != 2 {
+		t.Fatalf("half-speed node took %v, want 2", times[1])
+	}
+}
+
+func TestDeterministicEndToEnd(t *testing.T) {
+	run := func() sim.Time {
+		eng := sim.NewEngine(99)
+		cfg := cluster.MiniHPC(2)
+		w, err := NewWorld(eng, &cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last sim.Time
+		if err := w.Run(func(r *Rank) {
+			win := w.Comm().WinAllocate(r, "ctr", 1)
+			for {
+				tkt := win.FetchAndOp(r, 0, 0, 1)
+				if tkt >= 200 {
+					break
+				}
+				r.Compute(sim.Time(tkt%7+1) * 10 * sim.Microsecond)
+			}
+			w.Comm().Barrier(r)
+			last = r.Now()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identical runs finished at %v and %v", a, b)
+	}
+}
+
+func BenchmarkFetchAndOpLocal(b *testing.B) {
+	eng := sim.NewEngine(1)
+	cfg := cluster.MiniHPC(1)
+	w, _ := NewWorld(eng, &cfg, 2)
+	w.Start(func(r *Rank) {
+		nc := w.SplitTypeShared(r)
+		win := nc.WinAllocateShared(r, "b", 1)
+		for i := 0; i < b.N; i++ {
+			win.FetchAndOp(r, 0, 0, 1)
+		}
+	})
+	b.ResetTimer()
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSendRecvPingPong(b *testing.B) {
+	eng := sim.NewEngine(1)
+	cfg := cluster.MiniHPC(2)
+	w, _ := NewWorld(eng, &cfg, 1)
+	w.Start(func(r *Rank) {
+		for i := 0; i < b.N; i++ {
+			if r.Rank() == 0 {
+				r.Send(1, 0, 8, nil)
+				r.Recv(1, 0)
+			} else {
+				r.Recv(0, 0)
+				r.Send(0, 0, 8, nil)
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Request is a handle for a nonblocking operation, completed with Wait.
+type Request struct {
+	rank *Rank
+	done bool
+	// For receives: the matched message once completed.
+	msg *Message
+	// recv matching criteria.
+	isRecv   bool
+	src, tag int
+	// send completion time (injection already charged at Isend).
+	completeAt sim.Time
+}
+
+// Isend starts a nonblocking send. The injection overhead is charged
+// immediately (it is CPU work); the returned request completes once the
+// message has left the sender's NIC. Delivery proceeds as with Send.
+func (r *Rank) Isend(dst, tag, bytes int, payload interface{}) *Request {
+	req := &Request{rank: r, completeAt: r.Now()}
+	r.Send(dst, tag, bytes, payload) // eager: locally complete after injection
+	req.completeAt = r.Now()
+	req.done = true
+	return req
+}
+
+// Irecv posts a nonblocking receive. Matching happens at Wait; Test reports
+// whether a matching message has already arrived.
+func (r *Rank) Irecv(src, tag int) *Request {
+	return &Request{rank: r, isRecv: true, src: src, tag: tag}
+}
+
+// Test reports whether the request could complete without blocking.
+func (q *Request) Test() bool {
+	if q.done {
+		return true
+	}
+	if q.isRecv {
+		return q.rank.Iprobe(q.src, q.tag)
+	}
+	return q.rank.Now() >= q.completeAt
+}
+
+// Wait blocks until the operation completes and, for receives, returns the
+// message (nil for sends).
+func (q *Request) Wait() *Message {
+	if q.done {
+		return q.msg
+	}
+	if q.isRecv {
+		q.msg = q.rank.Recv(q.src, q.tag)
+	}
+	q.done = true
+	return q.msg
+}
+
+// WaitAll completes a set of requests in order and returns the received
+// messages (nil entries for sends). All requests must belong to one rank.
+func WaitAll(reqs ...*Request) []*Message {
+	out := make([]*Message, len(reqs))
+	for i, q := range reqs {
+		if q == nil {
+			continue
+		}
+		out[i] = q.Wait()
+	}
+	return out
+}
+
+// Scatter distributes root's values: rank i of the communicator receives
+// vals[i]. Only the root supplies vals; others pass nil.
+func (c *Comm) Scatter(r *Rank, root int, vals []float64) float64 {
+	st := c.enter(r, "scatter")
+	me := c.RankOf(r)
+	if me == root {
+		if len(vals) != c.Size() {
+			panic(fmt.Sprintf("mpi: Scatter with %d values for %d ranks", len(vals), c.Size()))
+		}
+		copy(st.vals, vals)
+		st.rootIn = true
+		st.wait.WakeAll()
+		r.proc.Sleep(c.latencyCost(1, 8*c.Size()))
+	} else {
+		for !st.rootIn {
+			st.wait.Wait(r.proc)
+		}
+		r.proc.Sleep(c.latencyCost(1, 8))
+	}
+	out := st.vals[me]
+	st.passed++
+	if st.passed == c.Size() {
+		delete(c.colls, r.collSeq[c]-1)
+	}
+	return out
+}
+
+// Allgather collects every rank's value on every rank, in comm-rank order.
+func (c *Comm) Allgather(r *Rank, val float64) []float64 {
+	st := c.enter(r, "allgather")
+	st.vals[c.RankOf(r)] = val
+	c.arriveAndWait(r, st, c.latencyCost(2, 8*c.Size()))
+	out := make([]float64, c.Size())
+	copy(out, st.vals)
+	c.leave(r, st)
+	return out
+}
+
+// Reduce combines every rank's value with op; only root receives the
+// result (others get 0). Non-root ranks leave after depositing.
+func (c *Comm) Reduce(r *Rank, root int, val float64, op ReduceOp) float64 {
+	st := c.enter(r, "reduce")
+	if st.arrived == 0 {
+		st.acc = val
+	} else {
+		st.acc = op.apply(st.acc, val)
+	}
+	st.arrived++
+	me := c.RankOf(r)
+	if me == root {
+		for st.arrived < c.Size() {
+			st.wait.Wait(r.proc)
+		}
+		r.proc.Sleep(c.latencyCost(1, 8))
+		out := st.acc
+		c.leave(r, st)
+		return out
+	}
+	if st.arrived == c.Size() {
+		st.wait.WakeAll()
+	}
+	r.proc.Sleep(c.latencyCost(1, 8))
+	c.leave(r, st)
+	return 0
+}

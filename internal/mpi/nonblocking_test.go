@@ -1,0 +1,191 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestIsendIrecvWait(t *testing.T) {
+	_, w := newTestWorld(t, 2, 1)
+	var got *Message
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			req := r.Isend(1, 3, 128, "hello")
+			if !req.Test() {
+				t.Error("eager Isend should complete after injection")
+			}
+			req.Wait()
+		} else {
+			req := r.Irecv(0, 3)
+			got = req.Wait()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Payload.(string) != "hello" {
+		t.Fatalf("Irecv got %+v", got)
+	}
+}
+
+func TestIrecvTestBeforeArrival(t *testing.T) {
+	_, w := newTestWorld(t, 2, 1)
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Proc().Sleep(1)
+			r.Send(1, 0, 8, nil)
+		} else {
+			req := r.Irecv(0, 0)
+			if req.Test() {
+				t.Error("Test true before any message")
+			}
+			r.Proc().Sleep(2)
+			if !req.Test() {
+				t.Error("Test false after arrival")
+			}
+			if req.Wait() == nil {
+				t.Error("Wait returned nil message")
+			}
+			if !req.Test() {
+				t.Error("Test false after completion")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAllOverlapsCommunication(t *testing.T) {
+	// Posting several Irecvs and waiting on all overlaps the transfers;
+	// total time must be far below the sum of sequential round trips.
+	_, w := newTestWorld(t, 4, 1)
+	var elapsed sim.Time
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			reqs := []*Request{r.Irecv(1, 0), r.Irecv(2, 0), r.Irecv(3, 0)}
+			msgs := WaitAll(reqs...)
+			for i, m := range msgs {
+				if m == nil {
+					t.Errorf("message %d missing", i)
+				}
+			}
+			elapsed = r.Now()
+		} else {
+			r.Send(0, 0, 1<<20, nil) // 1 MiB each
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three 1 MiB transfers at 12.5 GB/s ≈ 80 µs each; they serialize on
+	// the destination NIC but not on three sequential send+ack rounds.
+	if elapsed > sim.Time(3e-3) {
+		t.Fatalf("WaitAll took %v, transfers apparently serialized badly", elapsed)
+	}
+	if nilMsgs := WaitAll(nil, nil); len(nilMsgs) != 2 {
+		t.Fatal("WaitAll(nil...) wrong length")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	_, w := newTestWorld(t, 2, 2)
+	got := make([]float64, 4)
+	err := w.Run(func(r *Rank) {
+		var vals []float64
+		if r.Rank() == 0 {
+			vals = []float64{10, 11, 12, 13}
+		}
+		got[r.Rank()] = w.Comm().Scatter(r, 0, vals)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != float64(10+i) {
+			t.Fatalf("Scatter results = %v", got)
+		}
+	}
+}
+
+func TestScatterWrongLengthPanics(t *testing.T) {
+	_, w := newTestWorld(t, 1, 2)
+	panicked := false
+	_ = w.Run(func(r *Rank) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		var vals []float64
+		if r.Rank() == 0 {
+			vals = []float64{1} // wrong: need 2
+		}
+		w.Comm().Scatter(r, 0, vals)
+	})
+	if !panicked {
+		t.Fatal("Scatter with wrong value count did not panic")
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	_, w := newTestWorld(t, 2, 3)
+	results := make([][]float64, 6)
+	err := w.Run(func(r *Rank) {
+		results[r.Rank()] = w.Comm().Allgather(r, float64(r.Rank())*2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rk, vec := range results {
+		if len(vec) != 6 {
+			t.Fatalf("rank %d got %d values", rk, len(vec))
+		}
+		for i, v := range vec {
+			if v != float64(i)*2 {
+				t.Fatalf("rank %d gathered %v", rk, vec)
+			}
+		}
+	}
+}
+
+func TestReduceToRoot(t *testing.T) {
+	_, w := newTestWorld(t, 2, 2)
+	var rootGot float64
+	nonRootZero := true
+	err := w.Run(func(r *Rank) {
+		out := w.Comm().Reduce(r, 2, float64(r.Rank()+1), OpSum)
+		if r.Rank() == 2 {
+			rootGot = out
+		} else if out != 0 {
+			nonRootZero = false
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootGot != 10 {
+		t.Fatalf("Reduce sum = %v, want 10", rootGot)
+	}
+	if !nonRootZero {
+		t.Fatal("non-root ranks received a reduce result")
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	_, w := newTestWorld(t, 1, 4)
+	var got float64
+	err := w.Run(func(r *Rank) {
+		out := w.Comm().Reduce(r, 0, float64((r.Rank()*7)%5), OpMax)
+		if r.Rank() == 0 {
+			got = out
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("Reduce max = %v, want 4", got)
+	}
+}

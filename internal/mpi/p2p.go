@@ -1,0 +1,92 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Message is a received two-sided message.
+type Message struct {
+	Src     int // world rank of the sender
+	Tag     int
+	Bytes   int
+	Payload interface{}
+	arrival sim.Time
+}
+
+// intraNodeLatency is the fixed part of a node-local (memcpy) message.
+const intraNodeLatency = 0.3 * sim.Microsecond
+
+// Send transmits an eager message to world rank dst. The sender blocks for
+// its injection overhead only; delivery happens asynchronously after the
+// transfer delay, with NIC ports serializing per-node traffic.
+func (r *Rank) Send(dst, tag, bytes int, payload interface{}) {
+	if dst < 0 || dst >= len(r.world.ranks) {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
+	}
+	w := r.world
+	net := &w.cfg.Net
+	msg := &Message{Src: r.rank, Tag: tag, Bytes: bytes, Payload: payload}
+
+	r.proc.Sleep(net.SendOverhead)
+	var arrival sim.Time
+	if w.sameNode(r.rank, dst) {
+		copyTime := sim.Time(float64(bytes) / w.cfg.Mem.CopyBandwidth)
+		arrival = r.Now() + intraNodeLatency + copyTime
+	} else {
+		// Injection serializes on the sender's NIC, then the wire delay,
+		// then service at the destination NIC.
+		w.nicPort[r.node].Serve(r.proc, net.PortService)
+		wireTime := net.Latency + sim.Time(float64(bytes)/net.Bandwidth)
+		arrival = w.nicPort[w.ranks[dst].node].ServeAsync(r.Now()+wireTime, net.PortService)
+	}
+	msg.arrival = arrival
+	dstRank := w.ranks[dst]
+	w.eng.Schedule(arrival, func() { dstRank.deliver(msg) })
+}
+
+// deliver runs at the destination at the message arrival time.
+func (r *Rank) deliver(m *Message) {
+	if r.recvWait.Len() > 0 && matches(m, r.recvSrc, r.recvTag) {
+		r.mailbox = append(r.mailbox, m)
+		r.recvWait.WakeOne()
+		return
+	}
+	r.mailbox = append(r.mailbox, m)
+}
+
+func matches(m *Message, src, tag int) bool {
+	return (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag)
+}
+
+// Recv blocks until a message matching (src, tag) — either may be a
+// wildcard — has arrived, charges the receive overhead, and returns it.
+// Matching is in arrival order.
+func (r *Rank) Recv(src, tag int) *Message {
+	for {
+		for i, m := range r.mailbox {
+			if matches(m, src, tag) {
+				r.mailbox = append(r.mailbox[:i], r.mailbox[i+1:]...)
+				r.proc.Sleep(r.world.cfg.Net.RecvOverhead)
+				return m
+			}
+		}
+		r.recvSrc, r.recvTag = src, tag
+		r.recvWait.Wait(r.proc)
+	}
+}
+
+// Iprobe reports whether a matching message has already arrived, without
+// receiving it or advancing time.
+func (r *Rank) Iprobe(src, tag int) bool {
+	for _, m := range r.mailbox {
+		if matches(m, src, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// PendingMessages reports the number of arrived, unmatched messages.
+func (r *Rank) PendingMessages() int { return len(r.mailbox) }

@@ -1,0 +1,248 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Win is an RMA window: each rank of the creating communicator exposes a
+// segment of int64 words. Operations name a target comm rank and an offset
+// within the target's segment.
+//
+// Passive-target synchronization follows the lock-polling protocol the paper
+// discusses (citing Zhao et al.): Lock is acquire-by-retry, every attempt is
+// an RMA round serviced serially by the target node's window port, and
+// failed attempts back off for the cluster's PollInterval. Under contention
+// the attempt storm both delays the holder's own operations and stretches
+// grant hand-off — the mechanism behind the paper's SS results.
+type Win struct {
+	world  *World
+	comm   *Comm
+	name   string
+	shared bool
+	data   [][]int64
+	locks  []lockState
+
+	// Accounting for overhead analysis.
+	LockAttempts     int64
+	LockAcquisitions int64
+	AtomicOps        int64
+}
+
+type lockState struct {
+	excl    bool
+	readers int
+}
+
+// Lock types, mirroring MPI_LOCK_EXCLUSIVE / MPI_LOCK_SHARED.
+const (
+	LockExclusive = iota
+	LockShared
+)
+
+// winState is the payload used during collective window creation.
+type winAllocPayload struct{ win *Win }
+
+func (c *Comm) allocateWin(r *Rank, name string, count int, shared bool) *Win {
+	if shared && c.spansNodes() != 1 {
+		panic(fmt.Sprintf("mpi: WinAllocateShared on communicator %q spanning %d nodes", c.name, c.spansNodes()))
+	}
+	st := c.enter(r, "winalloc")
+	if st.payload == nil {
+		w := &Win{world: c.world, comm: c, name: name, shared: shared}
+		w.data = make([][]int64, c.Size())
+		for i := range w.data {
+			w.data[i] = make([]int64, count)
+		}
+		w.locks = make([]lockState, c.Size())
+		c.world.wins = append(c.world.wins, w)
+		st.payload = winAllocPayload{win: w}
+	}
+	win := st.payload.(winAllocPayload).win
+	c.arriveAndWait(r, st, c.latencyCost(2, 0)) // window creation synchronizes
+	c.leave(r, st)
+	return win
+}
+
+// WinAllocate collectively creates a window with count int64 words per rank.
+func (c *Comm) WinAllocate(r *Rank, name string, count int) *Win {
+	return c.allocateWin(r, name, count, false)
+}
+
+// WinAllocateShared collectively creates an MPI-3 shared-memory window; the
+// communicator must live on a single node (use SplitTypeShared).
+func (c *Comm) WinAllocateShared(r *Rank, name string, count int) *Win {
+	return c.allocateWin(r, name, count, true)
+}
+
+// Name returns the window's debug name.
+func (w *Win) Name() string { return w.name }
+
+// Comm returns the communicator the window was created on.
+func (w *Win) Comm() *Comm { return w.comm }
+
+// targetNode returns the node hosting the target comm rank's segment.
+func (w *Win) targetNode(target int) int {
+	return w.world.ranks[w.comm.ranks[target]].node
+}
+
+// rmaRound performs one RMA operation round from r to the target's host
+// port: wire latency both ways when the target is remote, and serial
+// service at the port either way. It returns after the op completed.
+func (w *Win) rmaRound(r *Rank, target int, service sim.Time) {
+	w.rmaRoundFrom(r.proc, r.node, target, service)
+}
+
+// rmaRoundFrom is rmaRound for an arbitrary simulated process (e.g. an
+// OpenMP thread making MPI calls under MPI_THREAD_MULTIPLE).
+func (w *Win) rmaRoundFrom(p *sim.Proc, fromNode, target int, service sim.Time) {
+	wld := w.world
+	tn := w.targetNode(target)
+	if tn == fromNode {
+		wld.memPort[tn].Serve(p, service)
+		return
+	}
+	net := &wld.cfg.Net
+	p.Sleep(net.Latency)
+	wld.memPort[tn].Serve(p, service+net.PortService)
+	p.Sleep(net.Latency)
+}
+
+// FetchAndOpFrom is FetchAndOp issued from an arbitrary simulated process
+// pinned to fromNode. It models threads calling MPI under
+// MPI_THREAD_MULTIPLE (used by the nowait extension executor).
+func (w *Win) FetchAndOpFrom(p *sim.Proc, fromNode, target, offset int, delta int64) int64 {
+	w.AtomicOps++
+	w.rmaRoundFrom(p, fromNode, target, w.world.cfg.Mem.SharedWinOp)
+	old := w.data[target][offset]
+	w.data[target][offset] = old + delta
+	return old
+}
+
+// Lock acquires the window lock on target for r, with MPI semantics of
+// MPI_Win_lock: exclusive locks conflict with everything, shared locks only
+// with exclusive ones. It returns the number of attempts that were needed;
+// the first attempt can succeed, so the minimum is 1.
+func (w *Win) Lock(r *Rank, target int, lockType int) int {
+	mem := &w.world.cfg.Mem
+	attempts := 0
+	for {
+		attempts++
+		w.LockAttempts++
+		w.rmaRound(r, target, mem.LockAttempt)
+		ls := &w.locks[target]
+		if lockType == LockExclusive {
+			if !ls.excl && ls.readers == 0 {
+				ls.excl = true
+				w.LockAcquisitions++
+				return attempts
+			}
+		} else {
+			if !ls.excl {
+				ls.readers++
+				w.LockAcquisitions++
+				return attempts
+			}
+		}
+		r.proc.Sleep(mem.PollInterval)
+	}
+}
+
+// Unlock releases r's lock on target. The release is itself an RMA round
+// (it flushes pending operations), so it competes with poll attempts.
+func (w *Win) Unlock(r *Rank, target int, lockType int) {
+	w.rmaRound(r, target, w.world.cfg.Mem.SharedWinOp)
+	ls := &w.locks[target]
+	if lockType == LockExclusive {
+		if !ls.excl {
+			panic(fmt.Sprintf("mpi: exclusive Unlock of unheld lock on %s[%d]", w.name, target))
+		}
+		ls.excl = false
+	} else {
+		if ls.readers <= 0 {
+			panic(fmt.Sprintf("mpi: shared Unlock of unheld lock on %s[%d]", w.name, target))
+		}
+		ls.readers--
+	}
+}
+
+// FetchAndOp atomically adds delta to the word at (target, offset) and
+// returns its previous value — MPI_Fetch_and_op with MPI_SUM. With delta 0
+// it is an atomic read (MPI_NO_OP).
+func (w *Win) FetchAndOp(r *Rank, target, offset int, delta int64) int64 {
+	w.AtomicOps++
+	w.rmaRound(r, target, w.world.cfg.Mem.SharedWinOp)
+	old := w.data[target][offset]
+	w.data[target][offset] = old + delta
+	return old
+}
+
+// CompareAndSwap atomically replaces the word at (target, offset) with
+// replace if it equals compare, returning the previous value.
+func (w *Win) CompareAndSwap(r *Rank, target, offset int, compare, replace int64) int64 {
+	w.AtomicOps++
+	w.rmaRound(r, target, w.world.cfg.Mem.SharedWinOp)
+	old := w.data[target][offset]
+	if old == compare {
+		w.data[target][offset] = replace
+	}
+	return old
+}
+
+// Get copies n words starting at (target, offset) into a fresh slice.
+func (w *Win) Get(r *Rank, target, offset, n int) []int64 {
+	bytes := float64(8 * n)
+	var bw float64
+	if w.targetNode(target) == r.node {
+		bw = w.world.cfg.Mem.CopyBandwidth
+	} else {
+		bw = w.world.cfg.Net.Bandwidth
+	}
+	w.rmaRound(r, target, w.world.cfg.Mem.SharedWinOp+sim.Time(bytes/bw))
+	out := make([]int64, n)
+	copy(out, w.data[target][offset:offset+n])
+	return out
+}
+
+// Put copies vals into the target segment starting at offset.
+func (w *Win) Put(r *Rank, target, offset int, vals []int64) {
+	bytes := float64(8 * len(vals))
+	var bw float64
+	if w.targetNode(target) == r.node {
+		bw = w.world.cfg.Mem.CopyBandwidth
+	} else {
+		bw = w.world.cfg.Net.Bandwidth
+	}
+	w.rmaRound(r, target, w.world.cfg.Mem.SharedWinOp+sim.Time(bytes/bw))
+	copy(w.data[target][offset:], vals)
+}
+
+// Sync models MPI_Win_sync: the memory-barrier cost that shared-window
+// algorithms pay to publish or observe direct stores.
+func (w *Win) Sync(r *Rank) {
+	r.proc.Sleep(w.world.cfg.Mem.WinSync)
+}
+
+// SharedRead performs a direct load from a shared window. Only legal on
+// shared windows for ranks on the hosting node; visibility discipline
+// (Sync) is the caller's responsibility, as in MPI-3.
+func (w *Win) SharedRead(r *Rank, target, offset int) int64 {
+	w.checkShared(r, target)
+	return w.data[target][offset]
+}
+
+// SharedWrite performs a direct store into a shared window.
+func (w *Win) SharedWrite(r *Rank, target, offset int, val int64) {
+	w.checkShared(r, target)
+	w.data[target][offset] = val
+}
+
+func (w *Win) checkShared(r *Rank, target int) {
+	if !w.shared {
+		panic(fmt.Sprintf("mpi: direct access to non-shared window %s", w.name))
+	}
+	if w.targetNode(target) != r.node {
+		panic(fmt.Sprintf("mpi: direct access to %s[%d] from another node", w.name, target))
+	}
+}

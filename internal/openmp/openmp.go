@@ -1,0 +1,361 @@
+// Package openmp models an OpenMP runtime on the simulated cluster: thread
+// teams pinned to one node's cores, worksharing loops with the standard
+// schedule clauses (static, dynamic, guided) and — mirroring the
+// LaPeSD-libGOMP extension the paper cites as future work — the research
+// schedules TSS, FAC2 and RANDOM.
+//
+// The model reproduces the two properties the paper's comparison hinges on:
+//
+//  1. Worksharing loops end in an implicit barrier; per-loop idle time is
+//     max(thread finish) − thread finish, which the executor accumulates.
+//  2. dynamic/guided chunk grabs are hardware atomics on a shared cache
+//     line, orders of magnitude cheaper than MPI passive-target locks; they
+//     serialize on a per-team port so contention still emerges.
+package openmp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/dls"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// ScheduleKind selects the worksharing schedule.
+type ScheduleKind int
+
+// Schedule kinds: the three standard OpenMP clauses plus the extended
+// research schedules of LaPeSD-libGOMP.
+const (
+	ScheduleStatic ScheduleKind = iota
+	ScheduleDynamic
+	ScheduleGuided
+	ScheduleTSS
+	ScheduleFAC2
+	ScheduleRandom
+)
+
+func (k ScheduleKind) String() string {
+	switch k {
+	case ScheduleStatic:
+		return "static"
+	case ScheduleDynamic:
+		return "dynamic"
+	case ScheduleGuided:
+		return "guided"
+	case ScheduleTSS:
+		return "tss"
+	case ScheduleFAC2:
+		return "fac2"
+	case ScheduleRandom:
+		return "random"
+	}
+	return fmt.Sprintf("ScheduleKind(%d)", int(k))
+}
+
+// Extended reports whether the schedule requires the extended
+// (libGOMP-style) runtime rather than a stock vendor runtime.
+func (k ScheduleKind) Extended() bool {
+	return k == ScheduleTSS || k == ScheduleFAC2 || k == ScheduleRandom
+}
+
+// MapTechnique translates a DLS technique to the OpenMP schedule clause per
+// the paper's Table 1 (STATIC→static, SS→dynamic,1, GSS→guided,1). TSS and
+// FAC2 map onto the extended runtime schedules; everything else is
+// unsupported, matching the limitation the paper works around.
+func MapTechnique(t dls.Technique) (ScheduleKind, error) {
+	switch t {
+	case dls.STATIC:
+		return ScheduleStatic, nil
+	case dls.SS:
+		return ScheduleDynamic, nil
+	case dls.GSS:
+		return ScheduleGuided, nil
+	case dls.TSS:
+		return ScheduleTSS, nil
+	case dls.FAC2:
+		return ScheduleFAC2, nil
+	case dls.RND:
+		return ScheduleRandom, nil
+	}
+	return 0, fmt.Errorf("openmp: no schedule clause for technique %v", t)
+}
+
+// Team is a thread team pinned to one node. Thread 0 is the calling
+// (master) process; the remaining threads are simulated processes spawned
+// per worksharing loop, as fork–join semantics dictate.
+type Team struct {
+	eng     *sim.Engine
+	cl      *cluster.Config
+	node    int
+	threads int
+
+	// atomicPort serializes dynamic/guided chunk grabs (one cache line).
+	atomicPort sim.Server
+
+	// Costs; zero values are replaced by defaults in NewTeam.
+	ForkJoin sim.Time // fork + join overhead charged to the master per loop
+	Barrier  sim.Time // implicit-barrier signalling cost per thread
+
+	// Accumulated statistics across loops.
+	BarrierWait sim.Time // Σ idle time at implicit barriers
+	Loops       int
+	Chunks      int
+}
+
+// NewTeam creates a team of the given size on node.
+func NewTeam(eng *sim.Engine, cl *cluster.Config, node, threads int) (*Team, error) {
+	if threads <= 0 || threads > cl.CoresPerNode {
+		return nil, fmt.Errorf("openmp: team of %d threads on %d-core node", threads, cl.CoresPerNode)
+	}
+	return &Team{
+		eng:      eng,
+		cl:       cl,
+		node:     node,
+		threads:  threads,
+		ForkJoin: 1.5 * sim.Microsecond,
+		Barrier:  0.8 * sim.Microsecond,
+	}, nil
+}
+
+// Threads reports the team size.
+func (t *Team) Threads() int { return t.threads }
+
+// For describes one worksharing loop over [0, N).
+type For struct {
+	N        int
+	Schedule ScheduleKind
+	// Chunk is the schedule clause's chunk argument: the fixed size for
+	// dynamic, the minimum for guided. 0 means the OpenMP default (1).
+	Chunk int
+	// RangeCost returns the reference-core cost of iterations [a, b).
+	RangeCost func(a, b int) sim.Time
+	// Visit, if non-nil, observes each executed range with its thread id
+	// and execution interval — the hook the tracer uses.
+	Visit func(thread, a, b int, start, end sim.Time)
+	// NoWait skips the implicit barrier: the master returns as soon as its
+	// own work is done. (Loop-level nowait; the paper's cross-chunk nowait
+	// pipeline is modelled by the executor in internal/core.)
+	NoWait bool
+}
+
+// ForResult reports one loop execution.
+type ForResult struct {
+	ThreadFinish []sim.Time // absolute finish time per thread
+	MaxFinish    sim.Time
+	BarrierWait  sim.Time // Σ (MaxFinish − finish), 0 under NoWait
+	Chunks       int
+}
+
+// loopState is the shared worksharing state of one loop instance.
+type loopState struct {
+	next           int // first unassigned iteration (dynamic/guided/extended)
+	step           int // scheduling step (extended schedules)
+	sched          dls.Schedule
+	assignedStatic []bool // static: whether a thread took its block
+	cyclicPos      []int  // static,k: next strip start per thread
+}
+
+// ParallelFor executes f on the team. The caller's process acts as thread
+// 0; threads 1..T−1 are spawned for the loop and joined at its end (the
+// implicit barrier), unless NoWait is set.
+func (t *Team) ParallelFor(master *sim.Proc, f For) ForResult {
+	if f.N < 0 {
+		panic("openmp: negative loop size")
+	}
+	if f.RangeCost == nil {
+		panic("openmp: For.RangeCost is required")
+	}
+	T := t.threads
+	res := ForResult{ThreadFinish: make([]sim.Time, T)}
+	st := &loopState{}
+	switch f.Schedule {
+	case ScheduleTSS:
+		st.sched = dls.MustNew(dls.TSS, dls.Params{N: f.N, P: T})
+	case ScheduleFAC2:
+		st.sched = dls.MustNew(dls.FAC2, dls.Params{N: f.N, P: T})
+	}
+
+	// Fork overhead on the master.
+	master.Sleep(t.ForkJoin)
+	t.Loops++
+
+	done := make([]bool, T)
+	var joinQueue sim.WaitQueue
+	chunks := 0
+
+	body := func(p *sim.Proc, tid int) {
+		for {
+			a, b := t.grab(p, f, st, tid)
+			if a >= b {
+				break
+			}
+			chunks++
+			start := p.Now()
+			d := t.cl.ExecTime(t.node, f.RangeCost(a, b), t.eng.Rand())
+			p.Sleep(d)
+			if f.Visit != nil {
+				f.Visit(tid, a, b, start, p.Now())
+			}
+		}
+		p.Sleep(t.Barrier) // barrier signalling cost
+		res.ThreadFinish[tid] = p.Now()
+		done[tid] = true
+	}
+
+	for tid := 1; tid < T; tid++ {
+		tid := tid
+		t.eng.Spawn(fmt.Sprintf("omp-n%d-t%d", t.node, tid), func(p *sim.Proc) {
+			body(p, tid)
+			joinQueue.WakeAll() // master may be waiting for stragglers
+		})
+	}
+	body(master, 0)
+
+	if !f.NoWait {
+		for !allDone(done) {
+			joinQueue.Wait(master)
+		}
+	}
+	for _, fin := range res.ThreadFinish {
+		if fin > res.MaxFinish {
+			res.MaxFinish = fin
+		}
+	}
+	if !f.NoWait {
+		for _, fin := range res.ThreadFinish {
+			res.BarrierWait += res.MaxFinish - fin
+		}
+		// Join: master leaves at the barrier-release time.
+		if res.MaxFinish > master.Now() {
+			master.Sleep(res.MaxFinish - master.Now())
+		}
+	}
+	t.BarrierWait += res.BarrierWait
+	t.Chunks += chunks
+	res.Chunks = chunks
+	return res
+}
+
+func allDone(done []bool) bool {
+	for _, d := range done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// grab assigns the next chunk [a, b) to thread tid under f's schedule,
+// charging the appropriate runtime cost. a >= b signals loop exhaustion.
+func (t *Team) grab(p *sim.Proc, f For, st *loopState, tid int) (int, int) {
+	T := t.threads
+	switch f.Schedule {
+	case ScheduleStatic:
+		// Precomputed contiguous split; zero runtime cost beyond the fork.
+		if f.Chunk > 0 {
+			// static,k: round-robin strips of k; executed as one merged
+			// visit per strip to bound event counts.
+			return t.staticCyclic(st, f, tid)
+		}
+		if st.assignedStatic == nil {
+			st.assignedStatic = make([]bool, T)
+		}
+		if st.assignedStatic[tid] {
+			return f.N, f.N
+		}
+		st.assignedStatic[tid] = true
+		return f.N * tid / T, f.N * (tid + 1) / T
+	case ScheduleDynamic:
+		k := f.Chunk
+		if k <= 0 {
+			k = 1
+		}
+		t.atomicPort.Serve(p, t.cl.Mem.LocalAtomic)
+		if st.next >= f.N {
+			return f.N, f.N
+		}
+		a := st.next
+		st.next = minInt(a+k, f.N)
+		return a, st.next
+	case ScheduleGuided:
+		k := f.Chunk
+		if k <= 0 {
+			k = 1
+		}
+		t.atomicPort.Serve(p, t.cl.Mem.LocalAtomic)
+		if st.next >= f.N {
+			return f.N, f.N
+		}
+		rem := f.N - st.next
+		c := (rem + T - 1) / T
+		if c < k {
+			c = k
+		}
+		a := st.next
+		st.next = minInt(a+c, f.N)
+		return a, st.next
+	case ScheduleTSS, ScheduleFAC2:
+		t.atomicPort.Serve(p, t.cl.Mem.LocalAtomic)
+		if st.next >= f.N {
+			return f.N, f.N
+		}
+		c := st.sched.Chunk(st.step, tid)
+		st.step++
+		a := st.next
+		st.next = minInt(a+c, f.N)
+		return a, st.next
+	case ScheduleRandom:
+		t.atomicPort.Serve(p, t.cl.Mem.LocalAtomic)
+		if st.next >= f.N {
+			return f.N, f.N
+		}
+		maxC := (f.N - st.next + T - 1) / T
+		if maxC < 1 {
+			maxC = 1
+		}
+		c := 1 + t.eng.Rand().Intn(maxC)
+		a := st.next
+		st.next = minInt(a+c, f.N)
+		return a, st.next
+	}
+	panic(fmt.Sprintf("openmp: unknown schedule %v", f.Schedule))
+}
+
+// staticCyclic hands thread tid its full round-robin strip set as one range
+// per call, k iterations at a time in cyclic order. To keep the event count
+// linear in strips (not iterations), each call returns one strip.
+func (t *Team) staticCyclic(st *loopState, f For, tid int) (int, int) {
+	k := f.Chunk
+	T := t.threads
+	if st.cyclicPos == nil {
+		st.cyclicPos = make([]int, T)
+		for i := range st.cyclicPos {
+			st.cyclicPos[i] = i * k
+		}
+	}
+	a := st.cyclicPos[tid]
+	if a >= f.N {
+		return f.N, f.N
+	}
+	b := minInt(a+k, f.N)
+	st.cyclicPos[tid] = a + T*k
+	return a, b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// expectedGuidedSteps is a helper for sizing tests: an upper bound on
+// guided,1 scheduling steps for N iterations on T threads.
+func expectedGuidedSteps(n, threads int) int {
+	if n <= 0 {
+		return 0
+	}
+	return threads*int(math.Ceil(math.Log(float64(n))))*2 + threads + 4
+}

@@ -1,0 +1,158 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel. Simulated processes are goroutines that run one at a
+// time under the control of an Engine; they advance virtual time by calling
+// blocking primitives such as (*Proc).Sleep or by parking on wait queues.
+//
+// The kernel guarantees determinism: with the same program and seed, every
+// run produces the same event order and the same virtual timestamps. This is
+// the substrate on which the MPI and OpenMP runtime models are built.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Time is virtual time in seconds.
+type Time float64
+
+// Common durations, for readability at call sites.
+const (
+	Nanosecond  Time = 1e-9
+	Microsecond Time = 1e-6
+	Millisecond Time = 1e-3
+	Second      Time = 1
+)
+
+// event is a scheduled callback. Events with equal time fire in schedule
+// order (seq), which makes runs reproducible.
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock and the event queue. All simulated activity
+// is single-threaded from the host's point of view: exactly one process (or
+// the engine itself) runs at any instant, so simulated processes may freely
+// share Go memory without host-level synchronization.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yielded chan struct{}
+	procs   []*Proc
+	live    int
+	rng     *rand.Rand
+	running bool
+}
+
+// NewEngine returns an engine with its virtual clock at zero and a
+// deterministic random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		yielded: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source. It must only be
+// used from simulated processes or event callbacks.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule arranges for fn to run at absolute virtual time t. Times in the
+// past are clamped to now.
+func (e *Engine) Schedule(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
+
+// DeadlockError reports that the simulation stopped with live processes but
+// no pending events: every remaining process is parked forever.
+type DeadlockError struct {
+	Now     Time
+	Blocked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%.9f: %d process(es) parked forever: %v",
+		float64(d.Now), len(d.Blocked), d.Blocked)
+}
+
+// Run drives the simulation until the event queue drains. It returns a
+// *DeadlockError if processes remain parked with no event that could wake
+// them; otherwise nil. Run may be called once per engine.
+func (e *Engine) Run() error {
+	if e.running {
+		panic("sim: Engine.Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.t > e.now {
+			e.now = ev.t
+		}
+		ev.fn()
+	}
+	if e.live > 0 {
+		d := &DeadlockError{Now: e.now}
+		for _, p := range e.procs {
+			if !p.done {
+				d.Blocked = append(d.Blocked, p.name)
+			}
+		}
+		sort.Strings(d.Blocked)
+		e.Shutdown()
+		return d
+	}
+	return nil
+}
+
+// Shutdown force-terminates every parked process so that no goroutines leak
+// after a deadlocked or abandoned simulation. It is safe to call after Run.
+func (e *Engine) Shutdown() {
+	for _, p := range e.procs {
+		if p.done || !p.parked {
+			continue
+		}
+		p.aborted = true
+		p.resume <- struct{}{}
+		<-e.yielded
+	}
+}
+
+// LiveProcs reports the number of processes that have been spawned but have
+// not yet finished.
+func (e *Engine) LiveProcs() int { return e.live }

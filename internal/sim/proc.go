@@ -1,0 +1,159 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that runs only while the engine
+// has handed it control, and that advances virtual time through the blocking
+// primitives below. All primitives must be called from the process's own
+// body function; calling them from outside the simulation is a programming
+// error.
+type Proc struct {
+	eng     *Engine
+	id      int
+	name    string
+	resume  chan struct{}
+	done    bool
+	parked  bool
+	aborted bool
+}
+
+// procAborted unwinds a process goroutine during Engine.Shutdown.
+type procAborted struct{}
+
+// Spawn creates a process whose body starts executing at the current virtual
+// time. The body runs cooperatively: it keeps control until it calls a
+// blocking primitive or returns.
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		id:     len(e.procs),
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procAborted); !ok {
+					// Re-panic on the engine side with context; the engine
+					// goroutine is blocked in runProc waiting for our yield,
+					// so panicking here crashes the program with a useful
+					// trace, which is the desired behaviour for bugs.
+					panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+				}
+			}
+			p.done = true
+			p.parked = false
+			e.live--
+			e.yielded <- struct{}{}
+		}()
+		<-p.resume
+		p.parked = false
+		if p.aborted {
+			panic(procAborted{})
+		}
+		body(p)
+	}()
+	p.parked = true
+	e.Schedule(e.now, func() { e.runProc(p) })
+	return p
+}
+
+// runProc transfers control from the engine to p until p yields or ends.
+func (e *Engine) runProc(p *Proc) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-e.yielded
+}
+
+// yield transfers control back to the engine; the process stays parked until
+// something calls unpark (via a scheduled event or a wait queue wake).
+func (p *Proc) yield() {
+	p.parked = true
+	p.eng.yielded <- struct{}{}
+	<-p.resume
+	p.parked = false
+	if p.aborted {
+		panic(procAborted{})
+	}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's spawn index, unique within its engine.
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep advances the process's local view of time by d. Other processes run
+// in the meantime. Negative or zero durations still yield, modelling a
+// zero-cost reschedule point.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.eng
+	e.Schedule(e.now+d, func() { e.runProc(p) })
+	p.yield()
+}
+
+// Park blocks the process until some other activity calls Unpark. It is the
+// low-level primitive beneath WaitQueue; most code should prefer WaitQueue.
+func (p *Proc) Park() { p.yield() }
+
+// Unpark schedules a parked process to resume at the current virtual time.
+// Calling Unpark on a process that is not parked is a bug and panics.
+func (p *Proc) Unpark() {
+	if p.done {
+		panic(fmt.Sprintf("sim: Unpark of finished process %q", p.name))
+	}
+	e := p.eng
+	e.Schedule(e.now, func() { e.runProc(p) })
+}
+
+// WaitQueue is a FIFO list of parked processes. Wake order equals wait
+// order, which keeps simulations deterministic.
+type WaitQueue struct {
+	waiters []*Proc
+}
+
+// Len reports the number of parked processes.
+func (w *WaitQueue) Len() int { return len(w.waiters) }
+
+// Wait parks p on the queue until WakeOne or WakeAll releases it.
+func (w *WaitQueue) Wait(p *Proc) {
+	w.waiters = append(w.waiters, p)
+	p.yield()
+}
+
+// WakeOne releases the longest-waiting process, if any, and reports whether
+// a process was woken.
+func (w *WaitQueue) WakeOne() bool {
+	if len(w.waiters) == 0 {
+		return false
+	}
+	p := w.waiters[0]
+	copy(w.waiters, w.waiters[1:])
+	w.waiters = w.waiters[:len(w.waiters)-1]
+	p.Unpark()
+	return true
+}
+
+// WakeAll releases every parked process in FIFO order and reports how many
+// were woken.
+func (w *WaitQueue) WakeAll() int {
+	n := len(w.waiters)
+	for _, p := range w.waiters {
+		p.Unpark()
+	}
+	w.waiters = w.waiters[:0]
+	return n
+}

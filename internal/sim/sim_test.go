@@ -1,0 +1,590 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+}
+
+func TestScheduleTiesFireInScheduleOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestSchedulePastClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(10, func() {
+		e.Schedule(3, func() { // in the past; must fire at t=10
+			if e.Now() != 10 {
+				t.Errorf("past event fired at %v, want 10", e.Now())
+			}
+			fired = true
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("past-scheduled event never fired")
+	}
+}
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	e := NewEngine(1)
+	var at []Time
+	e.Spawn("a", func(p *Proc) {
+		at = append(at, p.Now())
+		p.Sleep(1.5)
+		at = append(at, p.Now())
+		p.Sleep(0.25)
+		at = append(at, p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{0, 1.5, 1.75}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("times = %v, want %v", at, want)
+		}
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine(7)
+		var log []string
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("p%d", i)
+			d := Time(i+1) * 0.1
+			e.Spawn(name, func(p *Proc) {
+				for k := 0; k < 3; k++ {
+					p.Sleep(d)
+					log = append(log, fmt.Sprintf("%s@%.2f", p.Name(), float64(p.Now())))
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 12 {
+		t.Fatalf("log lengths %d, %d; want 12", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestZeroAndNegativeSleepYields(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+		p.Sleep(-5)
+		order = append(order, "b2")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2", "b2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	e := NewEngine(1)
+	var woke Time
+	var sleeper *Proc
+	sleeper = e.Spawn("sleeper", func(p *Proc) {
+		p.Park()
+		woke = p.Now()
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(2)
+		sleeper.Unpark()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 2 {
+		t.Fatalf("sleeper woke at %v, want 2", woke)
+	}
+}
+
+func TestWaitQueueFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var q WaitQueue
+	var order []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("w%d", i)
+		delay := Time(i) * 0.1
+		e.Spawn(name, func(p *Proc) {
+			p.Sleep(delay)
+			q.Wait(p)
+			order = append(order, p.Name())
+		})
+	}
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(1)
+		for q.Len() > 0 {
+			q.WakeOne()
+			p.Sleep(0.01)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"w0", "w1", "w2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWaitQueueWakeAll(t *testing.T) {
+	e := NewEngine(1)
+	var q WaitQueue
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			q.Wait(p)
+			woken++
+		})
+	}
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(1)
+		if n := q.WakeAll(); n != 5 {
+			t.Errorf("WakeAll woke %d, want 5", n)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+}
+
+func TestMutexMutualExclusionAndFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var m Mutex
+	inside := 0
+	maxInside := 0
+	var order []string
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("p%d", i)
+		delay := Time(i) * 0.01
+		e.Spawn(name, func(p *Proc) {
+			p.Sleep(delay)
+			m.Lock(p)
+			order = append(order, p.Name())
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(1) // hold across virtual time
+			inside--
+			m.Unlock()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 1 {
+		t.Fatalf("max concurrent holders = %d, want 1", maxInside)
+	}
+	want := []string{"p0", "p1", "p2", "p3"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	e := NewEngine(1)
+	var m Mutex
+	e.Spawn("a", func(p *Proc) {
+		if !m.TryLock() {
+			t.Error("first TryLock failed")
+		}
+		if m.TryLock() {
+			t.Error("second TryLock succeeded while held")
+		}
+		m.Unlock()
+		if !m.TryLock() {
+			t.Error("TryLock after Unlock failed")
+		}
+		m.Unlock()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnlockUnheldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unheld mutex did not panic")
+		}
+	}()
+	var m Mutex
+	m.Unlock()
+}
+
+func TestServerSerializesRequests(t *testing.T) {
+	e := NewEngine(1)
+	var s Server
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprintf("c%d", i), func(p *Proc) {
+			s.Serve(p, 2)
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{2, 4, 6}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish times = %v, want %v", finish, want)
+		}
+	}
+	if s.BusyTime() != 6 {
+		t.Fatalf("BusyTime = %v, want 6", s.BusyTime())
+	}
+	if s.Served() != 3 {
+		t.Fatalf("Served = %d, want 3", s.Served())
+	}
+}
+
+func TestServerIdleGapDoesNotAccumulate(t *testing.T) {
+	e := NewEngine(1)
+	var s Server
+	var second Time
+	e.Spawn("a", func(p *Proc) {
+		s.Serve(p, 1) // finishes at t=1
+		p.Sleep(9)    // server idle 1..10
+		s.Serve(p, 1) // must finish at 11, not 2+...
+		second = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second != 11 {
+		t.Fatalf("second completion at %v, want 11", second)
+	}
+}
+
+func TestServerReportsWaitTime(t *testing.T) {
+	e := NewEngine(1)
+	var s Server
+	var waits []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprintf("c%d", i), func(p *Proc) {
+			w := s.Serve(p, 5)
+			waits = append(waits, w)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{0, 5, 10}
+	for i := range want {
+		if waits[i] != want[i] {
+			t.Fatalf("waits = %v, want %v", waits, want)
+		}
+	}
+}
+
+func TestServeAsync(t *testing.T) {
+	var s Server
+	if got := s.ServeAsync(10, 2); got != 12 {
+		t.Fatalf("first async completion = %v, want 12", got)
+	}
+	if got := s.ServeAsync(10, 2); got != 14 {
+		t.Fatalf("queued async completion = %v, want 14", got)
+	}
+	if got := s.ServeAsync(100, 1); got != 101 {
+		t.Fatalf("idle-gap async completion = %v, want 101", got)
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	e := NewEngine(1)
+	sem := NewSemaphore(2)
+	inside, peak := 0, 0
+	for i := 0; i < 6; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			sem.Acquire(p)
+			inside++
+			if inside > peak {
+				peak = inside
+			}
+			p.Sleep(1)
+			inside--
+			sem.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if peak != 2 {
+		t.Fatalf("peak concurrency = %d, want 2", peak)
+	}
+	if sem.Available() != 2 {
+		t.Fatalf("final permits = %d, want 2", sem.Available())
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("stuck", func(p *Proc) {
+		p.Park() // nobody will Unpark
+	})
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("Run error = %v, want *DeadlockError", err)
+	}
+	if len(de.Blocked) != 1 || de.Blocked[0] != "stuck" {
+		t.Fatalf("Blocked = %v, want [stuck]", de.Blocked)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs after shutdown = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestShutdownReleasesNestedWaiters(t *testing.T) {
+	e := NewEngine(1)
+	var m Mutex
+	e.Spawn("holder", func(p *Proc) {
+		m.Lock(p)
+		p.Park() // hold forever
+	})
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprintf("waiter%d", i), func(p *Proc) {
+			p.Sleep(1)
+			m.Lock(p)
+		})
+	}
+	err := e.Run()
+	if _, ok := err.(*DeadlockError); !ok {
+		t.Fatalf("Run error = %v, want deadlock", err)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0 after shutdown", e.LiveProcs())
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := NewEngine(1)
+	var childAt Time
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(3)
+		e.Spawn("child", func(c *Proc) {
+			c.Sleep(1)
+			childAt = c.Now()
+		})
+		p.Sleep(10)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childAt != 4 {
+		t.Fatalf("child finished at %v, want 4", childAt)
+	}
+}
+
+func TestEngineRandDeterminism(t *testing.T) {
+	draw := func(seed int64) []float64 {
+		e := NewEngine(seed)
+		out := make([]float64, 5)
+		for i := range out {
+			out[i] = e.Rand().Float64()
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	c := draw(43)
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different sequences")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// Property: for any set of random sleep programs, each process observes
+// non-decreasing time, and the engine clock ends at the max finish time.
+func TestQuickVirtualTimeMonotonic(t *testing.T) {
+	f := func(seed int64, nProcsRaw uint8) bool {
+		nProcs := int(nProcsRaw%8) + 1
+		e := NewEngine(seed)
+		rng := rand.New(rand.NewSource(seed))
+		ok := true
+		var maxEnd Time
+		ends := make([]Time, nProcs)
+		for i := 0; i < nProcs; i++ {
+			i := i
+			steps := rng.Intn(20) + 1
+			durs := make([]Time, steps)
+			for j := range durs {
+				durs[j] = Time(rng.Float64())
+			}
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				prev := p.Now()
+				for _, d := range durs {
+					p.Sleep(d)
+					if p.Now() < prev {
+						ok = false
+					}
+					prev = p.Now()
+				}
+				ends[i] = p.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for _, end := range ends {
+			if end > maxEnd {
+				maxEnd = end
+			}
+		}
+		return ok && e.Now() == maxEnd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Server's total busy time equals the sum of service demands,
+// and completions are spaced at least a service apart.
+func TestQuickServerConservation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		e := NewEngine(seed)
+		rng := rand.New(rand.NewSource(seed))
+		var s Server
+		var total Time
+		demands := make([]Time, n)
+		for i := range demands {
+			demands[i] = Time(rng.Float64() + 0.01)
+			total += demands[i]
+		}
+		var sumServed Time
+		for i := 0; i < n; i++ {
+			d := demands[i]
+			arrive := Time(rng.Float64() * 2)
+			e.Spawn(fmt.Sprintf("c%d", i), func(p *Proc) {
+				p.Sleep(arrive)
+				s.Serve(p, d)
+				sumServed += d
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		const eps = 1e-12
+		return absT(s.BusyTime()-total) < eps && absT(sumServed-total) < eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absT(t Time) Time {
+	if t < 0 {
+		return -t
+	}
+	return t
+}
+
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := NewEngine(1)
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1e-6)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkEngineManyProcs(b *testing.B) {
+	e := NewEngine(1)
+	const procs = 256
+	per := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for k := 0; k < per; k++ {
+				p.Sleep(1e-6)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package trace records and validates per-chunk execution traces of the
+// scheduling executors: which worker executed which iteration range when.
+// Traces drive the ASCII Gantt views (the reproduction of the paper's
+// Figures 2 and 3), CSV export, and the executor correctness checks (exact
+// coverage, no temporal overlap per core).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	// KindExec is the execution of an iteration range.
+	KindExec Kind = iota
+	// KindSchedGlobal is a global-queue (inter-node) scheduling operation.
+	KindSchedGlobal
+	// KindSchedLocal is a local-queue or OpenMP-runtime scheduling operation.
+	KindSchedLocal
+	// KindBarrier is time spent blocked in an implicit or explicit barrier.
+	KindBarrier
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindExec:
+		return "exec"
+	case KindSchedGlobal:
+		return "sched-global"
+	case KindSchedLocal:
+		return "sched-local"
+	case KindBarrier:
+		return "barrier"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one traced interval on one worker.
+type Event struct {
+	Worker     int // global worker index
+	Node       int
+	Kind       Kind
+	Start, End sim.Time
+	IterStart  int // for KindExec: [IterStart, IterEnd)
+	IterEnd    int
+}
+
+// Trace is an append-only event log.
+type Trace struct {
+	Workers int
+	Events  []Event
+}
+
+// New creates a trace for the given number of workers.
+func New(workers int) *Trace { return &Trace{Workers: workers} }
+
+// Add appends an event.
+func (t *Trace) Add(ev Event) { t.Events = append(t.Events, ev) }
+
+// ExecEvents returns only the execution events.
+func (t *Trace) ExecEvents() []Event {
+	var out []Event
+	for _, ev := range t.Events {
+		if ev.Kind == KindExec {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Validate checks the two executor invariants: (1) the execution events
+// cover each of the n iterations exactly once, and (2) no worker has two
+// overlapping events. It returns the first violation found.
+func (t *Trace) Validate(n int) error {
+	seen := make([]bool, n)
+	covered := 0
+	for _, ev := range t.Events {
+		if ev.Kind != KindExec {
+			continue
+		}
+		if ev.IterStart < 0 || ev.IterEnd > n || ev.IterStart >= ev.IterEnd {
+			return fmt.Errorf("trace: bad exec range [%d,%d) for n=%d", ev.IterStart, ev.IterEnd, n)
+		}
+		for i := ev.IterStart; i < ev.IterEnd; i++ {
+			if seen[i] {
+				return fmt.Errorf("trace: iteration %d executed twice", i)
+			}
+			seen[i] = true
+			covered++
+		}
+	}
+	if covered != n {
+		return fmt.Errorf("trace: %d of %d iterations executed", covered, n)
+	}
+	byWorker := make(map[int][]Event)
+	for _, ev := range t.Events {
+		byWorker[ev.Worker] = append(byWorker[ev.Worker], ev)
+	}
+	for w, evs := range byWorker {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+		for i := 1; i < len(evs); i++ {
+			const eps = 1e-12
+			if evs[i].Start < evs[i-1].End-eps {
+				return fmt.Errorf("trace: worker %d events overlap at t=%v", w, evs[i].Start)
+			}
+		}
+	}
+	return nil
+}
+
+// BusyTime sums execution time per worker.
+func (t *Trace) BusyTime() []sim.Time {
+	busy := make([]sim.Time, t.Workers)
+	for _, ev := range t.Events {
+		if ev.Kind == KindExec {
+			busy[ev.Worker] += ev.End - ev.Start
+		}
+	}
+	return busy
+}
+
+// Makespan returns the latest event end time.
+func (t *Trace) Makespan() sim.Time {
+	var m sim.Time
+	for _, ev := range t.Events {
+		if ev.End > m {
+			m = ev.End
+		}
+	}
+	return m
+}
+
+// Gantt renders the trace as an ASCII chart, one row per worker, width
+// columns spanning [0, makespan]. Execution is '#', scheduling '+',
+// barriers '.', idle ' '. It reproduces the structure of the paper's
+// Figures 2 and 3: barrier-synchronized stripes vs. densely packed rows.
+func (t *Trace) Gantt(width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	span := t.Makespan()
+	if span == 0 {
+		return "(empty trace)\n"
+	}
+	rows := make([][]byte, t.Workers)
+	for w := range rows {
+		rows[w] = []byte(strings.Repeat(" ", width))
+	}
+	paint := func(row []byte, a, b sim.Time, ch byte, overwrite bool) {
+		lo := int(float64(a) / float64(span) * float64(width))
+		hi := int(float64(b) / float64(span) * float64(width))
+		if hi == lo {
+			hi = lo + 1
+		}
+		for i := lo; i < hi && i < width; i++ {
+			if overwrite || row[i] == ' ' {
+				row[i] = ch
+			}
+		}
+	}
+	// Paint barriers and scheduling first, execution last so it dominates.
+	for _, ev := range t.Events {
+		if ev.Worker < 0 || ev.Worker >= t.Workers {
+			continue
+		}
+		switch ev.Kind {
+		case KindBarrier:
+			paint(rows[ev.Worker], ev.Start, ev.End, '.', false)
+		case KindSchedGlobal, KindSchedLocal:
+			paint(rows[ev.Worker], ev.Start, ev.End, '+', false)
+		}
+	}
+	for _, ev := range t.Events {
+		if ev.Kind == KindExec && ev.Worker >= 0 && ev.Worker < t.Workers {
+			paint(rows[ev.Worker], ev.Start, ev.End, '#', true)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "t = 0 .. %.4fs   ('#' exec, '+' sched, '.' barrier)\n", float64(span))
+	for w, row := range rows {
+		fmt.Fprintf(&b, "w%03d |%s|\n", w, row)
+	}
+	return b.String()
+}
+
+// WriteChromeJSON emits the trace in the Chrome tracing (about://tracing,
+// Perfetto) JSON array format: one complete event per interval, worker as
+// tid, node as pid, microsecond timestamps. Load the file in a trace viewer
+// to browse the execution interactively.
+func (t *Trace) WriteChromeJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, ev := range t.Events {
+		name := ev.Kind.String()
+		if ev.Kind == KindExec {
+			name = fmt.Sprintf("exec[%d,%d)", ev.IterStart, ev.IterEnd)
+		}
+		sep := ","
+		if i == len(t.Events)-1 {
+			sep = ""
+		}
+		_, err := fmt.Fprintf(w,
+			"  {\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d}%s\n",
+			name, ev.Kind, float64(ev.Start)*1e6, float64(ev.End-ev.Start)*1e6,
+			ev.Node, ev.Worker, sep)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// WriteCSV emits the events as CSV with a header row.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "worker,node,kind,start,end,iter_start,iter_end"); err != nil {
+		return err
+	}
+	for _, ev := range t.Events {
+		_, err := fmt.Fprintf(w, "%d,%d,%s,%.9f,%.9f,%d,%d\n",
+			ev.Worker, ev.Node, ev.Kind, float64(ev.Start), float64(ev.End), ev.IterStart, ev.IterEnd)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

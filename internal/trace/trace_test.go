@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func execEv(w int, start, end float64, a, b int) Event {
+	return Event{Worker: w, Kind: KindExec, Start: sim.Time(start), End: sim.Time(end), IterStart: a, IterEnd: b}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindExec: "exec", KindSchedGlobal: "sched-global",
+		KindSchedLocal: "sched-local", KindBarrier: "barrier",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind should include its number")
+	}
+}
+
+func TestValidateAcceptsExactCoverage(t *testing.T) {
+	tr := New(2)
+	tr.Add(execEv(0, 0, 1, 0, 5))
+	tr.Add(execEv(1, 0, 2, 5, 10))
+	tr.Add(execEv(0, 1, 3, 10, 12))
+	if err := tr.Validate(12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsDoubleExecution(t *testing.T) {
+	tr := New(2)
+	tr.Add(execEv(0, 0, 1, 0, 5))
+	tr.Add(execEv(1, 0, 1, 4, 8))
+	if err := tr.Validate(8); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("Validate = %v, want double-execution error", err)
+	}
+}
+
+func TestValidateRejectsGap(t *testing.T) {
+	tr := New(1)
+	tr.Add(execEv(0, 0, 1, 0, 5))
+	if err := tr.Validate(6); err == nil || !strings.Contains(err.Error(), "5 of 6") {
+		t.Fatalf("Validate = %v, want coverage error", err)
+	}
+}
+
+func TestValidateRejectsOverlapOnWorker(t *testing.T) {
+	tr := New(1)
+	tr.Add(execEv(0, 0, 2, 0, 3))
+	tr.Add(execEv(0, 1, 3, 3, 6))
+	if err := tr.Validate(6); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("Validate = %v, want overlap error", err)
+	}
+}
+
+func TestValidateRejectsBadRange(t *testing.T) {
+	tr := New(1)
+	tr.Add(execEv(0, 0, 1, 3, 3))
+	if err := tr.Validate(5); err == nil || !strings.Contains(err.Error(), "bad exec range") {
+		t.Fatalf("Validate = %v, want range error", err)
+	}
+}
+
+func TestBusyTimeAndMakespan(t *testing.T) {
+	tr := New(2)
+	tr.Add(execEv(0, 0, 1.5, 0, 1))
+	tr.Add(execEv(1, 1, 2.5, 1, 2))
+	tr.Add(execEv(0, 2, 2.75, 2, 3))
+	busy := tr.BusyTime()
+	if busy[0] != 2.25 || busy[1] != 1.5 {
+		t.Fatalf("BusyTime = %v", busy)
+	}
+	if tr.Makespan() != 2.75 {
+		t.Fatalf("Makespan = %v", tr.Makespan())
+	}
+}
+
+func TestGanttShapes(t *testing.T) {
+	tr := New(2)
+	tr.Add(execEv(0, 0, 10, 0, 1))
+	tr.Add(Event{Worker: 1, Kind: KindBarrier, Start: 0, End: 5})
+	tr.Add(execEv(1, 5, 10, 1, 2))
+	g := tr.Gantt(20)
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("Gantt has %d lines, want header + 2 rows:\n%s", len(lines), g)
+	}
+	if !strings.Contains(lines[1], "#") {
+		t.Fatalf("worker 0 row missing exec marks: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ".") || !strings.Contains(lines[2], "#") {
+		t.Fatalf("worker 1 row missing barrier+exec: %q", lines[2])
+	}
+	if Gantt := New(1).Gantt(10); !strings.Contains(Gantt, "empty") {
+		t.Fatalf("empty trace Gantt = %q", Gantt)
+	}
+}
+
+func TestExecEventsFilter(t *testing.T) {
+	tr := New(1)
+	tr.Add(execEv(0, 0, 1, 0, 1))
+	tr.Add(Event{Worker: 0, Kind: KindSchedGlobal, Start: 1, End: 2})
+	if got := len(tr.ExecEvents()); got != 1 {
+		t.Fatalf("ExecEvents = %d, want 1", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := New(1)
+	tr.Add(execEv(0, 0, 1, 0, 4))
+	tr.Add(Event{Worker: 0, Node: 3, Kind: KindSchedLocal, Start: 1, End: 1.5})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "worker,node,kind,start,end") {
+		t.Fatalf("bad CSV header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "sched-local") {
+		t.Fatalf("bad CSV row: %q", lines[2])
+	}
+}
+
+func TestWriteChromeJSON(t *testing.T) {
+	tr := New(2)
+	tr.Add(execEv(0, 0, 0.001, 0, 4))
+	tr.Add(Event{Worker: 1, Node: 1, Kind: KindSchedGlobal, Start: 0.001, End: 0.002})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events, want 2", len(events))
+	}
+	if events[0]["ph"] != "X" || events[0]["name"] != "exec[0,4)" {
+		t.Fatalf("bad first event: %v", events[0])
+	}
+	if events[0]["dur"].(float64) != 1000 { // 1 ms = 1000 µs
+		t.Fatalf("duration = %v µs, want 1000", events[0]["dur"])
+	}
+	if events[1]["tid"].(float64) != 1 || events[1]["pid"].(float64) != 1 {
+		t.Fatalf("bad ids: %v", events[1])
+	}
+}

@@ -1,0 +1,39 @@
+package parallel_test
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/dls"
+	"repro/parallel"
+)
+
+// Self-schedule a real loop across goroutines with factoring.
+func ExampleFor() {
+	var sum int64
+	stats, err := parallel.For(1000, func(i int) {
+		atomic.AddInt64(&sum, int64(i))
+	}, parallel.Options{Workers: 4, Technique: dls.FAC2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sum:", sum)
+	fmt.Println("iterations:", stats.Iterations)
+	// Output:
+	// sum: 499500
+	// iterations: 1000
+}
+
+// ForRange hands whole chunks to the body — useful when the work benefits
+// from locality within a chunk.
+func ExampleForRange() {
+	var chunks int64
+	_, err := parallel.ForRange(1<<12, func(lo, hi, worker int) {
+		atomic.AddInt64(&chunks, 1)
+	}, parallel.Options{Workers: 2, Technique: dls.STATIC})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("chunks:", chunks)
+	// Output: chunks: 2
+}

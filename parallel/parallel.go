@@ -1,0 +1,191 @@
+// Package parallel executes real Go loops with dynamic loop self-scheduling.
+// It is the shared-memory realization of the distributed chunk-calculation
+// idea the paper builds on: workers atomically claim a scheduling step and
+// compute their own chunk size from it, so there is no master goroutine and
+// — for the step-indexed techniques — no lock on the scheduling path.
+//
+//	stats, err := parallel.For(len(items), func(i int) { process(items[i]) },
+//	    parallel.Options{Technique: dls.GSS})
+//
+// Stateless techniques (STATIC, SS, FSC, GSS, TSS, FAC2, WF) schedule
+// lock-free; FAC, TFSS and the adaptive AWF family serialize their chunk
+// calculation behind a mutex (their state is a few words, so the critical
+// section is tiny).
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/dls"
+)
+
+// Options configures a parallel loop.
+type Options struct {
+	// Workers defaults to GOMAXPROCS.
+	Workers int
+	// Technique selects the self-scheduling technique; the zero value is
+	// dls.STATIC (equal chunks). Use dls.GSS or dls.FAC2 for irregular
+	// loops.
+	Technique dls.Technique
+	// MinChunk bounds the smallest chunk (amortizes per-chunk overhead).
+	MinChunk int
+	// Mean and Sigma feed FAC; Overhead feeds FSC and AWF-D/E.
+	Mean, Sigma, Overhead float64
+	// Weights feed WF.
+	Weights []float64
+}
+
+// Stats reports one loop execution.
+type Stats struct {
+	Workers    int
+	Chunks     int64
+	Iterations int64
+	// PerWorker is the number of iterations each worker executed.
+	PerWorker []int64
+}
+
+// LoadImbalance returns max/mean − 1 over per-worker iteration counts, a
+// quick balance check for uniform-cost loops.
+func (s Stats) LoadImbalance() float64 {
+	if len(s.PerWorker) == 0 || s.Iterations == 0 {
+		return 0
+	}
+	max := s.PerWorker[0]
+	for _, v := range s.PerWorker[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	mean := float64(s.Iterations) / float64(len(s.PerWorker))
+	if mean == 0 {
+		return 0
+	}
+	return float64(max)/mean - 1
+}
+
+// For runs body(i) for every i in [0, n) on opt.Workers goroutines,
+// self-scheduled with opt.Technique. It returns once all iterations have
+// completed. Every index is executed exactly once.
+func For(n int, body func(i int), opt Options) (Stats, error) {
+	return ForRange(n, func(lo, hi, worker int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	}, opt)
+}
+
+// ForRange is For with chunk-granularity bodies: body(lo, hi, worker)
+// executes iterations [lo, hi) and can exploit locality across the chunk.
+func ForRange(n int, body func(lo, hi, worker int), opt Options) (Stats, error) {
+	if n < 0 {
+		return Stats{}, fmt.Errorf("parallel: negative loop size %d", n)
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tech := opt.Technique
+	params := dls.Params{
+		N: n, P: workers,
+		MinChunk: opt.MinChunk,
+		Mean:     opt.Mean, Sigma: opt.Sigma, Overhead: opt.Overhead,
+		Weights: opt.Weights,
+	}
+	fillFAC(&params, tech)
+	sched, err := dls.New(tech, params)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{Workers: workers, PerWorker: make([]int64, workers)}
+	if n == 0 {
+		return st, nil
+	}
+
+	var step, scheduled, chunks int64
+	adaptive, _ := sched.(dls.Adaptive)
+	stateless := isStateless(tech)
+	var mu sync.Mutex
+
+	chunkFor := func(s int64, w int) int {
+		if stateless {
+			return sched.Chunk(int(s), w)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return sched.Chunk(int(s), w)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			var executed int64
+			for {
+				s := atomic.AddInt64(&step, 1) - 1
+				size := chunkFor(s, w)
+				if size <= 0 {
+					size = 1
+				}
+				start := atomic.AddInt64(&scheduled, int64(size)) - int64(size)
+				if start >= int64(n) {
+					break
+				}
+				end := start + int64(size)
+				if end > int64(n) {
+					end = int64(n)
+				}
+				t0 := time.Now()
+				body(int(start), int(end), w)
+				if adaptive != nil {
+					mu.Lock()
+					adaptive.Record(w, int(end-start), time.Since(t0).Seconds(), 0)
+					mu.Unlock()
+				}
+				executed += end - start
+				atomic.AddInt64(&chunks, 1)
+			}
+			atomic.AddInt64(&st.PerWorker[w], executed)
+		}(w)
+	}
+	wg.Wait()
+	st.Chunks = chunks
+	for _, v := range st.PerWorker {
+		st.Iterations += v
+	}
+	return st, nil
+}
+
+// fillFAC supplies defaults so FAC/FSC work without explicit statistics.
+func fillFAC(p *dls.Params, t dls.Technique) {
+	switch t {
+	case dls.FAC:
+		if p.Mean <= 0 {
+			p.Mean = 1
+		}
+		if p.Sigma < 0 {
+			p.Sigma = 0
+		}
+	case dls.FSC:
+		if p.Sigma <= 0 {
+			p.Sigma = 0.3
+		}
+		if p.Overhead <= 0 {
+			p.Overhead = 1e-7
+		}
+	}
+}
+
+// isStateless reports whether the technique's Chunk is a pure function and
+// can be called concurrently without locking.
+func isStateless(t dls.Technique) bool {
+	switch t {
+	case dls.FAC, dls.TFSS:
+		return false
+	}
+	return !t.IsAdaptive()
+}
