@@ -1,0 +1,26 @@
+GO ?= go
+DATE := $(shell date -u +%Y-%m-%d)
+
+.PHONY: test bench sweep vet fmt
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# bench writes the BENCH_<date>.json perf snapshot: the figure sweep at the
+# benchmark scale plus the kernel microbenchmarks to stderr. Commit the JSON
+# to extend the perf trajectory.
+bench:
+	$(GO) run ./cmd/hdlsweep -scale 64 -nodes 2,4 -q -json BENCH_$(DATE).json
+	$(GO) test ./internal/sim -bench Kernel -benchmem -run '^$$' | tee -a /dev/stderr >/dev/null
+
+# sweep regenerates the paper evaluation at the quick default scale (1/8
+# workloads); set SCALE=1 for the full-size numbers (minutes).
+SCALE ?= 8
+sweep:
+	$(GO) run ./cmd/hdlsweep -scale $(SCALE) -out results

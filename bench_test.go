@@ -6,7 +6,11 @@
 // Each figure bench runs the full sweep of its panel at a reduced scale
 // (per-iteration granularity — and therefore every ratio — is preserved;
 // see workload docs) and prints the series once in the paper's layout.
-// Regenerate the full-scale numbers with: go run ./cmd/hdlsweep -scale 1.
+// Sweep cells execute on the host-core worker pool, so ns/op reflects the
+// parallel sweep. Regenerate the full-scale numbers with:
+// go run ./cmd/hdlsweep -scale 1. `make bench` records a BENCH_<date>.json
+// perf snapshot (host throughput + cell values); kernel-level costs are
+// isolated by the BenchmarkKernel* microbenchmarks in internal/sim.
 package repro_test
 
 import (

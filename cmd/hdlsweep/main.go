@@ -1,26 +1,50 @@
 // Command hdlsweep regenerates the paper's evaluation: Figures 4–7 (both
 // applications, all intra-node techniques, 2–16 nodes, both approaches).
 // It prints the tables to stdout and optionally writes CSV files per
-// figure, the inputs EXPERIMENTS.md is built from.
+// figure, the inputs EXPERIMENTS.md is built from. Figure cells are
+// independent simulations and run concurrently on the host's cores.
 //
 //	hdlsweep                    # all figures, quick scale (1/8)
 //	hdlsweep -figure 5          # only Figure 5
 //	hdlsweep -scale 1           # full-size workloads (minutes)
 //	hdlsweep -extended          # fill the paper's n/a cells via the
 //	                            # extended (libGOMP-style) OpenMP runtime
+//	hdlsweep -json BENCH_x.json # also write a perf snapshot (see `make bench`)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/hdls"
 )
+
+// benchSnapshot is the schema of the -json perf snapshot: enough to track
+// the simulator's host-side throughput across kernel changes (the BENCH_*
+// trajectory) together with the virtual results it produced.
+type benchSnapshot struct {
+	Date        string  `json:"date"`
+	GoVersion   string  `json:"go_version"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Scale       int     `json:"scale"`
+	Nodes       []int   `json:"nodes"`
+	Figures     []int   `json:"figures"`
+	Cells       int     `json:"cells"`
+	WallSeconds float64 `json:"wall_seconds"`
+	CellsPerSec float64 `json:"cells_per_second"`
+	// VirtualSeconds sums simulated time over all cells: the ratio of
+	// simulated to host time is the kernel's headline throughput metric.
+	VirtualSeconds  float64            `json:"virtual_seconds"`
+	SimPerHostRatio float64            `json:"sim_per_host_ratio"`
+	Tables          map[string]float64 `json:"cell_seconds"`
+}
 
 func main() {
 	var (
@@ -32,6 +56,8 @@ func main() {
 		outDir   = flag.String("out", "", "directory for per-figure CSV files (optional)")
 		quiet    = flag.Bool("q", false, "suppress per-cell progress")
 		withEff  = flag.Bool("eff", false, "also print parallel-efficiency tables")
+		jsonOut  = flag.String("json", "", "write a BENCH_*.json perf snapshot to this path")
+		par      = flag.Int("p", 0, "max concurrent figure cells (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -45,10 +71,20 @@ func main() {
 	apps := []hdls.App{hdls.Mandelbrot, hdls.PSIA}
 
 	start := time.Now()
+	snap := benchSnapshot{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      *scale,
+		Nodes:      nodes,
+		Figures:    figures,
+		Tables:     map[string]float64{},
+	}
 	for _, fig := range figures {
 		for _, app := range apps {
 			opt := hdls.FigureOptions{
 				Scale: *scale, Nodes: nodes, Seed: *seed, Extended: *extended,
+				Parallelism: *par,
 			}
 			if !*quiet {
 				opt.Progress = func(cell string) {
@@ -62,6 +98,7 @@ func main() {
 				fmt.Println(fr.EfficiencyTable(*scale, 16))
 			}
 			printRatios(fr)
+			recordCells(&snap, fr)
 			if *outDir != "" {
 				fatalIf(os.MkdirAll(*outDir, 0o755))
 				name := filepath.Join(*outDir, fmt.Sprintf("figure%d_%s.csv", fig, strings.ToLower(app.String())))
@@ -70,7 +107,37 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("sweep complete in %.1fs\n", time.Since(start).Seconds())
+	wall := time.Since(start).Seconds()
+	fmt.Printf("sweep complete in %.1fs\n", wall)
+	if *jsonOut != "" {
+		snap.WallSeconds = wall
+		if wall > 0 {
+			snap.CellsPerSec = float64(snap.Cells) / wall
+			snap.SimPerHostRatio = snap.VirtualSeconds / wall
+		}
+		buf, err := json.MarshalIndent(&snap, "", "  ")
+		fatalIf(err)
+		fatalIf(os.WriteFile(*jsonOut, append(buf, '\n'), 0o644))
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+// recordCells folds one figure's results into the perf snapshot.
+func recordCells(snap *benchSnapshot, fr *hdls.FigureResult) {
+	for ii, intra := range fr.Intras {
+		for ni, n := range fr.Nodes {
+			for _, ap := range fr.Approaches {
+				v := fr.Times[ap][ii][ni]
+				if v != v { // NaN: unsupported cell
+					continue
+				}
+				key := fmt.Sprintf("fig%d/%s/%v+%v/%dn/%v", fr.Figure, fr.App, fr.Inter, intra, n, ap)
+				snap.Tables[key] = v
+				snap.Cells++
+				snap.VirtualSeconds += v
+			}
+		}
+	}
 }
 
 // printRatios summarizes each intra column as the MPI+OpenMP / MPI+MPI

@@ -18,7 +18,10 @@ package hdls
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/dls"
 	"repro/internal/cluster"
@@ -169,8 +172,17 @@ type FigureOptions struct {
 	Extended bool
 	// Approaches defaults to {MPIMPI, MPIOpenMP}.
 	Approaches []Approach
-	// Progress, if non-nil, observes each completed cell.
+	// Progress, if non-nil, observes each completed cell. Cells run
+	// concurrently (see Parallelism), so calls arrive in completion order,
+	// serialized by the sweep.
 	Progress func(cell string)
+	// Parallelism bounds how many cells run concurrently. Each cell is an
+	// independent simulation engine, so cells parallelize across host cores
+	// without affecting results: every cell's outcome is a pure function of
+	// its own Config, and results land in their (intra, nodes, approach)
+	// slots regardless of completion order. 0 means GOMAXPROCS; 1 runs the
+	// sweep sequentially.
+	Parallelism int
 }
 
 // FigureResult holds a regenerated figure: Times[approach][intra][node
@@ -220,6 +232,15 @@ func RunFigure(figure int, app App, opt FigureOptions) (*FigureResult, error) {
 			fr.Times[ap][i] = make([]float64, len(opt.Nodes))
 		}
 	}
+	// Enumerate the cells, then run them on a host-core worker pool. Each
+	// cell is an independent engine, so only the figure-table slot it writes
+	// is shared; results are deterministic regardless of completion order.
+	type cell struct {
+		ii, ni int
+		ap     Approach
+		name   string
+	}
+	var cells []cell
 	for ii, intra := range fr.Intras {
 		for ni, nodes := range opt.Nodes {
 			for _, ap := range opt.Approaches {
@@ -234,20 +255,66 @@ func RunFigure(figure int, app App, opt FigureOptions) (*FigureResult, error) {
 					fr.Times[ap][ii][ni] = math.NaN()
 					continue
 				}
+				cells = append(cells, cell{ii: ii, ni: ni, ap: ap, name: cellName})
+			}
+		}
+	}
+
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var (
+		next   atomic.Int64
+		mu     sync.Mutex // guards errIdx/errVal and Progress calls
+		errIdx = -1       // lowest failing cell index, for deterministic errors
+		errVal error
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				c := cells[i]
+				mu.Lock()
+				stop := errVal != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
 				res, err := Run(Config{
-					App: app, Nodes: nodes, Inter: inter, Intra: intra,
-					Approach: ap, Scale: opt.Scale, Seed: opt.Seed,
+					App: app, Nodes: opt.Nodes[c.ni], Inter: inter, Intra: fr.Intras[c.ii],
+					Approach: c.ap, Scale: opt.Scale, Seed: opt.Seed,
 					ExtendedRuntime: opt.Extended,
 				})
 				if err != nil {
-					return nil, fmt.Errorf("%s: %w", cellName, err)
+					mu.Lock()
+					if errVal == nil || i < errIdx {
+						errIdx, errVal = i, fmt.Errorf("%s: %w", c.name, err)
+					}
+					mu.Unlock()
+					return
 				}
-				fr.Times[ap][ii][ni] = float64(res.ParallelTime)
+				fr.Times[c.ap][c.ii][c.ni] = float64(res.ParallelTime)
 				if opt.Progress != nil {
-					opt.Progress(cellName)
+					mu.Lock()
+					opt.Progress(c.name)
+					mu.Unlock()
 				}
 			}
-		}
+		}()
+	}
+	wg.Wait()
+	if errVal != nil {
+		return nil, errVal
 	}
 	return fr, nil
 }

@@ -122,8 +122,8 @@ type collState struct {
 	rootIn  bool
 	acc     float64
 	vals    []float64
-	payload interface{}
-	extra   interface{}
+	payload any
+	extra   any
 	kind    string
 }
 

@@ -35,8 +35,12 @@ type World struct {
 	nicPort []*sim.Server
 	// memPort serializes RMA operations (including lock attempts) targeting
 	// windows hosted on a node. This is the resource whose saturation
-	// produces the paper's lock-polling pathology.
-	memPort []*sim.Server
+	// produces the paper's lock-polling pathology. Each port also carries
+	// the virtual lock-poller machinery (see rma.go): contended Win.Lock
+	// callers park instead of generating one host event per retry, and their
+	// poll attempts are replayed arithmetically, in arrival order, whenever
+	// the port or the lock state is touched.
+	memPort []*rmaPort
 
 	world     *Comm
 	nodeComms []*Comm
@@ -57,11 +61,11 @@ func NewWorld(eng *sim.Engine, cfg *cluster.Config, ranksPerNode int) (*World, e
 		cfg:          cfg,
 		ranksPerNode: ranksPerNode,
 		nicPort:      make([]*sim.Server, cfg.Nodes),
-		memPort:      make([]*sim.Server, cfg.Nodes),
+		memPort:      make([]*rmaPort, cfg.Nodes),
 	}
 	for n := 0; n < cfg.Nodes; n++ {
 		w.nicPort[n] = &sim.Server{}
-		w.memPort[n] = &sim.Server{}
+		w.memPort[n] = &rmaPort{}
 	}
 	size := cfg.Nodes * ranksPerNode
 	w.ranks = make([]*Rank, size)
@@ -96,7 +100,7 @@ func (w *World) Rank(r int) *Rank { return w.ranks[r] }
 
 // MemPortBusy reports the cumulative RMA service time on node n's window
 // port; used by overhead-accounting metrics and tests.
-func (w *World) MemPortBusy(n int) sim.Time { return w.memPort[n].BusyTime() }
+func (w *World) MemPortBusy(n int) sim.Time { return w.memPort[n].srv.BusyTime() }
 
 // Start spawns one simulated process per rank, all running body. It must be
 // called before the engine runs.

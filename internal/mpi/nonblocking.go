@@ -22,7 +22,7 @@ type Request struct {
 // Isend starts a nonblocking send. The injection overhead is charged
 // immediately (it is CPU work); the returned request completes once the
 // message has left the sender's NIC. Delivery proceeds as with Send.
-func (r *Rank) Isend(dst, tag, bytes int, payload interface{}) *Request {
+func (r *Rank) Isend(dst, tag, bytes int, payload any) *Request {
 	req := &Request{rank: r, completeAt: r.Now()}
 	r.Send(dst, tag, bytes, payload) // eager: locally complete after injection
 	req.completeAt = r.Now()

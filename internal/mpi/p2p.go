@@ -11,7 +11,7 @@ type Message struct {
 	Src     int // world rank of the sender
 	Tag     int
 	Bytes   int
-	Payload interface{}
+	Payload any
 	arrival sim.Time
 }
 
@@ -21,7 +21,7 @@ const intraNodeLatency = 0.3 * sim.Microsecond
 // Send transmits an eager message to world rank dst. The sender blocks for
 // its injection overhead only; delivery happens asynchronously after the
 // transfer delay, with NIC ports serializing per-node traffic.
-func (r *Rank) Send(dst, tag, bytes int, payload interface{}) {
+func (r *Rank) Send(dst, tag, bytes int, payload any) {
 	if dst < 0 || dst >= len(r.world.ranks) {
 		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
 	}

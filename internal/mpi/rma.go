@@ -33,6 +33,203 @@ type Win struct {
 type lockState struct {
 	excl    bool
 	readers int
+
+	// Wake-chain bookkeeping for coalesced polling: when the lock is in a
+	// state some parked poller could acquire, (wakeAt, wakeBorn) is the
+	// earliest pending poll decision and an engine event is scheduled at
+	// that position. See rmaPort.
+	wakeAt   sim.Time
+	wakeBorn sim.Time
+	wakeSet  bool
+}
+
+// rmaPort is one node's window port: the serial RMA service station plus the
+// virtual lock-poller list that coalesces the lock-polling protocol's retry
+// storm.
+//
+// In the literal protocol a contended MPI_Win_lock retries every
+// PollInterval, and every retry is a full RMA round through this port — an
+// O(hold-time/PollInterval) stream of simulated events per waiter that
+// dominates host time in the SS experiments. The coalesced implementation
+// keeps the *arithmetic* of every retry (each one still consumes port
+// service time, delays other requests, and bumps the attempt counters —
+// that feedback is the paper's SS pathology) but performs it lazily: the
+// waiting process parks, and its pending retries are replayed in virtual-
+// timestamp order whenever something observes the port (a real RMA arrival)
+// or the lock state (an unlock, or the wake chain below). Timing, attempt
+// counts and acquisition order are identical to the literal protocol; only
+// the host-event count changes. DESIGN.md §3 gives the equivalence
+// argument.
+type rmaPort struct {
+	srv sim.Server
+	// pollers holds the parked waiters in registration order, which is also
+	// the tie-break order for equal virtual timestamps.
+	pollers []*poller
+}
+
+// poller is one parked Win.Lock caller whose retries are simulated
+// arithmetically. It alternates between two phases: the next attempt
+// *arriving* at the port (inService false, at = arrival time) and the
+// in-flight attempt *completing and checking* the lock word (inService
+// true, at = check time).
+type poller struct {
+	win      *Win
+	target   int
+	lockType int
+	proc     *sim.Proc
+	remote   bool
+
+	inService bool
+	at        sim.Time
+	// born is the virtual time the step pending at `at` would have been
+	// scheduled in the literal protocol (the previous check for an arrival,
+	// the arrival for a check). Events of equal firing time fire in
+	// scheduling order, so born decides ties between a replayed step and a
+	// real same-instant arrival.
+	born     sim.Time
+	attempts int
+	granted  bool
+}
+
+// canSucceed reports whether the poller's next check would acquire the lock
+// in state ls.
+func (pl *poller) canSucceed(ls *lockState) bool {
+	if pl.lockType == LockExclusive {
+		return !ls.excl && ls.readers == 0
+	}
+	return !ls.excl
+}
+
+// advancePort replays pending virtual poll steps on node's port in
+// (timestamp, scheduling-time) order — the engine's own event order. Steps
+// strictly before t always replay; steps exactly at t replay only if their
+// would-be event was scheduled before bornLimit (or at it, when incl is
+// set), because events of equal firing time fire in scheduling order.
+// Callers replaying on behalf of a real port arrival or a lock release pass
+// that event's EventScheduledAt exclusively; wake events pass their own
+// position inclusively. The call must precede any real arrival at the port
+// (so the serial service order matches the literal protocol) and any
+// lock-state change (so every check resolves against the state that held
+// at its own virtual time). Grants resolve exactly at their check time and
+// position: the wake chain guarantees an engine event fires there, so
+// eng.Now() == pl.at.
+func (w *World) advancePort(node int, t, bornLimit sim.Time, incl bool) {
+	pt := w.memPort[node]
+	mem := &w.cfg.Mem
+	net := &w.cfg.Net
+	for {
+		var best *poller
+		bi := -1
+		for i, pl := range pt.pollers {
+			if pl.at > t {
+				continue
+			}
+			if pl.at == t && (pl.born > bornLimit || (pl.born == bornLimit && !incl)) {
+				continue
+			}
+			if best == nil || pl.at < best.at || (pl.at == best.at && pl.born < best.born) {
+				best, bi = pl, i
+			}
+		}
+		if best == nil {
+			return
+		}
+		if !best.inService {
+			// The retry reaches the port: consume serial service exactly as
+			// the literal rmaRound would, then wait for the check moment.
+			svc := mem.LockAttempt
+			if best.remote {
+				svc += net.PortService
+			}
+			done := pt.srv.ServeAsync(best.at, svc)
+			best.win.LockAttempts++
+			best.attempts++
+			best.inService = true
+			// Mirror the literal Serve bit-for-bit: the waiting process
+			// would have slept (done − now) from now, so its wake-up is
+			// at + (done − at), which floating point does not guarantee to
+			// equal done. The check event's scheduling time is the Serve
+			// wake-up for a local rank; a remote rank checks after a second
+			// latency sleep scheduled at that wake-up.
+			completion := best.at + (done - best.at)
+			if best.remote {
+				best.born = completion
+				best.at = completion + net.Latency
+			} else {
+				best.born = best.at
+				best.at = completion
+			}
+			continue
+		}
+		// The attempt completes: check the lock word at its own timestamp.
+		ls := &best.win.locks[best.target]
+		if best.canSucceed(ls) {
+			if best.lockType == LockExclusive {
+				ls.excl = true
+			} else {
+				ls.readers++
+			}
+			best.win.LockAcquisitions++
+			best.granted = true
+			pt.pollers = append(pt.pollers[:bi], pt.pollers[bi+1:]...)
+			// Resume the winner at its check time, in the position the
+			// literal check event (scheduled at the attempt's arrival)
+			// would have fired, so everything it schedules next gets the
+			// same relative order as in the literal protocol.
+			best.proc.UnparkAsOf(best.at, best.born)
+			continue
+		}
+		// Failed: back off PollInterval and retry. A local rank's next
+		// arrival is the back-off sleep's wake-up (scheduled at the check);
+		// a remote rank pays a further wire-latency sleep scheduled at that
+		// wake-up before its attempt reaches the port.
+		best.inService = false
+		if best.remote {
+			best.born = best.at + mem.PollInterval
+			best.at = best.born + net.Latency
+		} else {
+			best.born = best.at
+			best.at += mem.PollInterval
+		}
+	}
+}
+
+// reconcilePort re-establishes the wake-chain invariant after the port or a
+// lock hosted on it changed: for every lock with a parked poller that could
+// acquire it in the current state, an engine event is scheduled at the
+// earliest such poll decision, in that decision's own event position. Stale
+// wake events (the state changed again first) fire harmlessly: they just
+// advance and reconcile again.
+func (w *World) reconcilePort(node int) {
+	pt := w.memPort[node]
+	for _, pl := range pt.pollers {
+		ls := &pl.win.locks[pl.target]
+		if !pl.canSucceed(ls) {
+			continue
+		}
+		if ls.wakeSet && (ls.wakeAt < pl.at || (ls.wakeAt == pl.at && ls.wakeBorn <= pl.born)) {
+			continue
+		}
+		ls.wakeAt = pl.at
+		ls.wakeBorn = pl.born
+		ls.wakeSet = true
+		w.scheduleWake(node, pl.win, pl.target, pl.at, pl.born)
+	}
+}
+
+// scheduleWake arms one link of the wake chain: an event at the exact
+// (time, scheduling-time) position of the poll decision it covers, firing
+// after every same-instant event that preceded the literal decision and
+// before every one that followed it.
+func (w *World) scheduleWake(node int, win *Win, target int, at, born sim.Time) {
+	w.eng.ScheduleAsOf(at, born, func() {
+		ls := &win.locks[target]
+		if ls.wakeSet && ls.wakeAt == at && ls.wakeBorn == born {
+			ls.wakeSet = false
+		}
+		w.advancePort(node, w.eng.Now(), born, true)
+		w.reconcilePort(node)
+	})
 }
 
 // Lock types, mirroring MPI_LOCK_EXCLUSIVE / MPI_LOCK_SHARED.
@@ -99,13 +296,20 @@ func (w *Win) rmaRound(r *Rank, target int, service sim.Time) {
 func (w *Win) rmaRoundFrom(p *sim.Proc, fromNode, target int, service sim.Time) {
 	wld := w.world
 	tn := w.targetNode(target)
+	pt := wld.memPort[tn]
 	if tn == fromNode {
-		wld.memPort[tn].Serve(p, service)
+		if len(pt.pollers) > 0 {
+			wld.advancePort(tn, p.Now(), wld.eng.EventScheduledAt(), false)
+		}
+		pt.srv.Serve(p, service)
 		return
 	}
 	net := &wld.cfg.Net
 	p.Sleep(net.Latency)
-	wld.memPort[tn].Serve(p, service+net.PortService)
+	if len(pt.pollers) > 0 {
+		wld.advancePort(tn, p.Now(), wld.eng.EventScheduledAt(), false)
+	}
+	pt.srv.Serve(p, service+net.PortService)
 	p.Sleep(net.Latency)
 }
 
@@ -126,33 +330,66 @@ func (w *Win) FetchAndOpFrom(p *sim.Proc, fromNode, target, offset int, delta in
 // the first attempt can succeed, so the minimum is 1.
 func (w *Win) Lock(r *Rank, target int, lockType int) int {
 	mem := &w.world.cfg.Mem
-	attempts := 0
-	for {
-		attempts++
-		w.LockAttempts++
-		w.rmaRound(r, target, mem.LockAttempt)
-		ls := &w.locks[target]
-		if lockType == LockExclusive {
-			if !ls.excl && ls.readers == 0 {
-				ls.excl = true
-				w.LockAcquisitions++
-				return attempts
-			}
-		} else {
-			if !ls.excl {
-				ls.readers++
-				w.LockAcquisitions++
-				return attempts
-			}
+	// First attempt is taken literally: under no contention it succeeds and
+	// costs exactly one RMA round, as in the original protocol.
+	w.LockAttempts++
+	w.rmaRound(r, target, mem.LockAttempt)
+	ls := &w.locks[target]
+	if lockType == LockExclusive {
+		if !ls.excl && ls.readers == 0 {
+			ls.excl = true
+			w.LockAcquisitions++
+			return 1
 		}
-		r.proc.Sleep(mem.PollInterval)
+	} else {
+		if !ls.excl {
+			ls.readers++
+			w.LockAcquisitions++
+			return 1
+		}
 	}
+	// Contended: hand the retry loop to the port's coalesced poller
+	// machinery and park. Every virtual retry still pays the same port
+	// service and PollInterval back-off as the literal loop; it is merely
+	// replayed lazily. The process resumes exactly at the virtual time its
+	// winning attempt's check would have completed.
+	tn := w.targetNode(target)
+	remote := tn != r.node
+	born := r.Now()
+	next := born + mem.PollInterval
+	if remote {
+		// The literal remote retry sleeps PollInterval, then a wire
+		// latency scheduled at that wake-up; the arrival event's
+		// scheduling time is the back-off expiry.
+		born = next
+		next += w.world.cfg.Net.Latency
+	}
+	pl := &poller{
+		win: w, target: target, lockType: lockType,
+		proc: r.proc, remote: remote,
+		at: next, born: born, attempts: 1,
+	}
+	pt := w.world.memPort[tn]
+	pt.pollers = append(pt.pollers, pl)
+	r.proc.Park()
+	if !pl.granted {
+		panic(fmt.Sprintf("mpi: lock poller on %s[%d] resumed without grant", w.name, target))
+	}
+	return pl.attempts
 }
 
 // Unlock releases r's lock on target. The release is itself an RMA round
 // (it flushes pending operations), so it competes with poll attempts.
 func (w *Win) Unlock(r *Rank, target int, lockType int) {
 	w.rmaRound(r, target, w.world.cfg.Mem.SharedWinOp)
+	tn := w.targetNode(target)
+	// Resolve every poll decision up to the release instant against the
+	// still-held state: retries whose check lands before the release (in
+	// (time, scheduling-order) event order) must fail, exactly as they
+	// would have in the literal protocol.
+	if len(w.world.memPort[tn].pollers) > 0 {
+		w.world.advancePort(tn, r.proc.Now(), w.world.eng.EventScheduledAt(), false)
+	}
 	ls := &w.locks[target]
 	if lockType == LockExclusive {
 		if !ls.excl {
@@ -165,6 +402,9 @@ func (w *Win) Unlock(r *Rank, target int, lockType int) {
 		}
 		ls.readers--
 	}
+	// The lock may now be acquirable: arm the wake chain so the next poll
+	// decision fires at its exact virtual time.
+	w.world.reconcilePort(tn)
 }
 
 // FetchAndOp atomically adds delta to the word at (target, offset) and

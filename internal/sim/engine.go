@@ -6,10 +6,17 @@
 // The kernel guarantees determinism: with the same program and seed, every
 // run produces the same event order and the same virtual timestamps. This is
 // the substrate on which the MPI and OpenMP runtime models are built.
+//
+// The hot path is engineered for throughput (see DESIGN.md §2): the event
+// queue is a value-typed 4-ary min-heap with no interface boxing, the
+// dominant "resume this process" event is a specialized struct field rather
+// than a closure (Sleep/Unpark/Spawn allocate nothing in steady state), and
+// control is handed directly from one process goroutine to the next instead
+// of bouncing through a central scheduler goroutine, halving the host
+// context switches per simulated event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -26,55 +33,65 @@ const (
 	Second      Time = 1
 )
 
-// event is a scheduled callback. Events with equal time fire in schedule
-// order (seq), which makes runs reproducible.
+// event is a scheduled occurrence. born records the virtual time the event
+// was scheduled; events fire in (time, born, seq) order. Because scheduling
+// always happens at the current instant, seq order refines born order and
+// the ordering is exactly "equal-time events fire in schedule order" — the
+// property that makes runs reproducible. Carrying born explicitly lets
+// runtime models that replay coalesced activity late (see ScheduleAsOf)
+// re-insert events at the position they would have occupied. The common
+// case — resume a parked process — is encoded by a non-nil p and needs no
+// closure; fn is only set for generic callbacks.
 type event struct {
-	t   Time
-	seq uint64
-	fn  func()
+	t    Time
+	seq  uint64
+	born Time
+	p    *Proc
+	fn   func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// eventLess orders events by (time, scheduling time, schedule sequence).
+func eventLess(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	if a.born != b.born {
+		return a.born < b.born
+	}
+	return a.seq < b.seq
 }
 
 // Engine owns the virtual clock and the event queue. All simulated activity
-// is single-threaded from the host's point of view: exactly one process (or
-// the engine itself) runs at any instant, so simulated processes may freely
-// share Go memory without host-level synchronization.
+// is single-threaded from the host's point of view: a single control baton
+// is passed between process goroutines (and the Run caller), so exactly one
+// process runs at any instant and simulated processes may freely share Go
+// memory without host-level synchronization.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	yielded chan struct{}
-	procs   []*Proc
-	live    int
-	rng     *rand.Rand
-	running bool
+	now  Time
+	seq  uint64
+	heap []event
+
+	// main is the Run caller's wake-up gate: the baton returns here when the
+	// event queue drains (and during Shutdown hand-back).
+	main chan struct{}
+
+	procs    []*Proc
+	live     int
+	rng      *rand.Rand
+	running  bool
+	shutdown bool // finishing procs hand the baton to main, not to dispatch
+
+	// curBorn is the scheduling time of the event currently being executed
+	// (see EventScheduledAt).
+	curBorn Time
 }
 
 // NewEngine returns an engine with its virtual clock at zero and a
 // deterministic random source derived from seed.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
-		yielded: make(chan struct{}),
-		rng:     rand.New(rand.NewSource(seed)),
+		main: make(chan struct{}, 1),
+		rng:  rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -85,6 +102,58 @@ func (e *Engine) Now() Time { return e.now }
 // used from simulated processes or event callbacks.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// push inserts an event into the 4-ary min-heap.
+func (e *Engine) push(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release the fn/proc references
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			first := 4*i + 1
+			if first >= n {
+				break
+			}
+			m := first
+			end := first + 4
+			if end > n {
+				end = n
+			}
+			for c := first + 1; c < end; c++ {
+				if eventLess(&h[c], &h[m]) {
+					m = c
+				}
+			}
+			if !eventLess(&h[m], &last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	e.heap = h
+	return top
+}
+
 // Schedule arranges for fn to run at absolute virtual time t. Times in the
 // past are clamped to now.
 func (e *Engine) Schedule(t Time, fn func()) {
@@ -92,11 +161,67 @@ func (e *Engine) Schedule(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{t: t, seq: e.seq, fn: fn})
+	e.push(event{t: t, seq: e.seq, born: e.now, fn: fn})
+}
+
+// ScheduleAsOf arranges for fn to run at absolute virtual time t in the
+// firing position of an event that had been scheduled at virtual time born:
+// among events with equal firing time, it precedes those scheduled after
+// born and follows those scheduled before. Runtime models that coalesce
+// fine-grained activity and replay it lazily use this to fire a replayed
+// occurrence exactly where its literal counterpart would have fired.
+func (e *Engine) ScheduleAsOf(t, born Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.push(event{t: t, seq: e.seq, born: born, fn: fn})
 }
 
 // After schedules fn to run d after the current virtual time.
 func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
+
+// EventScheduledAt reports the virtual time at which the currently
+// executing event was scheduled. Together with the (time, seq) firing order
+// it lets runtime models reconstruct how a hypothetical event scheduled at
+// a known instant would have interleaved with the current one: events of
+// equal firing time fire in scheduling order, and scheduling order follows
+// scheduling time.
+func (e *Engine) EventScheduledAt() Time { return e.curBorn }
+
+// scheduleResume arranges for p to be handed the baton at absolute time t.
+// This is the allocation-free fast path beneath Sleep, Unpark and Spawn.
+func (e *Engine) scheduleResume(p *Proc, t Time) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.push(event{t: t, seq: e.seq, born: e.now, p: p})
+}
+
+// dispatch advances the simulation until control must move elsewhere: it
+// fires generic callbacks inline on the calling goroutine and, on the first
+// resume event, hands the baton to that process and returns. When the queue
+// drains it hands the baton back to the Run caller. The caller must be the
+// current baton holder and must park (or finish) immediately after.
+func (e *Engine) dispatch() {
+	for len(e.heap) > 0 {
+		ev := e.pop()
+		if ev.t > e.now {
+			e.now = ev.t
+		}
+		e.curBorn = ev.born
+		if ev.p != nil {
+			if ev.p.done {
+				continue
+			}
+			ev.p.gate <- struct{}{}
+			return
+		}
+		ev.fn()
+	}
+	e.main <- struct{}{}
+}
 
 // DeadlockError reports that the simulation stopped with live processes but
 // no pending events: every remaining process is parked forever.
@@ -119,13 +244,8 @@ func (e *Engine) Run() error {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.t > e.now {
-			e.now = ev.t
-		}
-		ev.fn()
-	}
+	e.dispatch()
+	<-e.main
 	if e.live > 0 {
 		d := &DeadlockError{Now: e.now}
 		for _, p := range e.procs {
@@ -143,13 +263,15 @@ func (e *Engine) Run() error {
 // Shutdown force-terminates every parked process so that no goroutines leak
 // after a deadlocked or abandoned simulation. It is safe to call after Run.
 func (e *Engine) Shutdown() {
+	e.shutdown = true
+	defer func() { e.shutdown = false }()
 	for _, p := range e.procs {
 		if p.done || !p.parked {
 			continue
 		}
 		p.aborted = true
-		p.resume <- struct{}{}
-		<-e.yielded
+		p.gate <- struct{}{}
+		<-e.main
 	}
 }
 

@@ -2,16 +2,19 @@ package sim
 
 import "fmt"
 
-// Proc is a simulated process: a goroutine that runs only while the engine
-// has handed it control, and that advances virtual time through the blocking
-// primitives below. All primitives must be called from the process's own
-// body function; calling them from outside the simulation is a programming
-// error.
+// Proc is a simulated process: a goroutine that runs only while it holds the
+// engine's control baton, and that advances virtual time through the
+// blocking primitives below. All primitives must be called from the
+// process's own body function; calling them from outside the simulation is
+// a programming error.
 type Proc struct {
-	eng     *Engine
-	id      int
-	name    string
-	resume  chan struct{}
+	eng  *Engine
+	id   int
+	name string
+	// gate is the process's baton slot: a one-slot channel so that handing
+	// control to a process never blocks the giver, and a process resuming
+	// itself (back-to-back events) costs no goroutine switch at all.
+	gate    chan struct{}
 	done    bool
 	parked  bool
 	aborted bool
@@ -25,10 +28,10 @@ type procAborted struct{}
 // blocking primitive or returns.
 func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 	p := &Proc{
-		eng:    e,
-		id:     len(e.procs),
-		name:   name,
-		resume: make(chan struct{}),
+		eng:  e,
+		id:   len(e.procs),
+		name: name,
+		gate: make(chan struct{}, 1),
 	}
 	e.procs = append(e.procs, p)
 	e.live++
@@ -36,19 +39,24 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(procAborted); !ok {
-					// Re-panic on the engine side with context; the engine
-					// goroutine is blocked in runProc waiting for our yield,
-					// so panicking here crashes the program with a useful
-					// trace, which is the desired behaviour for bugs.
+					// Re-panic with context; an unrecovered panic on this
+					// goroutine crashes the program with a useful trace,
+					// which is the desired behaviour for bugs.
 					panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
 				}
 			}
 			p.done = true
 			p.parked = false
 			e.live--
-			e.yielded <- struct{}{}
+			// Pass the baton on: normally to the next event's owner, during
+			// Shutdown straight back to the shutdown loop.
+			if e.shutdown {
+				e.main <- struct{}{}
+			} else {
+				e.dispatch()
+			}
 		}()
-		<-p.resume
+		<-p.gate
 		p.parked = false
 		if p.aborted {
 			panic(procAborted{})
@@ -56,25 +64,17 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 		body(p)
 	}()
 	p.parked = true
-	e.Schedule(e.now, func() { e.runProc(p) })
+	e.scheduleResume(p, e.now)
 	return p
 }
 
-// runProc transfers control from the engine to p until p yields or ends.
-func (e *Engine) runProc(p *Proc) {
-	if p.done {
-		return
-	}
-	p.resume <- struct{}{}
-	<-e.yielded
-}
-
-// yield transfers control back to the engine; the process stays parked until
-// something calls unpark (via a scheduled event or a wait queue wake).
+// yield hands the baton to the engine's next event; the process stays parked
+// until something schedules its resumption (a sleep expiry, an Unpark, or a
+// wait-queue wake).
 func (p *Proc) yield() {
 	p.parked = true
-	p.eng.yielded <- struct{}{}
-	<-p.resume
+	p.eng.dispatch()
+	<-p.gate
 	p.parked = false
 	if p.aborted {
 		panic(procAborted{})
@@ -101,7 +101,7 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	e := p.eng
-	e.Schedule(e.now+d, func() { e.runProc(p) })
+	e.scheduleResume(p, e.now+d)
 	p.yield()
 }
 
@@ -116,33 +116,83 @@ func (p *Proc) Unpark() {
 		panic(fmt.Sprintf("sim: Unpark of finished process %q", p.name))
 	}
 	e := p.eng
-	e.Schedule(e.now, func() { e.runProc(p) })
+	e.scheduleResume(p, e.now)
+}
+
+// UnparkAt schedules a parked process to resume at absolute virtual time t
+// (clamped to now). It is the timed variant of Unpark, used by runtime
+// models that compute a wake-up time arithmetically instead of sleeping the
+// process through it.
+func (p *Proc) UnparkAt(t Time) {
+	if p.done {
+		panic(fmt.Sprintf("sim: UnparkAt of finished process %q", p.name))
+	}
+	p.eng.scheduleResume(p, t)
+}
+
+// UnparkAsOf schedules a parked process to resume at absolute virtual time
+// t in the firing position of an event scheduled at virtual time born — the
+// resume analogue of Engine.ScheduleAsOf, used when a coalesced replay must
+// hand control back to a process exactly where its literal wake-up event
+// would have fired.
+func (p *Proc) UnparkAsOf(t, born Time) {
+	if p.done {
+		panic(fmt.Sprintf("sim: UnparkAsOf of finished process %q", p.name))
+	}
+	e := p.eng
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.push(event{t: t, seq: e.seq, born: born, p: p})
 }
 
 // WaitQueue is a FIFO list of parked processes. Wake order equals wait
-// order, which keeps simulations deterministic.
+// order, which keeps simulations deterministic. The zero value is ready to
+// use; the queue is a ring so WakeOne is O(1).
 type WaitQueue struct {
 	waiters []*Proc
+	head    int
+	n       int
 }
 
 // Len reports the number of parked processes.
-func (w *WaitQueue) Len() int { return len(w.waiters) }
+func (w *WaitQueue) Len() int { return w.n }
 
 // Wait parks p on the queue until WakeOne or WakeAll releases it.
 func (w *WaitQueue) Wait(p *Proc) {
-	w.waiters = append(w.waiters, p)
+	if w.n == len(w.waiters) {
+		w.grow()
+	}
+	w.waiters[(w.head+w.n)%len(w.waiters)] = p
+	w.n++
 	p.yield()
+}
+
+// grow doubles the ring, re-linearizing the live window.
+func (w *WaitQueue) grow() {
+	size := 2 * len(w.waiters)
+	if size < 4 {
+		size = 4
+	}
+	next := make([]*Proc, size)
+	for i := 0; i < w.n; i++ {
+		next[i] = w.waiters[(w.head+i)%len(w.waiters)]
+	}
+	w.waiters = next
+	w.head = 0
 }
 
 // WakeOne releases the longest-waiting process, if any, and reports whether
 // a process was woken.
 func (w *WaitQueue) WakeOne() bool {
-	if len(w.waiters) == 0 {
+	if w.n == 0 {
 		return false
 	}
-	p := w.waiters[0]
-	copy(w.waiters, w.waiters[1:])
-	w.waiters = w.waiters[:len(w.waiters)-1]
+	p := w.waiters[w.head]
+	w.waiters[w.head] = nil
+	w.head = (w.head + 1) % len(w.waiters)
+	w.n--
 	p.Unpark()
 	return true
 }
@@ -150,10 +200,14 @@ func (w *WaitQueue) WakeOne() bool {
 // WakeAll releases every parked process in FIFO order and reports how many
 // were woken.
 func (w *WaitQueue) WakeAll() int {
-	n := len(w.waiters)
-	for _, p := range w.waiters {
+	woken := w.n
+	for w.n > 0 {
+		p := w.waiters[w.head]
+		w.waiters[w.head] = nil
+		w.head = (w.head + 1) % len(w.waiters)
+		w.n--
 		p.Unpark()
 	}
-	w.waiters = w.waiters[:0]
-	return n
+	w.head = 0
+	return woken
 }

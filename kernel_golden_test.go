@@ -1,0 +1,174 @@
+// Golden equivalence tests for the simulation kernel hot path. The values
+// below were captured from the original (pre-optimization) kernel:
+// pointer-heap event queue, per-attempt lock polling, sequential sweeps.
+// The optimized kernel must reproduce every bit of them — virtual
+// timestamps, chunk counts, and the lock-polling accounting — because the
+// figures the repo regenerates are derived from exactly these quantities.
+package repro_test
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/dls"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+var printGolden = flag.Bool("print-golden", false, "print current kernel golden values instead of asserting")
+
+// goldenCase is one frozen experiment outcome.
+type goldenCase struct {
+	name string
+	cfg  func() core.Config
+
+	parallelTime string // %.17g of Result.ParallelTime
+	globalChunks int
+	localChunks  int
+	lockAtt      int64
+	lockAcq      int64
+	barrierWait  string // %.17g of Result.BarrierWait
+	// finishSum is the sum over WorkerFinish accumulated in ascending sorted
+	// order. Sorting makes the golden invariant under the one freedom the
+	// coalesced lock implementation has: when two bit-identical nodes race
+	// for a grant at the same instant, the literal protocol broke the tie by
+	// internal event-counter order, so the *assignment* of the (identical)
+	// per-worker trajectories to node IDs may swap while every trajectory,
+	// timestamp and count is preserved. See DESIGN.md §3.
+	finishSum string
+}
+
+func goldenCases() []goldenCase {
+	mandel := workload.MandelbrotProfile(64)
+	uniform := workload.Uniform(4096, 15e-6, 40e-6, 3)
+	return []goldenCase{
+		{
+			name: "mpimpi-gss-ss-1node", // the paper's SS lock-storm pathology
+			cfg: func() core.Config {
+				return core.Config{
+					Cluster: cluster.MiniHPC(1), WorkersPerNode: 16,
+					Inter: dls.GSS, Intra: dls.SS,
+					Workload: uniform, Approach: core.MPIMPI, Seed: 1,
+				}
+			},
+		},
+		{
+			name: "mpimpi-gss-static-2node",
+			cfg: func() core.Config {
+				return core.Config{
+					Cluster: cluster.MiniHPC(2), WorkersPerNode: 16,
+					Inter: dls.GSS, Intra: dls.STATIC,
+					Workload: mandel, Approach: core.MPIMPI, Seed: 1,
+				}
+			},
+		},
+		{
+			name: "mpimpi-fac2-gss-4node",
+			cfg: func() core.Config {
+				return core.Config{
+					Cluster: cluster.MiniHPC(4), WorkersPerNode: 16,
+					Inter: dls.FAC2, Intra: dls.GSS,
+					Workload: mandel, Approach: core.MPIMPI, Seed: 1,
+				}
+			},
+		},
+		{
+			name: "mpimpi-tss-fac2-noise",
+			cfg: func() core.Config {
+				return core.Config{
+					Cluster: withNoise(cluster.MiniHPC(2), 0.2), WorkersPerNode: 16,
+					Inter: dls.TSS, Intra: dls.FAC2,
+					Workload: workload.PSIAProfile(64), Approach: core.MPIMPI, Seed: 7,
+				}
+			},
+		},
+		{
+			name: "mpiopenmp-gss-static-2node",
+			cfg: func() core.Config {
+				return core.Config{
+					Cluster: cluster.MiniHPC(2), WorkersPerNode: 16,
+					Inter: dls.GSS, Intra: dls.STATIC,
+					Workload: mandel, Approach: core.MPIOpenMP, Seed: 1,
+				}
+			},
+		},
+		{
+			name: "nowait-gss-ss-2node",
+			cfg: func() core.Config {
+				return core.Config{
+					Cluster: cluster.MiniHPC(2), WorkersPerNode: 16,
+					Inter: dls.GSS, Intra: dls.SS,
+					Workload: mandel, Approach: core.MPIOpenMPNoWait, Seed: 1,
+				}
+			},
+		},
+		{
+			name: "mpimpi-hetero-knl-ss",
+			cfg: func() core.Config {
+				return core.Config{
+					Cluster: cluster.MiniHPCKNL(2), WorkersPerNode: 64,
+					Inter: dls.GSS, Intra: dls.SS,
+					Workload: workload.Uniform(2048, 30e-6, 80e-6, 5),
+					Approach: core.MPIMPI, Seed: 1,
+				}
+			},
+		},
+	}
+}
+
+func withNoise(c cluster.Config, cv float64) cluster.Config {
+	c.NoiseCV = cv
+	return c
+}
+
+func observe(t *testing.T, c goldenCase) goldenCase {
+	t.Helper()
+	res, err := core.Run(c.cfg())
+	if err != nil {
+		t.Fatalf("%s: %v", c.name, err)
+	}
+	fin := append([]sim.Time(nil), res.WorkerFinish...)
+	sort.Slice(fin, func(i, j int) bool { return fin[i] < fin[j] })
+	var sum sim.Time
+	for _, f := range fin {
+		sum += f
+	}
+	c.parallelTime = fmt.Sprintf("%.17g", float64(res.ParallelTime))
+	c.globalChunks = res.GlobalChunks
+	c.localChunks = res.LocalChunks
+	c.lockAtt = res.LockAttempts
+	c.lockAcq = res.LockAcquisitions
+	c.barrierWait = fmt.Sprintf("%.17g", float64(res.BarrierWait))
+	c.finishSum = fmt.Sprintf("%.17g", float64(sum))
+	return c
+}
+
+func TestKernelGoldenEquivalence(t *testing.T) {
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			got := observe(t, c)
+			if *printGolden {
+				fmt.Printf("GOLDEN\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%s\n",
+					got.name, got.parallelTime, got.globalChunks, got.localChunks,
+					got.lockAtt, got.lockAcq, got.barrierWait, got.finishSum)
+				return
+			}
+			want, ok := goldenWant[c.name]
+			if !ok {
+				t.Fatalf("no golden entry for %s (run with -print-golden)", c.name)
+			}
+			got.cfg = nil
+			if got.name != want.name || got.parallelTime != want.parallelTime ||
+				got.globalChunks != want.globalChunks || got.localChunks != want.localChunks ||
+				got.lockAtt != want.lockAtt || got.lockAcq != want.lockAcq ||
+				got.barrierWait != want.barrierWait || got.finishSum != want.finishSum {
+				t.Fatalf("kernel output diverged from frozen golden:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,57 @@
+package repro_test
+
+// goldenWant freezes the outcomes of the golden cases as produced by the
+// original kernel (captured with -print-golden before the hot-path rewrite).
+// Regenerate only if the *model* changes deliberately; kernel-only changes
+// must keep these bit-identical.
+var goldenWant = map[string]goldenCase{
+	"mpimpi-gss-ss-1node": {
+		name:         "mpimpi-gss-ss-1node",
+		parallelTime: "0.048810732923088795",
+		globalChunks: 74, localChunks: 4096,
+		lockAtt: 39328, lockAcq: 4112,
+		barrierWait: "0", finishSum: "0.7772315981240947",
+	},
+	"mpimpi-gss-static-2node": {
+		name:         "mpimpi-gss-static-2node",
+		parallelTime: "0.077112672362368836",
+		globalChunks: 166, localChunks: 2043,
+		lockAtt: 8673, lockAcq: 2075,
+		barrierWait: "0", finishSum: "2.4588526264336124",
+	},
+	"mpimpi-fac2-gss-4node": {
+		name:         "mpimpi-fac2-gss-4node",
+		parallelTime: "0.050361601839098435",
+		globalChunks: 576, localChunks: 7104,
+		lockAtt: 52560, lockAcq: 7168,
+		barrierWait: "0", finishSum: "3.1928152103464704",
+	},
+	"mpimpi-tss-fac2-noise": {
+		name:         "mpimpi-tss-fac2-noise",
+		parallelTime: "0.093805700008590412",
+		globalChunks: 127, localChunks: 8021,
+		lockAtt: 11055, lockAcq: 8053,
+		barrierWait: "0", finishSum: "2.9984546793427493",
+	},
+	"mpiopenmp-gss-static-2node": {
+		name:         "mpiopenmp-gss-static-2node",
+		parallelTime: "0.24475319193262507",
+		globalChunks: 15, localChunks: 176,
+		lockAtt: 0, lockAcq: 0,
+		barrierWait: "4.930452344847736", finishSum: "4.5124649501978746",
+	},
+	"nowait-gss-ss-2node": {
+		name:         "nowait-gss-ss-2node",
+		parallelTime: "0.073272808464788231",
+		globalChunks: 15, localChunks: 16384,
+		lockAtt: 0, lockAcq: 0,
+		barrierWait: "0", finishSum: "2.3444383375041795",
+	},
+	"mpimpi-hetero-knl-ss": {
+		name:         "mpimpi-hetero-knl-ss",
+		parallelTime: "0.20067206196388282",
+		globalChunks: 324, localChunks: 2048,
+		lockAtt: 170187, lockAcq: 2176,
+		barrierWait: "0", finishSum: "23.379230375282347",
+	},
+}
