@@ -10,6 +10,15 @@
 //	hdlsweep -extended          # fill the paper's n/a cells via the
 //	                            # extended (libGOMP-style) OpenMP runtime
 //	hdlsweep -json BENCH_x.json # also write a perf snapshot (see `make bench`)
+//
+// The robustness mode compares inter-node techniques under a scenario
+// (heterogeneous topology × perturbations × synthetic workload) instead of
+// regenerating the figures:
+//
+//	hdlsweep -robust -speeds 1,0.5
+//	hdlsweep -robust -speeds 1,0.45 -cores 16,64 -workers 64
+//	hdlsweep -robust -noise 0.3 -slow-rate 5 -slow-factor 3 -slow-dur 0.01 \
+//	         -workload "gaussian:n=8192,cv=0.5"
 package main
 
 import (
@@ -19,11 +28,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"strconv"
 	"strings"
 	"time"
 
+	"repro/dls"
 	"repro/hdls"
+	"repro/internal/cliutil"
+	"repro/internal/sim"
 )
 
 // benchSnapshot is the schema of the -json perf snapshot: enough to track
@@ -44,6 +55,8 @@ type benchSnapshot struct {
 	VirtualSeconds  float64            `json:"virtual_seconds"`
 	SimPerHostRatio float64            `json:"sim_per_host_ratio"`
 	Tables          map[string]float64 `json:"cell_seconds"`
+	// Robustness carries the scenario sweeps run with -robust.
+	Robustness []*hdls.RobustnessResult `json:"robustness,omitempty"`
 }
 
 func main() {
@@ -58,11 +71,36 @@ func main() {
 		withEff  = flag.Bool("eff", false, "also print parallel-efficiency tables")
 		jsonOut  = flag.String("json", "", "write a BENCH_*.json perf snapshot to this path")
 		par      = flag.Int("p", 0, "max concurrent figure cells (0 = all cores)")
+
+		robust   = flag.Bool("robust", false, "run the robustness sweep (techniques × scenario) instead of the figures")
+		workers  = flag.Int("workers", 16, "robust: workers per node (per-node cap on heterogeneous machines)")
+		rnodes   = flag.Int("rnodes", 4, "robust: number of nodes")
+		techCSV  = flag.String("techniques", "", "robust: comma-separated inter techniques (default STATIC,SS,GSS,TSS,FAC2)")
+		intraS   = flag.String("intra", "STATIC", "robust: intra-node technique")
+		speedCSV = flag.String("speeds", "", "relative node speeds, tiled (e.g. 1,0.5)")
+		coreCSV  = flag.String("cores", "", "per-node core counts, tiled (e.g. 16,64)")
+		noiseCV  = flag.Float64("noise", 0, "perturbation: multiplicative noise CoV")
+		slowRate = flag.Float64("slow-rate", 0, "perturbation: transient slowdowns per second per node")
+		slowFac  = flag.Float64("slow-factor", 2, "perturbation: slowdown execution-time multiplier")
+		slowDur  = flag.Float64("slow-dur", 0.01, "perturbation: mean slowdown duration (seconds)")
+		bgCSV    = flag.String("bg", "", "perturbation: per-node background load fractions, tiled (e.g. 0,0.3)")
+		wlSpec   = flag.String("workload", "", "workload spec (workload.ParseSpec) overriding the app kernels")
 	)
 	flag.Parse()
 
-	nodes, err := parseNodes(*nodesCSV)
+	nodes, err := cliutil.ParsePositiveInts(*nodesCSV)
 	fatalIf(err)
+
+	if *robust {
+		runRobust(robustFlags{
+			workers: *workers, nodes: *rnodes, techCSV: *techCSV, intraS: *intraS,
+			speedCSV: *speedCSV, coreCSV: *coreCSV, noise: *noiseCV,
+			slowRate: *slowRate, slowFac: *slowFac, slowDur: *slowDur, bgCSV: *bgCSV,
+			workload: *wlSpec, scale: *scale, seed: *seed, par: *par,
+			outDir: *outDir, jsonOut: *jsonOut, quiet: *quiet,
+		})
+		return
+	}
 
 	figures := []int{4, 5, 6, 7}
 	if *figure != 0 {
@@ -164,16 +202,99 @@ func printRatios(fr *hdls.FigureResult) {
 	fmt.Println()
 }
 
-func parseNodes(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad node count %q", part)
-		}
-		out = append(out, n)
+// robustFlags carries the parsed -robust mode flags.
+type robustFlags struct {
+	workers, nodes           int
+	techCSV, intraS          string
+	speedCSV, coreCSV, bgCSV string
+	noise, slowRate, slowFac float64
+	slowDur                  float64
+	workload                 string
+	scale                    int
+	seed                     int64
+	par                      int
+	outDir, jsonOut          string
+	quiet                    bool
+}
+
+// runRobust executes the scenario robustness sweep and writes its outputs.
+func runRobust(f robustFlags) {
+	start := time.Now()
+	opt := hdls.RobustnessOptions{
+		Nodes: f.nodes, WorkersPerNode: f.workers,
+		Scale: f.scale, Seed: f.seed, Workload: f.workload,
+		Parallelism: f.par,
 	}
-	return out, nil
+	var err error
+	opt.Intra, err = dls.Parse(f.intraS)
+	fatalIf(err)
+	if f.techCSV != "" {
+		for _, name := range strings.Split(f.techCSV, ",") {
+			t, err := dls.Parse(name)
+			fatalIf(err)
+			opt.Techniques = append(opt.Techniques, t)
+		}
+	}
+	if f.speedCSV != "" {
+		opt.Topology.NodeSpeeds, err = cliutil.ParseFloats(f.speedCSV)
+		fatalIf(err)
+	}
+	if f.coreCSV != "" {
+		opt.Topology.NodeCores, err = cliutil.ParsePositiveInts(f.coreCSV)
+		fatalIf(err)
+	}
+	opt.Perturbation = hdls.Perturbation{
+		NoiseCV:      f.noise,
+		SlowdownRate: f.slowRate,
+		Seed:         f.seed,
+	}
+	if f.slowRate > 0 {
+		opt.Perturbation.SlowdownFactor = f.slowFac
+		opt.Perturbation.SlowdownDuration = sim.Time(f.slowDur)
+	}
+	if f.bgCSV != "" {
+		opt.Perturbation.BackgroundLoad, err = cliutil.ParseFloats(f.bgCSV)
+		fatalIf(err)
+	}
+	if !f.quiet {
+		opt.Progress = func(cell string) {
+			fmt.Fprintf(os.Stderr, "  done %-55s (%6.1fs elapsed)\n", cell, time.Since(start).Seconds())
+		}
+	}
+	rr, err := hdls.RunRobustness(opt)
+	fatalIf(err)
+	fmt.Print(rr.Table())
+	if f.outDir != "" {
+		fatalIf(os.MkdirAll(f.outDir, 0o755))
+		name := filepath.Join(f.outDir, "robustness.csv")
+		fatalIf(os.WriteFile(name, []byte(rr.CSV()), 0o644))
+		fmt.Printf("wrote %s\n", name)
+	}
+	if f.jsonOut != "" {
+		snap := benchSnapshot{
+			Date:       time.Now().UTC().Format("2006-01-02"),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Scale:      f.scale,
+			Robustness: []*hdls.RobustnessResult{rr},
+			Tables:     map[string]float64{},
+		}
+		for _, row := range rr.Rows {
+			snap.Tables[fmt.Sprintf("robust/%s/%s", rr.Scenario, row.Technique)] = row.ParallelTime
+			snap.Cells++
+			snap.VirtualSeconds += row.ParallelTime
+		}
+		snap.WallSeconds = time.Since(start).Seconds()
+		if snap.WallSeconds > 0 {
+			snap.CellsPerSec = float64(snap.Cells) / snap.WallSeconds
+			snap.SimPerHostRatio = snap.VirtualSeconds / snap.WallSeconds
+		}
+		buf, err := json.MarshalIndent(&snap, "", "  ")
+		fatalIf(err)
+		fatalIf(os.WriteFile(f.jsonOut, append(buf, '\n'), 0o644))
+		fmt.Printf("wrote %s\n", f.jsonOut)
+	}
+	fmt.Printf("robustness sweep complete in %.1fs\n", time.Since(start).Seconds())
 }
 
 func fatalIf(err error) {

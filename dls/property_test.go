@@ -1,0 +1,176 @@
+package dls
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property-based invariants over randomized (N, P, σ, h, MinChunk)
+// parameter sweeps. Every technique must satisfy, for any parameters it
+// accepts:
+//
+//  1. Chunk(s, w) ≥ max(1, MinChunk) for every step and worker;
+//  2. a schedule walk covers the loop — Σ clamped chunks = N — within a
+//     bounded number of steps (N + P + slack: SS needs N, everything else
+//     fewer);
+//  3. for the deterministic decreasing families (GSS, TSS, FAC, FAC2,
+//     TFSS) the raw chunk sequence is non-increasing in the step.
+//
+// The sweep is seeded, so failures replay.
+func propertyParams(rng *rand.Rand) Params {
+	n := 1 + rng.Intn(20000)
+	p := 1 + rng.Intn(128)
+	mean := 1e-6 * (1 + rng.Float64()*200)
+	return Params{
+		N: n, P: p,
+		Mean:     mean,
+		Sigma:    mean * rng.Float64() * 2,
+		Overhead: 1e-7 * (1 + rng.Float64()*100),
+		MinChunk: rng.Intn(4), // 0 defaults to 1
+	}
+}
+
+// walk simulates the distributed chunk-calculation consumption of sched:
+// steps issue in order, each chunk is clamped against the remaining
+// iterations, and the walk stops once N iterations are scheduled. It
+// returns the raw (unclamped) sizes and fails the test if the walk does
+// not terminate within maxSteps.
+func walk(t *testing.T, sched Schedule, maxSteps int) (raw []int) {
+	t.Helper()
+	p := sched.Params()
+	minChunk := p.MinChunk
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	scheduled := 0
+	for step := 0; scheduled < p.N; step++ {
+		if step > maxSteps {
+			t.Fatalf("%v%+v: no termination after %d steps (scheduled %d of %d)",
+				sched.Technique(), p, maxSteps, scheduled, p.N)
+		}
+		w := step % p.P
+		c := sched.Chunk(step, w)
+		if c < minChunk {
+			t.Fatalf("%v%+v: Chunk(%d, %d) = %d < max(1, MinChunk %d)",
+				sched.Technique(), p, step, w, c, p.MinChunk)
+		}
+		raw = append(raw, c)
+		scheduled += c // callers clamp; ≥ N means full coverage
+	}
+	if scheduled < p.N {
+		t.Fatalf("%v%+v: scheduled %d < N %d", sched.Technique(), p, scheduled, p.N)
+	}
+	return raw
+}
+
+// nonIncreasing are the deterministic decreasing-chunk families.
+var nonIncreasing = map[Technique]bool{
+	GSS: true, TSS: true, FAC: true, FAC2: true, TFSS: true,
+}
+
+func TestTechniquePropertiesRandomSweep(t *testing.T) {
+	techniques := []Technique{STATIC, SS, FSC, GSS, TSS, FAC, FAC2, WF, TFSS, RND}
+	rng := rand.New(rand.NewSource(20260728))
+	for _, tech := range techniques {
+		tech := tech
+		t.Run(tech.String(), func(t *testing.T) {
+			for trial := 0; trial < 200; trial++ {
+				p := propertyParams(rng)
+				if tech == WF && trial%2 == 1 {
+					weights := make([]float64, p.P)
+					for i := range weights {
+						weights[i] = 0.25 + rng.Float64()*2
+					}
+					p.Weights = weights
+				}
+				sched, err := New(tech, p)
+				if err != nil {
+					t.Fatalf("New(%v, %+v): %v", tech, p, err)
+				}
+				// SS needs exactly N steps; everything else far fewer. The
+				// walk adds P+64 slack for clamped tails.
+				raw := walk(t, sched, p.N+p.P+64)
+				if nonIncreasing[tech] {
+					for i := 1; i < len(raw); i++ {
+						if raw[i] > raw[i-1] {
+							t.Fatalf("%v%+v: chunk sequence increased at step %d: %d -> %d",
+								tech, p, i, raw[i-1], raw[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptivePropertiesRandomSweep covers the feedback-driven family
+// (AWF-B/C/D/E, AF) with runtime measurements recorded between steps; the
+// invariants are the same minus monotonicity (adaptive chunks legitimately
+// grow when a worker speeds up).
+func TestAdaptivePropertiesRandomSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tech := range []Technique{AWFB, AWFC, AWFD, AWFE, AF} {
+		tech := tech
+		t.Run(tech.String(), func(t *testing.T) {
+			for trial := 0; trial < 60; trial++ {
+				p := propertyParams(rng)
+				minChunk := p.MinChunk
+				if minChunk < 1 {
+					minChunk = 1
+				}
+				sched := MustNew(tech, p)
+				ad, _ := sched.(Adaptive)
+				scheduled, maxSteps := 0, p.N+p.P+64
+				for step := 0; scheduled < p.N; step++ {
+					if step > maxSteps {
+						t.Fatalf("%v%+v: no termination after %d steps", tech, p, maxSteps)
+					}
+					w := step % p.P
+					c := sched.Chunk(step, w)
+					if c < minChunk {
+						t.Fatalf("%v%+v: Chunk(%d, %d) = %d < %d", tech, p, step, w, c, minChunk)
+					}
+					scheduled += c
+					if ad != nil {
+						// Jittered per-worker rates exercise the adaptation.
+						exec := float64(c) * p.Mean * (0.5 + rng.Float64())
+						ad.Record(w, c, exec, p.Overhead)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStaticChunkRemainder is the regression test for the STATIC overshoot
+// bug: with N % P ≠ 0 the final chunk must be the true remainder
+// N − step·⌈N/P⌉, so the raw sequence over the first ⌈N/⌈N/P⌉⌉ steps sums
+// to exactly N instead of P·⌈N/P⌉ > N.
+func TestStaticChunkRemainder(t *testing.T) {
+	cases := []struct{ n, p int }{
+		{10, 4}, {10, 3}, {7, 2}, {1, 16}, {16, 16}, {17, 16}, {1000, 7}, {5, 8},
+	}
+	for _, c := range cases {
+		s := MustNew(STATIC, Params{N: c.n, P: c.p})
+		chunk := ceilDiv(c.n, c.p)
+		sum := 0
+		for step := 0; sum < c.n; step++ {
+			got := s.Chunk(step, 0)
+			want := chunk
+			if rem := c.n - step*chunk; rem < chunk {
+				want = rem
+			}
+			if got != want {
+				t.Fatalf("STATIC N=%d P=%d: Chunk(%d) = %d, want %d", c.n, c.p, step, got, want)
+			}
+			sum += got
+		}
+		if sum != c.n {
+			t.Errorf("STATIC N=%d P=%d: raw sequence sums to %d, want exactly N", c.n, c.p, sum)
+		}
+		// Steps past exhaustion still return a positive size for termination.
+		if got := s.Chunk(c.p+3, 0); got < 1 {
+			t.Errorf("STATIC N=%d P=%d: post-exhaustion Chunk = %d, want >= 1", c.n, c.p, got)
+		}
+	}
+}

@@ -21,14 +21,24 @@ type staticSched struct{ base }
 
 func newStatic(p Params) Schedule { return &staticSched{base{STATIC, p}} }
 
-// Chunk assigns ⌈N/P⌉ to each of the first P steps. Later steps (which only
-// occur when clamping already exhausted the loop) still return a positive
-// size so callers always terminate via the scheduled-iterations clamp.
+// Chunk assigns ⌈N/P⌉ to each step while that much work remains and the
+// true remainder N − step·⌈N/P⌉ to the final step, so the raw sequence sums
+// to exactly N when N % P ≠ 0 instead of overshooting. Later steps (which
+// only occur when clamping already exhausted the loop) still return a
+// positive size so callers always terminate via the scheduled-iterations
+// clamp.
 func (s *staticSched) Chunk(step, _ int) int {
 	if s.p.N == 0 {
 		return s.clampMin(1)
 	}
-	return s.clampMin(ceilDiv(s.p.N, s.p.P))
+	c := ceilDiv(s.p.N, s.p.P)
+	if rem := s.p.N - step*c; rem < c {
+		if rem < 1 {
+			rem = 1
+		}
+		return s.clampMin(rem)
+	}
+	return s.clampMin(c)
 }
 
 // -------------------------------------------------------------------- SS --

@@ -26,9 +26,65 @@ import (
 	"repro/dls"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/perturb"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// Topology customizes the simulated machine relative to the miniHPC preset.
+// The zero value is the paper's homogeneous 16-core Xeon configuration.
+// Patterns shorter than the node count are tiled (e.g. {1, 0.5} alternates
+// full- and half-speed nodes).
+type Topology struct {
+	// NodeSpeeds holds relative per-node core speeds (1.0 = Xeon reference
+	// core). Chunk execution time divides by the host node's speed.
+	NodeSpeeds []float64
+	// NodeCores holds per-node core counts (e.g. {16, 64} alternates Xeon
+	// and KNL partitions). Config.WorkersPerNode acts as a per-node cap.
+	NodeCores []int
+}
+
+// IsZero reports whether the topology is the paper default.
+func (t Topology) IsZero() bool { return len(t.NodeSpeeds) == 0 && len(t.NodeCores) == 0 }
+
+func (t Topology) String() string {
+	if t.IsZero() {
+		return "miniHPC"
+	}
+	s := "miniHPC"
+	if len(t.NodeSpeeds) > 0 {
+		s += fmt.Sprintf(" speeds=%v", t.NodeSpeeds)
+	}
+	if len(t.NodeCores) > 0 {
+		s += fmt.Sprintf(" cores=%v", t.NodeCores)
+	}
+	return s
+}
+
+// apply projects the topology onto a cluster description of cl.Nodes nodes.
+func (t Topology) apply(cl *cluster.Config) {
+	if t.IsZero() {
+		return
+	}
+	cl.Name += "-custom"
+	if len(t.NodeSpeeds) > 0 {
+		cl.NodeSpeed = make([]float64, cl.Nodes)
+		for i := range cl.NodeSpeed {
+			cl.NodeSpeed[i] = t.NodeSpeeds[i%len(t.NodeSpeeds)]
+		}
+	}
+	if len(t.NodeCores) > 0 {
+		cl.NodeCores = make([]int, cl.Nodes)
+		for i := range cl.NodeCores {
+			cl.NodeCores[i] = t.NodeCores[i%len(t.NodeCores)]
+		}
+	}
+}
+
+// Perturbation re-exports the scenario perturbation description
+// (system noise, transient slowdowns, per-node background load); see
+// internal/perturb for the replay-determinism contract.
+type Perturbation = perturb.Config
 
 // Approach re-exports the executor selection.
 type Approach = core.Approach
@@ -88,6 +144,16 @@ type Config struct {
 	Seed  int64
 	// Profile overrides App with a custom workload.
 	Profile *workload.Profile
+	// Workload, when non-empty, overrides App with a synthetic workload
+	// spec parsed by workload.ParseSpec (e.g. "gaussian:n=8192,cv=0.5").
+	// Profile takes precedence over both.
+	Workload string
+	// Topology customizes node speeds and core counts; the zero value is
+	// the paper's homogeneous machine.
+	Topology Topology
+	// Perturbation injects system noise, transient slowdowns, and
+	// background load; the zero value keeps the machine smooth.
+	Perturbation Perturbation
 	// ExtendedRuntime enables TSS/FAC2 intra-node under MPI+OpenMP.
 	ExtendedRuntime bool
 	// CollectTrace records the full event trace.
@@ -116,15 +182,18 @@ func (c Config) withDefaults() Config {
 type Result = core.Result
 
 // profileFor resolves the workload.
-func profileFor(c Config) *workload.Profile {
+func profileFor(c Config) (*workload.Profile, error) {
 	if c.Profile != nil {
-		return c.Profile
+		return c.Profile, nil
+	}
+	if c.Workload != "" {
+		return workload.ParseSpec(c.Workload, c.Seed)
 	}
 	switch c.App {
 	case PSIA:
-		return workload.PSIAProfile(c.Scale)
+		return workload.PSIAProfile(c.Scale), nil
 	default:
-		return workload.MandelbrotProfile(c.Scale)
+		return workload.MandelbrotProfile(c.Scale), nil
 	}
 }
 
@@ -133,14 +202,20 @@ func Run(cfg Config) (*Result, error) {
 	c := cfg.withDefaults()
 	cl := cluster.MiniHPC(c.Nodes)
 	cl.NoiseCV = c.NoiseCV
+	c.Topology.apply(&cl)
+	prof, err := profileFor(c)
+	if err != nil {
+		return nil, err
+	}
 	return core.Run(core.Config{
 		Cluster:         cl,
 		WorkersPerNode:  c.WorkersPerNode,
 		Inter:           c.Inter,
 		Intra:           c.Intra,
-		Workload:        profileFor(c),
+		Workload:        prof,
 		Approach:        c.Approach,
 		Seed:            c.Seed,
+		Perturb:         c.Perturbation,
 		ExtendedRuntime: c.ExtendedRuntime,
 		CollectTrace:    c.CollectTrace,
 	})

@@ -1,0 +1,208 @@
+package hdls
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/dls"
+	"repro/internal/stats"
+)
+
+// RobustnessTechniques is the default inter-node technique set of the
+// robustness sweep: the paper's Figure 4–7 first-level techniques plus SS.
+var RobustnessTechniques = []dls.Technique{dls.STATIC, dls.SS, dls.GSS, dls.TSS, dls.FAC2}
+
+// RobustnessOptions configures one robustness sweep: a set of inter-node
+// techniques executed under one scenario (topology × perturbation ×
+// workload), scored by how evenly the nodes finish.
+type RobustnessOptions struct {
+	// Techniques are the inter-node techniques to compare
+	// (default RobustnessTechniques).
+	Techniques []dls.Technique
+	// Intra is the intra-node technique used in every cell. The zero value
+	// (STATIC) is the paper's lowest-overhead second level; cores within a
+	// node are homogeneous, so the scenario axes act at the inter level.
+	Intra dls.Technique
+	// Nodes (default 4) and WorkersPerNode (default 16) size the machine.
+	Nodes          int
+	WorkersPerNode int
+	// Approach defaults to MPIMPI, the paper's proposed executor.
+	Approach Approach
+	// App / Scale / Workload select the loop as in Config.
+	App      App
+	Scale    int
+	Workload string
+	Seed     int64
+	// Topology and Perturbation define the scenario; their zero values are
+	// the smooth homogeneous paper machine.
+	Topology     Topology
+	Perturbation Perturbation
+	// ExtendedRuntime permits TSS/FAC2 intra under the OpenMP approaches.
+	ExtendedRuntime bool
+	// Parallelism bounds concurrent cells (0 = GOMAXPROCS, as in figures).
+	Parallelism int
+	// Progress, if non-nil, observes each completed cell (serialized).
+	Progress func(cell string)
+}
+
+func (o RobustnessOptions) withDefaults() RobustnessOptions {
+	if len(o.Techniques) == 0 {
+		o.Techniques = RobustnessTechniques
+	}
+	if o.Nodes == 0 {
+		o.Nodes = 4
+	}
+	if o.WorkersPerNode == 0 {
+		o.WorkersPerNode = 16
+	}
+	if o.Scale == 0 {
+		o.Scale = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// RobustnessRow scores one inter-node technique under the sweep's scenario.
+type RobustnessRow struct {
+	Technique string `json:"technique"`
+	// ParallelTime is the paper's metric (seconds of virtual time).
+	ParallelTime float64 `json:"parallel_time"`
+	// NodeFinishCoV is the coefficient of variation of per-node finish
+	// times — the sweep's robustness metric: 0 means every node finished
+	// together; large values mean the technique failed to rebalance.
+	NodeFinishCoV float64 `json:"node_finish_cov"`
+	// LoadImbalance is max/mean − 1 over worker finish times.
+	LoadImbalance float64 `json:"load_imbalance"`
+	GlobalChunks  int     `json:"global_chunks"`
+	LocalChunks   int     `json:"local_chunks"`
+}
+
+// RobustnessResult is one completed robustness sweep.
+type RobustnessResult struct {
+	Scenario string          `json:"scenario"`
+	Workload string          `json:"workload"`
+	Nodes    int             `json:"nodes"`
+	Workers  int             `json:"workers_per_node"`
+	Approach string          `json:"approach"`
+	Intra    string          `json:"intra"`
+	Rows     []RobustnessRow `json:"rows"`
+}
+
+// RunRobustness executes the robustness sweep: every technique runs the
+// identical scenario, and the resulting table ranks them by how well they
+// absorb heterogeneity and perturbations. Cells run concurrently; results
+// land in technique order regardless of completion order.
+func RunRobustness(opt RobustnessOptions) (*RobustnessResult, error) {
+	o := opt.withDefaults()
+	rr := &RobustnessResult{
+		Scenario: scenarioName(o),
+		Workload: o.Workload,
+		Nodes:    o.Nodes,
+		Workers:  o.WorkersPerNode,
+		Approach: o.Approach.String(),
+		Intra:    o.Intra.String(),
+		Rows:     make([]RobustnessRow, len(o.Techniques)),
+	}
+	if rr.Workload == "" {
+		rr.Workload = o.App.String()
+	}
+	var (
+		mu      sync.Mutex
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	sem := make(chan struct{}, parallelismOf(o.Parallelism, len(o.Techniques)))
+	for i, tech := range o.Techniques {
+		i, tech := i, tech
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			res, err := Run(Config{
+				App: o.App, Nodes: o.Nodes, WorkersPerNode: o.WorkersPerNode,
+				Inter: tech, Intra: o.Intra, Approach: o.Approach,
+				Scale: o.Scale, Seed: o.Seed,
+				Workload: o.Workload, Topology: o.Topology, Perturbation: o.Perturbation,
+				ExtendedRuntime: o.ExtendedRuntime,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstEr == nil {
+					firstEr = fmt.Errorf("robustness %v: %w", tech, err)
+				}
+				return
+			}
+			nf := make([]float64, len(res.NodeFinish))
+			for j, f := range res.NodeFinish {
+				nf[j] = float64(f)
+			}
+			rr.Rows[i] = RobustnessRow{
+				Technique:     tech.String(),
+				ParallelTime:  float64(res.ParallelTime),
+				NodeFinishCoV: stats.CoV(nf),
+				LoadImbalance: res.LoadImbalance,
+				GlobalChunks:  res.GlobalChunks,
+				LocalChunks:   res.LocalChunks,
+			}
+			if o.Progress != nil {
+				o.Progress(fmt.Sprintf("robust %v %s", tech, rr.Scenario))
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return rr, nil
+}
+
+func parallelismOf(p, cells int) int {
+	if p <= 0 || p > cells {
+		if cells < 1 {
+			return 1
+		}
+		return cells
+	}
+	return p
+}
+
+func scenarioName(o RobustnessOptions) string {
+	parts := []string{o.Topology.String()}
+	if o.Perturbation.Enabled() {
+		parts = append(parts, o.Perturbation.String())
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Table renders the sweep as a text table ranking techniques under the
+// scenario.
+func (rr *RobustnessResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Robustness sweep — %s, workload %s, %d nodes × %d workers, %s (intra %s)\n",
+		rr.Scenario, rr.Workload, rr.Nodes, rr.Workers, rr.Approach, rr.Intra)
+	fmt.Fprintf(&b, "%-8s %14s %16s %14s %8s %8s\n",
+		"inter", "parallel s", "node-finish CoV", "imbalance", "gchunks", "lchunks")
+	for _, r := range rr.Rows {
+		fmt.Fprintf(&b, "%-8s %14.6f %16.4f %14.4f %8d %8d\n",
+			r.Technique, r.ParallelTime, r.NodeFinishCoV, r.LoadImbalance,
+			r.GlobalChunks, r.LocalChunks)
+	}
+	return b.String()
+}
+
+// CSV renders the sweep as CSV rows.
+func (rr *RobustnessResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("scenario,workload,nodes,workers,approach,intra,inter,parallel_s,node_finish_cov,imbalance,global_chunks,local_chunks\n")
+	for _, r := range rr.Rows {
+		fmt.Fprintf(&b, "%q,%q,%d,%d,%s,%s,%s,%.6f,%.4f,%.4f,%d,%d\n",
+			rr.Scenario, rr.Workload, rr.Nodes, rr.Workers, rr.Approach, rr.Intra,
+			r.Technique, r.ParallelTime, r.NodeFinishCoV, r.LoadImbalance,
+			r.GlobalChunks, r.LocalChunks)
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package hdls
+
+import (
+	"strings"
+	"testing"
+
+	"repro/dls"
+	"repro/internal/sim"
+)
+
+// TestRobustnessHeteroDynamicBeatsStatic is the scenario engine's
+// acceptance property: on a heterogeneous machine with a 2× node speed
+// skew, the dynamic techniques (GSS, FAC2) must beat STATIC on parallel
+// time — the inter-node rebalancing the DLS literature predicts and the
+// paper's homogeneous evaluation cannot show — and must equalize node
+// finish times (node-finish CoV) by at least an order of magnitude.
+func TestRobustnessHeteroDynamicBeatsStatic(t *testing.T) {
+	rr, err := RunRobustness(RobustnessOptions{
+		Techniques: []dls.Technique{dls.STATIC, dls.GSS, dls.FAC2},
+		Topology:   Topology{NodeSpeeds: []float64{1, 0.5}},
+		Workload:   "gaussian:n=8192,mean=100e-6,cv=0.3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]RobustnessRow{}
+	for _, r := range rr.Rows {
+		rows[r.Technique] = r
+	}
+	static := rows["STATIC"]
+	for _, dyn := range []string{"GSS", "FAC2"} {
+		r := rows[dyn]
+		if r.ParallelTime <= 0 || static.ParallelTime <= 0 {
+			t.Fatalf("missing results: %+v", rr.Rows)
+		}
+		if r.ParallelTime >= static.ParallelTime {
+			t.Errorf("%s parallel time %.6f not better than STATIC %.6f under 2x speed skew",
+				dyn, r.ParallelTime, static.ParallelTime)
+		}
+		if r.NodeFinishCoV*10 >= static.NodeFinishCoV {
+			t.Errorf("%s node-finish CoV %.4f not ≪ STATIC %.4f under 2x speed skew",
+				dyn, r.NodeFinishCoV, static.NodeFinishCoV)
+		}
+	}
+	if !strings.Contains(rr.Table(), "STATIC") {
+		t.Error("Table() lost the STATIC row")
+	}
+}
+
+// TestTopologyCoreCountsCapWorkers checks the per-node worker plumbing:
+// NodeCores caps WorkersPerNode per node, and the flat worker slices size
+// to the sum.
+func TestTopologyCoreCountsCapWorkers(t *testing.T) {
+	res, err := Run(Config{
+		Nodes: 2, WorkersPerNode: 16,
+		Inter: dls.GSS, Intra: dls.STATIC,
+		Topology: Topology{NodeCores: []int{16, 8}, NodeSpeeds: []float64{1, 0.5}},
+		Workload: "uniform:n=2048",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NodeWorkers) != 2 || res.NodeWorkers[0] != 16 || res.NodeWorkers[1] != 8 {
+		t.Fatalf("NodeWorkers = %v, want [16 8]", res.NodeWorkers)
+	}
+	if res.Workers != 24 || len(res.WorkerFinish) != 24 {
+		t.Fatalf("Workers = %d (finish len %d), want 24", res.Workers, len(res.WorkerFinish))
+	}
+	if len(res.NodeFinish) != 2 {
+		t.Fatalf("NodeFinish has %d entries, want 2", len(res.NodeFinish))
+	}
+}
+
+// TestPerturbationSlowsRuns checks the perturbation path end to end: a
+// perturbed run takes strictly longer than the smooth-machine run of the
+// same Config, and background load alone scales compute deterministically.
+func TestPerturbationSlowsRuns(t *testing.T) {
+	base := Config{
+		Nodes: 2, Inter: dls.GSS, Intra: dls.STATIC,
+		Workload: "uniform:n=4096",
+	}
+	smooth, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := base
+	perturbed.Perturbation = Perturbation{
+		SlowdownRate: 100, SlowdownFactor: 3, SlowdownDuration: 2e-3 * sim.Second,
+		BackgroundLoad: []float64{0.3},
+	}
+	slow, err := Run(perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.ParallelTime <= smooth.ParallelTime {
+		t.Errorf("perturbed run %.6f not slower than smooth %.6f",
+			float64(slow.ParallelTime), float64(smooth.ParallelTime))
+	}
+	// Background load of 0.3 alone stretches pure compute by 1/(1−0.3);
+	// with dynamic scheduling the makespan should grow by a comparable
+	// factor (loosely bounded to stay robust to scheduling artifacts).
+	bgOnly := base
+	bgOnly.Perturbation = Perturbation{BackgroundLoad: []float64{0.3}}
+	bg, err := Run(bgOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(bg.ParallelTime) / float64(smooth.ParallelTime)
+	if ratio < 1.2 || ratio > 1.6 {
+		t.Errorf("background-load ratio %.3f outside [1.2, 1.6] (expected ≈ 1/(1−0.3) ≈ 1.43)", ratio)
+	}
+}
+
+// TestZeroScenarioFieldsMatchLegacyPath guards the acceptance criterion
+// that all-new-Config-fields-at-zero reproduces the legacy experiment
+// byte for byte.
+func TestZeroScenarioFieldsMatchLegacyPath(t *testing.T) {
+	legacy, err := Run(Config{App: Mandelbrot, Nodes: 2, Inter: dls.GSS, Intra: dls.STATIC, Scale: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroed, err := Run(Config{
+		App: Mandelbrot, Nodes: 2, Inter: dls.GSS, Intra: dls.STATIC, Scale: 64,
+		Topology: Topology{}, Perturbation: Perturbation{}, Workload: "",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.ParallelTime != zeroed.ParallelTime || legacy.GlobalChunks != zeroed.GlobalChunks ||
+		legacy.LocalChunks != zeroed.LocalChunks || legacy.LockAttempts != zeroed.LockAttempts {
+		t.Fatalf("zero-valued scenario fields changed the run: %+v vs %+v", legacy, zeroed)
+	}
+}
+
+// TestWorkloadSpecErrors surfaces spec parse errors through Run.
+func TestWorkloadSpecErrors(t *testing.T) {
+	for _, spec := range []string{"nope", "uniform:lo=5,hi=2", "gaussian:bogus=1", "uniform:n=-3"} {
+		if _, err := Run(Config{Workload: spec, Inter: dls.GSS}); err == nil {
+			t.Errorf("Run accepted bad workload spec %q", spec)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package cliutil holds the small flag-parsing helpers the hdlsim and
+// hdlsweep commands share, so the scenario flags (-speeds, -cores, -bg,
+// -nodes) parse identically in both binaries.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseFloats parses a comma-separated float list ("1,0.5").
+func ParseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParsePositiveInts parses a comma-separated list of positive integers
+// ("16,64"), rejecting zero and negatives.
+func ParsePositiveInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -51,11 +51,27 @@ type MemParams struct {
 	CopyBandwidth float64
 }
 
+// Perturber injects time-dependent execution-time perturbations (transient
+// slowdowns, background load, extra noise). internal/perturb provides the
+// implementation; the indirection keeps this package a pure description.
+// Factor returns the multiplier (≥ some small positive value) for work
+// starting on node at virtual time now; NoiseCV adds white noise on top of
+// the cluster's own NoiseCV.
+type Perturber interface {
+	Factor(node int, now sim.Time) float64
+	NoiseCV() float64
+}
+
 // Config describes a machine.
 type Config struct {
 	Name         string
 	Nodes        int
 	CoresPerNode int
+	// NodeCores holds per-node core counts for heterogeneous machines (e.g.
+	// miniHPC's 16-core Xeon vs. 64-core KNL partitions). A nil slice means
+	// every node has CoresPerNode cores; otherwise the pattern is tiled
+	// across nodes and CoresPerNode acts as the documentation default.
+	NodeCores []int
 	// NodeSpeed holds per-node relative speeds (1.0 = reference core). A nil
 	// slice means homogeneous. Iteration execution time divides by speed.
 	NodeSpeed []float64
@@ -63,6 +79,10 @@ type Config struct {
 	// coefficient of variation to each executed chunk, modelling systemic
 	// variability (OS jitter). Zero keeps runs perfectly smooth.
 	NoiseCV float64
+	// Perturb, when non-nil, injects the scenario perturbations of
+	// internal/perturb into every execution. Nil keeps the machine smooth
+	// and the paper-default goldens byte-identical.
+	Perturb Perturber
 	Net     NetParams
 	Mem     MemParams
 }
@@ -83,6 +103,14 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("cluster: NodeSpeed[%d] = %v, must be positive", i, s)
 		}
 	}
+	if len(c.NodeCores) > c.Nodes {
+		return fmt.Errorf("cluster: NodeCores has %d entries for %d nodes", len(c.NodeCores), c.Nodes)
+	}
+	for i, n := range c.NodeCores {
+		if n <= 0 {
+			return fmt.Errorf("cluster: NodeCores[%d] = %d, must be positive", i, n)
+		}
+	}
 	if c.NoiseCV < 0 {
 		return errors.New("cluster: NoiseCV must be non-negative")
 	}
@@ -95,8 +123,38 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// TotalCores reports Nodes × CoresPerNode.
-func (c *Config) TotalCores() int { return c.Nodes * c.CoresPerNode }
+// TotalCores reports the machine's core count (summing NodeCores when the
+// machine is heterogeneous).
+func (c *Config) TotalCores() int {
+	if len(c.NodeCores) == 0 {
+		return c.Nodes * c.CoresPerNode
+	}
+	total := 0
+	for n := 0; n < c.Nodes; n++ {
+		total += c.Cores(n)
+	}
+	return total
+}
+
+// Cores returns node n's core count (the tiled NodeCores pattern, or the
+// homogeneous CoresPerNode).
+func (c *Config) Cores(node int) int {
+	if len(c.NodeCores) == 0 {
+		return c.CoresPerNode
+	}
+	return c.NodeCores[node%len(c.NodeCores)]
+}
+
+// MaxCores returns the largest per-node core count.
+func (c *Config) MaxCores() int {
+	m := 0
+	for n := 0; n < c.Nodes; n++ {
+		if k := c.Cores(n); k > m {
+			m = k
+		}
+	}
+	return m
+}
 
 // Speed returns node n's relative speed.
 func (c *Config) Speed(node int) float64 {
@@ -107,22 +165,41 @@ func (c *Config) Speed(node int) float64 {
 }
 
 // ExecTime converts a reference-core duration into node-local execution
-// time, applying the node's relative speed and, when NoiseCV is set,
-// multiplicative noise drawn from rng (truncated so durations stay positive).
-func (c *Config) ExecTime(node int, ref sim.Time, rng *rand.Rand) sim.Time {
+// time starting at virtual time now: the duration divides by the node's
+// relative speed, is stretched by the perturbation model's factor (sampled
+// at the chunk's start time), and — when NoiseCV or the perturber's noise
+// is set — picks up multiplicative noise drawn from rng (truncated so
+// durations stay positive). With no perturber and NoiseCV = 0 the result
+// is exactly ref/speed, preserving the smooth-machine goldens bit for bit.
+func (c *Config) ExecTime(node int, ref, now sim.Time, rng *rand.Rand) sim.Time {
 	d := ref / sim.Time(c.Speed(node))
-	if c.NoiseCV > 0 && rng != nil {
-		f := 1 + c.NoiseCV*rng.NormFloat64()
-		if f < 0.05 {
-			f = 0.05
+	if c.Perturb != nil {
+		if f := c.Perturb.Factor(node, now); f != 1 {
+			d *= sim.Time(f)
 		}
-		d *= sim.Time(f)
+	}
+	d = applyNoise(d, c.NoiseCV, rng)
+	if c.Perturb != nil {
+		d = applyNoise(d, c.Perturb.NoiseCV(), rng)
 	}
 	return d
 }
 
-// WithNodes returns a copy of the config resized to n homogeneous nodes,
-// keeping all cost parameters. Used by scaling sweeps.
+// applyNoise multiplies d by a 1+cv·N(0,1) factor floored at 0.05.
+func applyNoise(d sim.Time, cv float64, rng *rand.Rand) sim.Time {
+	if cv <= 0 || rng == nil {
+		return d
+	}
+	f := 1 + cv*rng.NormFloat64()
+	if f < 0.05 {
+		f = 0.05
+	}
+	return d * sim.Time(f)
+}
+
+// WithNodes returns a copy of the config resized to n nodes, keeping all
+// cost parameters and tiling any per-node speed/core patterns. Used by
+// scaling sweeps.
 func (c Config) WithNodes(n int) Config {
 	c.Nodes = n
 	if c.NodeSpeed != nil {
@@ -131,6 +208,13 @@ func (c Config) WithNodes(n int) Config {
 			sp[i] = c.NodeSpeed[i%len(c.NodeSpeed)]
 		}
 		c.NodeSpeed = sp
+	}
+	if c.NodeCores != nil {
+		nc := make([]int, n)
+		for i := range nc {
+			nc[i] = c.NodeCores[i%len(c.NodeCores)]
+		}
+		c.NodeCores = nc
 	}
 	return c
 }
@@ -187,6 +271,27 @@ func MiniHPCKNL(nodes int) Config {
 	c.Mem.SharedWinOp *= 2
 	c.Mem.LockAttempt *= 2
 	c.Mem.CopyBandwidth = 6e9
+	return c
+}
+
+// MiniHPCMixed models a mixed miniHPC allocation alternating Xeon nodes
+// (16 cores, speed 1.0) with KNL nodes (64 cores, speed 0.45) — the
+// machine-level heterogeneity scenario the paper's homogeneous evaluation
+// leaves open. The pattern starts with a Xeon node and tiles.
+func MiniHPCMixed(nodes int) Config {
+	c := MiniHPC(nodes)
+	c.Name = "miniHPC-mixed"
+	c.NodeCores = make([]int, nodes)
+	c.NodeSpeed = make([]float64, nodes)
+	for i := 0; i < nodes; i++ {
+		if i%2 == 0 {
+			c.NodeCores[i] = 16
+			c.NodeSpeed[i] = 1.0
+		} else {
+			c.NodeCores[i] = 64
+			c.NodeSpeed[i] = 0.45
+		}
+	}
 	return c
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"repro/dls"
 	"repro/internal/cluster"
+	"repro/internal/perturb"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -66,7 +67,11 @@ func (a Approach) String() string {
 type Config struct {
 	Cluster cluster.Config
 	// WorkersPerNode is the number of MPI ranks per node (MPI+MPI) or
-	// OpenMP threads per node (MPI+OpenMP). The paper uses 16.
+	// OpenMP threads per node (MPI+OpenMP). The paper uses 16. On a
+	// heterogeneous machine it acts as a per-node cap: node n runs
+	// min(WorkersPerNode, Cluster.Cores(n)) workers, so a 64-core KNL node
+	// fills all its cores at WorkersPerNode = 64 while a 16-core Xeon
+	// neighbour still runs 16.
 	WorkersPerNode int
 	// Inter is the DLS technique at the inter-node level (P = nodes).
 	Inter dls.Technique
@@ -80,6 +85,10 @@ type Config struct {
 	Approach Approach
 	// Seed drives the engine RNG (noise); runs are bit-deterministic per seed.
 	Seed int64
+	// Perturb describes scenario perturbations (internal/perturb): system
+	// noise, transient slowdowns, background load. The zero value keeps the
+	// machine smooth. A zero Perturb.Seed inherits Seed.
+	Perturb perturb.Config
 	// ExtendedRuntime permits TSS/FAC2 intra-node under MPI+OpenMP,
 	// modelling the LaPeSD-libGOMP runtime the paper defers to future work.
 	// Without it those combinations error, matching the Intel runtime.
@@ -98,12 +107,29 @@ type Config struct {
 func (c *Config) withDefaults() Config {
 	out := *c
 	if out.QueueCapacity <= 0 {
+		// The provable bound is the node's worker count; on heterogeneous
+		// machines size for the largest node so every local queue fits.
 		out.QueueCapacity = out.WorkersPerNode
+		if m := out.Cluster.MaxCores(); out.QueueCapacity > m {
+			out.QueueCapacity = m
+		}
 	}
 	if out.ChunkCalcCost <= 0 {
 		out.ChunkCalcCost = 0.15 * sim.Microsecond
 	}
+	if out.Perturb.Seed == 0 {
+		out.Perturb.Seed = out.Seed
+	}
 	return out
+}
+
+// workersOn reports node n's worker count: WorkersPerNode capped by the
+// node's core count.
+func (c *Config) workersOn(n int) int {
+	if k := c.Cluster.Cores(n); c.WorkersPerNode > k {
+		return k
+	}
+	return c.WorkersPerNode
 }
 
 // intraSupported lists the techniques valid at the intra-node level for the
@@ -123,8 +149,11 @@ func (c *Config) Validate() error {
 	if err := c.Cluster.Validate(); err != nil {
 		return err
 	}
-	if c.WorkersPerNode <= 0 || c.WorkersPerNode > c.Cluster.CoresPerNode {
-		return fmt.Errorf("core: WorkersPerNode %d out of 1..%d", c.WorkersPerNode, c.Cluster.CoresPerNode)
+	if c.WorkersPerNode <= 0 || c.WorkersPerNode > c.Cluster.MaxCores() {
+		return fmt.Errorf("core: WorkersPerNode %d out of 1..%d", c.WorkersPerNode, c.Cluster.MaxCores())
+	}
+	if err := c.Perturb.Validate(); err != nil {
+		return err
 	}
 	if c.Workload == nil || c.Workload.N() == 0 {
 		return fmt.Errorf("core: empty workload")
@@ -153,7 +182,11 @@ type Result struct {
 	Approach     Approach
 	Inter, Intra dls.Technique
 	Nodes        int
-	Workers      int // total workers = Nodes × WorkersPerNode
+	Workers      int // total workers (Σ per-node worker counts)
+	// NodeWorkers is each node's worker count; worker w of the flat slices
+	// below lives on the node whose [offset, offset+count) range contains w,
+	// in node order.
+	NodeWorkers []int
 
 	// ParallelTime is the paper's metric: the time at which the last
 	// worker finished executing loop iterations.
@@ -162,6 +195,9 @@ type Result struct {
 	WorkerFinish []sim.Time
 	// WorkerCompute is each worker's accumulated execution time.
 	WorkerCompute []sim.Time
+	// NodeFinish is each node's last-execution completion time (the max
+	// over its workers) — the robustness sweeps key on its spread.
+	NodeFinish []sim.Time
 	// LoadImbalance is max/mean − 1 over worker finish times.
 	LoadImbalance float64
 
@@ -188,6 +224,13 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	c := cfg.withDefaults()
+	if c.Perturb.Enabled() {
+		m, err := perturb.New(c.Perturb, c.Cluster.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		c.Cluster.Perturb = m
+	}
 	h := newHarness(&c)
 	var err error
 	switch c.Approach {
@@ -216,6 +259,8 @@ type harness struct {
 	prof *workload.Profile
 
 	nWorkers int
+	wPerNode []int // workers hosted per node
+	wOff     []int // first flat worker index of each node
 	finish   []sim.Time
 	compute  []sim.Time
 
@@ -243,8 +288,14 @@ func newHarness(c *Config) *harness {
 		cfg:      c,
 		eng:      sim.NewEngine(c.Seed),
 		prof:     c.Workload,
-		nWorkers: c.Cluster.Nodes * c.WorkersPerNode,
+		wPerNode: make([]int, c.Cluster.Nodes),
+		wOff:     make([]int, c.Cluster.Nodes),
 		bitmap:   make([]uint64, (n+63)/64),
+	}
+	for node := range h.wPerNode {
+		h.wPerNode[node] = c.workersOn(node)
+		h.wOff[node] = h.nWorkers
+		h.nWorkers += h.wPerNode[node]
 	}
 	h.finish = make([]sim.Time, h.nWorkers)
 	h.compute = make([]sim.Time, h.nWorkers)
@@ -272,9 +323,19 @@ func newHarness(c *Config) *harness {
 // scheduling)"), which is why Fig. 4 shows the two approaches matching.
 func (h *harness) interP() int {
 	if h.cfg.Approach == MPIMPI && h.cfg.Inter != dls.STATIC {
-		return h.cfg.Cluster.Nodes * h.cfg.WorkersPerNode
+		return h.nWorkers
 	}
 	return h.cfg.Cluster.Nodes
+}
+
+// nodeOfWorker maps a flat worker index back to its hosting node.
+func (h *harness) nodeOfWorker(w int) int {
+	for node := len(h.wOff) - 1; node > 0; node-- {
+		if w >= h.wOff[node] {
+			return node
+		}
+	}
+	return 0
 }
 
 // interSchedule builds the global-queue schedule for interP requesters.
@@ -291,7 +352,7 @@ func (h *harness) interSchedule(p int) dls.Schedule {
 		for i := range weights {
 			node := i
 			if p > h.cfg.Cluster.Nodes {
-				node = i / h.cfg.WorkersPerNode // requesters are ranks
+				node = h.nodeOfWorker(i) // requesters are ranks
 			}
 			weights[i] = h.cfg.Cluster.Speed(node)
 		}
@@ -301,16 +362,18 @@ func (h *harness) interSchedule(p int) dls.Schedule {
 }
 
 // intraChunkSize returns the sub-chunk size for a chunk of length origLen at
-// intra scheduling step, requested by node-local worker w.
+// intra scheduling step, requested by node-local worker w. The intra-level
+// worker count is the hosting node's (per-node on heterogeneous machines).
 func (h *harness) intraChunkSize(node, origLen, step, w int) int {
 	c := h.cfg
+	nw := h.wPerNode[node]
 	switch c.Intra {
 	case dls.SS:
 		return 1
 	case dls.STATIC:
-		return (origLen + c.WorkersPerNode - 1) / c.WorkersPerNode
+		return (origLen + nw - 1) / nw
 	case dls.GSS:
-		p := float64(c.WorkersPerNode)
+		p := float64(nw)
 		if p == 1 {
 			if step == 0 {
 				return origLen
@@ -327,7 +390,7 @@ func (h *harness) intraChunkSize(node, origLen, step, w int) int {
 	sched, ok := h.intraCache[node][origLen]
 	if !ok {
 		sched = dls.MustNew(c.Intra, dls.Params{
-			N: origLen, P: c.WorkersPerNode,
+			N: origLen, P: nw,
 			Mean: h.prof.Mean(), Sigma: h.sigma,
 			Overhead: 3e-6,
 		})
@@ -392,12 +455,22 @@ func (h *harness) result() *Result {
 	for i, f := range h.finish {
 		fin[i] = float64(f)
 	}
+	nodeFinish := make([]sim.Time, h.cfg.Cluster.Nodes)
+	for node := range nodeFinish {
+		for w := h.wOff[node]; w < h.wOff[node]+h.wPerNode[node]; w++ {
+			if h.finish[w] > nodeFinish[node] {
+				nodeFinish[node] = h.finish[w]
+			}
+		}
+	}
 	return &Result{
 		Approach:         h.cfg.Approach,
 		Inter:            h.cfg.Inter,
 		Intra:            h.cfg.Intra,
 		Nodes:            h.cfg.Cluster.Nodes,
 		Workers:          h.nWorkers,
+		NodeWorkers:      append([]int(nil), h.wPerNode...),
+		NodeFinish:       nodeFinish,
 		ParallelTime:     h.makespan(),
 		WorkerFinish:     append([]sim.Time(nil), h.finish...),
 		WorkerCompute:    append([]sim.Time(nil), h.compute...),

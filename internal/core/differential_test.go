@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/dls"
+	"repro/internal/cluster"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Differential oracle: on a 1-node/1-worker machine the hierarchy
+// degenerates — there is exactly one requester and the intra level (STATIC
+// over one worker) passes every global chunk through untouched — so every
+// executor must execute precisely the chunk sequence of a direct
+// dls.Schedule walk with the same parameters. This pins the executors'
+// distributed chunk calculation (step accounting, clamping, termination)
+// to the package-level reference semantics.
+func TestExecutorsMatchScheduleWalkOnSingleWorker(t *testing.T) {
+	prof := workload.Uniform(1237, 20e-6, 60e-6, 11) // non-round N exercises clamping
+	techniques := []dls.Technique{
+		dls.STATIC, dls.SS, dls.FSC, dls.GSS, dls.TSS,
+		dls.FAC, dls.FAC2, dls.TFSS, dls.RND, dls.WF,
+	}
+	approaches := []Approach{MPIMPI, MPIOpenMP, MPIOpenMPNoWait}
+
+	for _, tech := range techniques {
+		for _, ap := range approaches {
+			cfg := Config{
+				Cluster: cluster.MiniHPC(1), WorkersPerNode: 1,
+				Inter: tech, Intra: dls.STATIC,
+				Workload: prof, Approach: ap, Seed: 1,
+				CollectTrace: true,
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("%v/%v: %v", tech, ap, err)
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", tech, ap, err)
+			}
+			got := execRanges(res.Trace)
+			want := referenceWalk(t, tech, prof)
+			if len(got) != len(want) {
+				t.Fatalf("%v/%v: executor scheduled %d chunks, reference walk %d\n got: %v\nwant: %v",
+					tech, ap, len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v/%v: chunk %d = [%d,%d), reference [%d,%d)",
+						tech, ap, i, got[i][0], got[i][1], want[i][0], want[i][1])
+				}
+			}
+		}
+	}
+}
+
+// execRanges extracts the executed iteration ranges in schedule order.
+func execRanges(tr *trace.Trace) [][2]int {
+	var evs []trace.Event
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.KindExec {
+			evs = append(evs, ev)
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+	out := make([][2]int, len(evs))
+	for i, ev := range evs {
+		out[i] = [2]int{ev.IterStart, ev.IterEnd}
+	}
+	return out
+}
+
+// referenceWalk consumes a direct dls.Schedule exactly as the distributed
+// chunk calculation does: step-indexed chunks clamped against the
+// remaining iterations, using the same parameterization the harness feeds
+// the inter level (see harness.interSchedule).
+func referenceWalk(t *testing.T, tech dls.Technique, prof *workload.Profile) [][2]int {
+	t.Helper()
+	params := dls.Params{
+		N: prof.N(), P: 1,
+		Mean: prof.Mean(), Sigma: prof.CoV() * prof.Mean(),
+		Overhead: 3e-6,
+	}
+	if tech == dls.WF {
+		params.Weights = []float64{1}
+	}
+	sched, err := dls.New(tech, params)
+	if err != nil {
+		t.Fatalf("reference %v: %v", tech, err)
+	}
+	var out [][2]int
+	next := 0
+	for step := 0; next < prof.N(); step++ {
+		if step > prof.N()+64 {
+			t.Fatalf("reference %v: walk did not terminate", tech)
+		}
+		size := sched.Chunk(step, 0)
+		end := next + size
+		if end > prof.N() {
+			end = prof.N()
+		}
+		out = append(out, [2]int{next, end})
+		next = end
+	}
+	return out
+}
+
+// TestExecutorsHeterogeneousCores is the regression test for the per-node
+// worker plumbing across every executor: on a mixed machine (in both node
+// orders) each run must cover the loop exactly, size its flat worker
+// slices to the summed per-node counts, and report per-node finish times.
+// The nowait executor previously spawned WorkersPerNode threads on every
+// node regardless of its core count, indexing past the worker slices.
+func TestExecutorsHeterogeneousCores(t *testing.T) {
+	prof := workload.Uniform(2048, 20e-6, 60e-6, 3)
+	for _, cores := range [][]int{{64, 16}, {16, 64}} {
+		for _, ap := range []Approach{MPIMPI, MPIOpenMP, MPIOpenMPNoWait} {
+			cl := cluster.MiniHPC(2)
+			cl.NodeCores = cores
+			cl.NodeSpeed = []float64{1, 0.7}
+			res, err := Run(Config{
+				Cluster: cl, WorkersPerNode: 64,
+				Inter: dls.GSS, Intra: dls.SS,
+				Workload: prof, Approach: ap, Seed: 1,
+			})
+			if err != nil {
+				t.Fatalf("cores %v %v: %v", cores, ap, err)
+			}
+			wantWorkers := cores[0] + cores[1]
+			if res.Workers != wantWorkers || len(res.WorkerFinish) != wantWorkers {
+				t.Errorf("cores %v %v: Workers = %d (finish len %d), want %d",
+					cores, ap, res.Workers, len(res.WorkerFinish), wantWorkers)
+			}
+			if len(res.NodeWorkers) != 2 || res.NodeWorkers[0] != cores[0] || res.NodeWorkers[1] != cores[1] {
+				t.Errorf("cores %v %v: NodeWorkers = %v", cores, ap, res.NodeWorkers)
+			}
+			for n, f := range res.NodeFinish {
+				if f <= 0 || f > res.ParallelTime {
+					t.Errorf("cores %v %v: NodeFinish[%d] = %v outside (0, %v]",
+						cores, ap, n, f, res.ParallelTime)
+				}
+			}
+		}
+	}
+}

@@ -33,7 +33,7 @@ func (h *harness) runMPIOpenMP() error {
 
 	return world.Run(func(r *mpi.Rank) {
 		gw := world.Comm().WinAllocate(r, "global-queue", 2)
-		team, err := openmp.NewTeam(h.eng, &c.Cluster, r.Node(), c.WorkersPerNode)
+		team, err := openmp.NewTeam(h.eng, &c.Cluster, r.Node(), h.wPerNode[r.Node()])
 		if err != nil {
 			panic(err)
 		}
@@ -46,7 +46,7 @@ func (h *harness) runMPIOpenMP() error {
 			size := inter.Chunk(int(step), node)
 			r.Proc().Sleep(c.ChunkCalcCost)
 			start := int(gw.FetchAndOp(r, 0, gwScheduled, int64(size)))
-			h.traceSched(node*c.WorkersPerNode, node, trace.KindSchedGlobal, schedT0, r.Now())
+			h.traceSched(h.wOff[node], node, trace.KindSchedGlobal, schedT0, r.Now())
 			if start >= n {
 				break
 			}
@@ -64,7 +64,7 @@ func (h *harness) runMPIOpenMP() error {
 					return h.prof.Range(start+a, start+b)
 				},
 				Visit: func(tid, a, b int, t0, t1 sim.Time) {
-					worker := node*c.WorkersPerNode + tid
+					worker := h.wOff[node] + tid
 					h.execute(worker, node, start+a, start+b, t0, t1)
 					h.localChunks++
 				},
@@ -75,7 +75,7 @@ func (h *harness) runMPIOpenMP() error {
 				for tid, fin := range res.ThreadFinish {
 					if res.MaxFinish > fin {
 						h.tr.Add(trace.Event{
-							Worker: node*c.WorkersPerNode + tid, Node: node,
+							Worker: h.wOff[node] + tid, Node: node,
 							Kind: trace.KindBarrier, Start: fin, End: res.MaxFinish,
 						})
 					}
@@ -127,7 +127,7 @@ func (h *harness) runMPIOpenMPNoWait() error {
 		var join sim.WaitQueue
 
 		threadBody := func(p *sim.Proc, tid int) {
-			worker := node*c.WorkersPerNode + tid
+			worker := h.wOff[node] + tid
 			for {
 				// Grab a sub-chunk from the current chunk (atomic).
 				atomicPort.Serve(p, c.Cluster.Mem.LocalAtomic)
@@ -141,7 +141,7 @@ func (h *harness) runMPIOpenMPNoWait() error {
 					st.step++
 					h.localChunks++
 					t0 := p.Now()
-					d := c.Cluster.ExecTime(node, h.prof.Range(a, a+size), h.eng.Rand())
+					d := c.Cluster.ExecTime(node, h.prof.Range(a, a+size), t0, h.eng.Rand())
 					p.Sleep(d)
 					h.execute(worker, node, a, a+size, t0, p.Now())
 					continue
@@ -182,14 +182,14 @@ func (h *harness) runMPIOpenMPNoWait() error {
 			join.WakeAll()
 		}
 
-		for tid := 1; tid < c.WorkersPerNode; tid++ {
+		for tid := 1; tid < h.wPerNode[node]; tid++ {
 			tid := tid
 			h.eng.Spawn(fmt.Sprintf("nw-n%d-t%d", node, tid), func(p *sim.Proc) {
 				threadBody(p, tid)
 			})
 		}
 		threadBody(r.Proc(), 0)
-		for doneThreads < c.WorkersPerNode {
+		for doneThreads < h.wPerNode[node] {
 			join.Wait(r.Proc())
 		}
 	})

@@ -23,13 +23,16 @@ const (
 	AnyTag    = -1
 )
 
-// World is a set of ranks placed on a simulated cluster: rank r lives on
-// node r/ranksPerNode, core r%ranksPerNode.
+// World is a set of ranks placed on a simulated cluster. Ranks are numbered
+// contiguously by node: node n hosts ranks [nodeOff[n], nodeOff[n]+nodeRanks[n]).
+// On a homogeneous machine that reduces to the classic rank r → node
+// r/ranksPerNode placement.
 type World struct {
-	eng          *sim.Engine
-	cfg          *cluster.Config
-	ranksPerNode int
-	ranks        []*Rank
+	eng       *sim.Engine
+	cfg       *cluster.Config
+	nodeRanks []int // ranks hosted per node
+	nodeOff   []int // first world rank of each node
+	ranks     []*Rank
 
 	// nicPort serializes inter-node message handling per node.
 	nicPort []*sim.Server
@@ -47,41 +50,60 @@ type World struct {
 	wins      []*Win
 }
 
-// NewWorld creates ranksPerNode ranks on each node of cfg. ranksPerNode must
-// not exceed cfg.CoresPerNode: one rank per core, as in the paper's runs.
+// NewWorld creates up to ranksPerNode ranks on each node of cfg: node n
+// hosts min(ranksPerNode, cfg.Cores(n)) ranks — one rank per core, as in
+// the paper's runs, with heterogeneous core counts capping naturally.
+// ranksPerNode must be in 1..MaxCores.
 func NewWorld(eng *sim.Engine, cfg *cluster.Config, ranksPerNode int) (*World, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if ranksPerNode <= 0 || ranksPerNode > cfg.CoresPerNode {
-		return nil, fmt.Errorf("mpi: ranksPerNode %d out of range 1..%d", ranksPerNode, cfg.CoresPerNode)
+	if ranksPerNode <= 0 || ranksPerNode > cfg.MaxCores() {
+		return nil, fmt.Errorf("mpi: ranksPerNode %d out of range 1..%d", ranksPerNode, cfg.MaxCores())
 	}
 	w := &World{
-		eng:          eng,
-		cfg:          cfg,
-		ranksPerNode: ranksPerNode,
-		nicPort:      make([]*sim.Server, cfg.Nodes),
-		memPort:      make([]*rmaPort, cfg.Nodes),
+		eng:       eng,
+		cfg:       cfg,
+		nodeRanks: make([]int, cfg.Nodes),
+		nodeOff:   make([]int, cfg.Nodes),
+		nicPort:   make([]*sim.Server, cfg.Nodes),
+		memPort:   make([]*rmaPort, cfg.Nodes),
 	}
+	size := 0
 	for n := 0; n < cfg.Nodes; n++ {
 		w.nicPort[n] = &sim.Server{}
 		w.memPort[n] = &rmaPort{}
+		k := ranksPerNode
+		if c := cfg.Cores(n); k > c {
+			k = c
+		}
+		w.nodeRanks[n] = k
+		w.nodeOff[n] = size
+		size += k
 	}
-	size := cfg.Nodes * ranksPerNode
 	w.ranks = make([]*Rank, size)
 	worldRanks := make([]int, size)
-	for r := 0; r < size; r++ {
-		w.ranks[r] = &Rank{
-			world: w,
-			rank:  r,
-			node:  r / ranksPerNode,
-			core:  r % ranksPerNode,
+	for n := 0; n < cfg.Nodes; n++ {
+		for c := 0; c < w.nodeRanks[n]; c++ {
+			r := w.nodeOff[n] + c
+			w.ranks[r] = &Rank{
+				world: w,
+				rank:  r,
+				node:  n,
+				core:  c,
+			}
+			worldRanks[r] = r
 		}
-		worldRanks[r] = r
 	}
 	w.world = &Comm{world: w, ranks: worldRanks, name: "world"}
 	return w, nil
 }
+
+// RanksOn reports how many ranks node n hosts.
+func (w *World) RanksOn(n int) int { return w.nodeRanks[n] }
+
+// NodeOffset reports the first world rank hosted on node n.
+func (w *World) NodeOffset(n int) int { return w.nodeOff[n] }
 
 // Engine returns the owning simulation engine.
 func (w *World) Engine() *sim.Engine { return w.eng }
@@ -157,9 +179,9 @@ func (r *Rank) Proc() *sim.Proc { return r.proc }
 func (r *Rank) Now() sim.Time { return r.proc.Now() }
 
 // Compute executes ref seconds of reference-core work on this rank's core,
-// scaled by the node's speed and the cluster's noise model.
+// scaled by the node's speed and the cluster's noise/perturbation models.
 func (r *Rank) Compute(ref sim.Time) {
-	d := r.world.cfg.ExecTime(r.node, ref, r.world.eng.Rand())
+	d := r.world.cfg.ExecTime(r.node, ref, r.proc.Now(), r.world.eng.Rand())
 	r.computeTime += d
 	r.proc.Sleep(d)
 }

@@ -106,8 +106,8 @@ type Team struct {
 
 // NewTeam creates a team of the given size on node.
 func NewTeam(eng *sim.Engine, cl *cluster.Config, node, threads int) (*Team, error) {
-	if threads <= 0 || threads > cl.CoresPerNode {
-		return nil, fmt.Errorf("openmp: team of %d threads on %d-core node", threads, cl.CoresPerNode)
+	if threads <= 0 || threads > cl.Cores(node) {
+		return nil, fmt.Errorf("openmp: team of %d threads on %d-core node", threads, cl.Cores(node))
 	}
 	return &Team{
 		eng:      eng,
@@ -193,7 +193,7 @@ func (t *Team) ParallelFor(master *sim.Proc, f For) ForResult {
 			}
 			chunks++
 			start := p.Now()
-			d := t.cl.ExecTime(t.node, f.RangeCost(a, b), t.eng.Rand())
+			d := t.cl.ExecTime(t.node, f.RangeCost(a, b), start, t.eng.Rand())
 			p.Sleep(d)
 			if f.Visit != nil {
 				f.Visit(tid, a, b, start, p.Now())

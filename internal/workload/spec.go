@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds a workload from a compact scenario string of the form
+// "kind" or "kind:key=val,key=val". It is the CLI/Config surface of the
+// synthetic generators; the two paper kernels are reachable too, so every
+// sweep axis accepts one flag.
+//
+// Kinds and their keys (all costs in seconds; seed comes from the caller):
+//
+//	constant     n, mean
+//	uniform      n, lo, hi            (default lo=mean/2, hi=3·mean/2)
+//	gaussian     n, mean, sigma | cv  (default cv=0.3)
+//	exponential  n, mean
+//	gamma        n, shape, scale      (default shape=0.5, scale=mean/shape)
+//	bimodal      n, lo, hi, frac      (cold mean lo, hot mean hi; default
+//	                                   lo=mean/2, hi=4·mean, frac=0.2)
+//	increasing   n, lo, hi            (linear ramp lo → hi)
+//	decreasing   n, lo, hi            (linear ramp hi → lo)
+//	mandelbrot   scale                (the paper kernel at 1/scale size)
+//	psia         scale
+//
+// Shared defaults: n=4096, mean=100e-6, scale=8.
+func ParseSpec(spec string, seed int64) (*Profile, error) {
+	kind, rest, _ := strings.Cut(strings.TrimSpace(spec), ":")
+	kind = strings.ToLower(strings.TrimSpace(kind))
+	if kind == "" {
+		return nil, fmt.Errorf("workload: empty spec")
+	}
+	kv := map[string]float64{}
+	if rest != "" {
+		for _, part := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(part, "=")
+			if !ok {
+				return nil, fmt.Errorf("workload: spec %q: bad parameter %q (want key=val)", spec, part)
+			}
+			f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: spec %q: parameter %q: %v", spec, part, err)
+			}
+			kv[strings.ToLower(strings.TrimSpace(k))] = f
+		}
+	}
+	known := func(keys ...string) error {
+		for k := range kv {
+			ok := false
+			for _, want := range keys {
+				if k == want {
+					ok = true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("workload: spec %q: unknown parameter %q (valid: %s)",
+					spec, k, strings.Join(keys, ", "))
+			}
+		}
+		return nil
+	}
+	get := func(key string, def float64) float64 {
+		if v, ok := kv[key]; ok {
+			return v
+		}
+		return def
+	}
+	mean := get("mean", 100e-6)
+	n := int(get("n", 4096))
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: spec %q: n = %d, must be positive", spec, n)
+	}
+	if mean <= 0 {
+		return nil, fmt.Errorf("workload: spec %q: mean = %g, must be positive", spec, mean)
+	}
+
+	switch kind {
+	case "constant":
+		if err := known("n", "mean"); err != nil {
+			return nil, err
+		}
+		return Constant(n, mean), nil
+	case "uniform":
+		if err := known("n", "mean", "lo", "hi"); err != nil {
+			return nil, err
+		}
+		lo, hi := get("lo", mean/2), get("hi", 1.5*mean)
+		if lo <= 0 || hi <= lo {
+			return nil, fmt.Errorf("workload: spec %q: need 0 < lo < hi (got lo=%g hi=%g)", spec, lo, hi)
+		}
+		return Uniform(n, lo, hi, seed), nil
+	case "gaussian", "normal":
+		if err := known("n", "mean", "sigma", "cv"); err != nil {
+			return nil, err
+		}
+		sigma := get("sigma", get("cv", 0.3)*mean)
+		if sigma < 0 {
+			return nil, fmt.Errorf("workload: spec %q: sigma = %g, must be non-negative", spec, sigma)
+		}
+		return Gaussian(n, mean, sigma, seed), nil
+	case "exponential", "exp":
+		if err := known("n", "mean"); err != nil {
+			return nil, err
+		}
+		return Exponential(n, mean, seed), nil
+	case "gamma":
+		if err := known("n", "mean", "shape", "scale"); err != nil {
+			return nil, err
+		}
+		shape := get("shape", 0.5)
+		if shape <= 0 {
+			return nil, fmt.Errorf("workload: spec %q: shape = %g, must be positive", spec, shape)
+		}
+		return Gamma(n, shape, get("scale", mean/shape), seed), nil
+	case "bimodal":
+		if err := known("n", "mean", "lo", "hi", "frac"); err != nil {
+			return nil, err
+		}
+		lo, hi, frac := get("lo", mean/2), get("hi", 4*mean), get("frac", 0.2)
+		if lo <= 0 || hi <= lo || frac < 0 || frac > 1 {
+			return nil, fmt.Errorf("workload: spec %q: need 0 < lo < hi and frac in [0,1] (got lo=%g hi=%g frac=%g)",
+				spec, lo, hi, frac)
+		}
+		return Bimodal(n, lo, hi, frac, seed), nil
+	case "increasing":
+		if err := known("n", "mean", "lo", "hi"); err != nil {
+			return nil, err
+		}
+		lo, hi := get("lo", mean/5), get("hi", 9*mean/5)
+		if lo <= 0 || hi <= lo {
+			return nil, fmt.Errorf("workload: spec %q: need 0 < lo < hi (got lo=%g hi=%g)", spec, lo, hi)
+		}
+		return Increasing(n, lo, hi), nil
+	case "decreasing":
+		if err := known("n", "mean", "lo", "hi"); err != nil {
+			return nil, err
+		}
+		lo, hi := get("lo", mean/5), get("hi", 9*mean/5)
+		if lo <= 0 || hi <= lo {
+			return nil, fmt.Errorf("workload: spec %q: need 0 < lo < hi (got lo=%g hi=%g)", spec, lo, hi)
+		}
+		return Decreasing(n, lo, hi), nil
+	case "mandelbrot", "mandel":
+		if err := known("scale"); err != nil {
+			return nil, err
+		}
+		return MandelbrotProfile(int(get("scale", 8))), nil
+	case "psia", "spinimage":
+		if err := known("scale"); err != nil {
+			return nil, err
+		}
+		return PSIAProfile(int(get("scale", 8))), nil
+	}
+	return nil, fmt.Errorf("workload: unknown kind %q (constant, uniform, gaussian, exponential, gamma, bimodal, increasing, decreasing, mandelbrot, psia)", kind)
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseSpecKinds(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+	}{
+		{"constant", 4096},
+		{"constant:n=100,mean=2e-6", 100},
+		{"uniform:n=512", 512},
+		{"gaussian:n=256,mean=50e-6,cv=0.5", 256},
+		{"normal:n=256,sigma=10e-6", 256},
+		{"exponential:n=128", 128},
+		{"exp:n=128,mean=2e-5", 128},
+		{"gamma:n=64,shape=0.7", 64},
+		{"bimodal:n=300,frac=0.1", 300},
+		{"increasing:n=200,lo=1e-6,hi=9e-6", 200},
+		{"decreasing:n=200", 200},
+	}
+	for _, c := range cases {
+		p, err := ParseSpec(c.spec, 1)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if p.N() != c.n {
+			t.Errorf("ParseSpec(%q): N = %d, want %d", c.spec, p.N(), c.n)
+		}
+		if p.Total() <= 0 {
+			t.Errorf("ParseSpec(%q): non-positive total %v", c.spec, p.Total())
+		}
+	}
+}
+
+func TestParseSpecKernels(t *testing.T) {
+	p, err := ParseSpec("mandelbrot:scale=64", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != MandelbrotProfile(64) {
+		t.Error("mandelbrot spec did not hit the kernel profile cache")
+	}
+	p, err = ParseSpec("psia:scale=64", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != PSIAProfile(64) {
+		t.Error("psia spec did not hit the kernel profile cache")
+	}
+}
+
+func TestParseSpecDeterministicPerSeed(t *testing.T) {
+	a, err := ParseSpec("gaussian:n=128,cv=0.4", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec("gaussian:n=128,cv=0.4", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.Cost(i) != b.Cost(i) {
+			t.Fatalf("same seed diverged at iteration %d", i)
+		}
+	}
+	c, err := ParseSpec("gaussian:n=128,cv=0.4", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < a.N(); i++ {
+		if a.Cost(i) != c.Cost(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical profiles")
+	}
+}
+
+func TestParseSpecRamps(t *testing.T) {
+	inc, err := ParseSpec("increasing:n=100", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ParseSpec("decreasing:n=100", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 100; i++ {
+		if inc.Cost(i) < inc.Cost(i-1) {
+			t.Fatalf("increasing ramp decreased at %d", i)
+		}
+		if dec.Cost(i) > dec.Cost(i-1) {
+			t.Fatalf("decreasing ramp increased at %d", i)
+		}
+	}
+	if math.Abs(inc.Cost(0)-dec.Cost(99)) > 1e-18 {
+		t.Error("ramps are not mirror images at the endpoints")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"", "unknown", "uniform:lo", "uniform:lo=abc",
+		"uniform:n=0", "uniform:mean=-1", "uniform:lo=5,hi=2",
+		"gaussian:shape=1", // unknown key for kind
+		"constant:lo=1e-6", // unknown key for kind
+		"bimodal:frac=1.5", // out of range
+		"gamma:shape=-1",
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec, 1); err == nil {
+			t.Errorf("ParseSpec accepted %q", spec)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Scenario goldens and determinism tests for the scenario engine:
+// heterogeneous topologies (per-node speeds and core counts) and the
+// perturbation models (noise, transient slowdowns, background load).
+// They freeze one small heterogeneous and one perturbed experiment next to
+// the kernel goldens, and pin the replay-determinism contract: identical
+// Configs produce byte-identical Results.
+package repro_test
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"repro/dls"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/perturb"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+var printScenarioGolden = flag.Bool("print-scenario-golden", false,
+	"print current scenario golden values instead of asserting")
+
+// scenarioCases returns the frozen scenario experiments. The heterogeneous
+// case mixes a 16-core full-speed node with an 8-core half-speed node (so
+// both the per-node worker counts and the speed scaling are live); the
+// perturbed case layers noise, transient slowdowns, and background load on
+// the paper machine.
+func scenarioCases() []goldenCase {
+	uniform := workload.Uniform(2048, 15e-6, 45e-6, 9)
+	return []goldenCase{
+		{
+			name: "scenario-hetero-2node-gss-static",
+			cfg: func() core.Config {
+				cl := cluster.MiniHPC(2)
+				cl.NodeCores = []int{16, 8}
+				cl.NodeSpeed = []float64{1, 0.5}
+				return core.Config{
+					Cluster: cl, WorkersPerNode: 16,
+					Inter: dls.GSS, Intra: dls.STATIC,
+					Workload: uniform, Approach: core.MPIMPI, Seed: 1,
+				}
+			},
+		},
+		{
+			name: "scenario-perturbed-2node-fac2-ss",
+			cfg: func() core.Config {
+				return core.Config{
+					Cluster: cluster.MiniHPC(2), WorkersPerNode: 16,
+					Inter: dls.FAC2, Intra: dls.SS,
+					Workload: uniform, Approach: core.MPIMPI, Seed: 3,
+					Perturb: perturb.Config{
+						NoiseCV:          0.1,
+						SlowdownRate:     50,
+						SlowdownFactor:   2.5,
+						SlowdownDuration: 1e-3 * sim.Second,
+						BackgroundLoad:   []float64{0, 0.2},
+						Seed:             7,
+					},
+				}
+			},
+		},
+		{
+			name: "scenario-mixed-knl-openmp",
+			cfg: func() core.Config {
+				cl := cluster.MiniHPCMixed(2)
+				return core.Config{
+					Cluster: cl, WorkersPerNode: 64,
+					Inter: dls.GSS, Intra: dls.GSS,
+					Workload: uniform, Approach: core.MPIOpenMP, Seed: 1,
+				}
+			},
+		},
+	}
+}
+
+func TestScenarioGoldenEquivalence(t *testing.T) {
+	for _, c := range scenarioCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			got := observe(t, c)
+			if *printScenarioGolden {
+				fmt.Printf("GOLDEN\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%s\n",
+					got.name, got.parallelTime, got.globalChunks, got.localChunks,
+					got.lockAtt, got.lockAcq, got.barrierWait, got.finishSum)
+				return
+			}
+			want, ok := scenarioGoldenWant[c.name]
+			if !ok {
+				t.Fatalf("no scenario golden entry for %s (run with -print-scenario-golden)", c.name)
+			}
+			got.cfg = nil
+			if got.name != want.name || got.parallelTime != want.parallelTime ||
+				got.globalChunks != want.globalChunks || got.localChunks != want.localChunks ||
+				got.lockAtt != want.lockAtt || got.lockAcq != want.lockAcq ||
+				got.barrierWait != want.barrierWait || got.finishSum != want.finishSum {
+				t.Fatalf("scenario output diverged from frozen golden:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestScenarioDeterminism pins the replay contract of the new Config axes:
+// two runs with an identical Config — including Topology, Perturbation and
+// synthetic Workload state — must produce byte-identical Results, per-worker
+// trajectories included.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, c := range scenarioCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			a, err := core.Run(c.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := core.Run(c.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fa := fmt.Sprintf("%.17g %v %v %v %d %d %d %d %v %v",
+				float64(a.ParallelTime), a.WorkerFinish, a.WorkerCompute, a.NodeFinish,
+				a.GlobalChunks, a.LocalChunks, a.LockAttempts, a.LockAcquisitions,
+				a.NodeWorkers, a.LoadImbalance)
+			fb := fmt.Sprintf("%.17g %v %v %v %d %d %d %d %v %v",
+				float64(b.ParallelTime), b.WorkerFinish, b.WorkerCompute, b.NodeFinish,
+				b.GlobalChunks, b.LocalChunks, b.LockAttempts, b.LockAcquisitions,
+				b.NodeWorkers, b.LoadImbalance)
+			if fa != fb {
+				t.Fatalf("two identical runs diverged:\n run1 %s\n run2 %s", fa, fb)
+			}
+		})
+	}
+}
+
+// TestPerturbationReplayIndependence verifies the perturb package's
+// determinism contract end to end: the slowdown intervals a node
+// experiences depend only on (perturb.Config, node), not on which
+// technique consumes the machine — so changing the schedule does not
+// reshuffle the scenario under comparison.
+func TestPerturbationReplayIndependence(t *testing.T) {
+	cfg := perturb.Config{
+		SlowdownRate: 20, SlowdownFactor: 2, SlowdownDuration: 2e-3 * sim.Second, Seed: 5,
+	}
+	a := perturb.MustNew(cfg, 4)
+	b := perturb.MustNew(cfg, 4)
+	// Query a and b in different orders and at different times.
+	for i := 0; i < 2000; i++ {
+		a.Factor(i%4, sim.Time(float64(i)*1e-4))
+	}
+	for i := 1999; i >= 0; i-- {
+		b.Factor(3-i%4, sim.Time(float64(i)*2e-4))
+	}
+	for node := 0; node < 4; node++ {
+		ia := a.Intervals(node)
+		ib := b.Intervals(node)
+		m := len(ia)
+		if len(ib) < m {
+			m = len(ib)
+		}
+		if m == 0 {
+			t.Fatalf("node %d: no slowdown intervals generated", node)
+		}
+		for i := 0; i < m; i++ {
+			if ia[i] != ib[i] {
+				t.Fatalf("node %d interval %d differs across query orders: %v vs %v",
+					node, i, ia[i], ib[i])
+			}
+		}
+	}
+}

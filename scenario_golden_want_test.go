@@ -1,0 +1,29 @@
+package repro_test
+
+// scenarioGoldenWant freezes the scenario-engine golden cases (captured
+// with -print-scenario-golden at introduction). Regenerate only if the
+// scenario *model* changes deliberately; refactors must keep these
+// bit-identical.
+var scenarioGoldenWant = map[string]goldenCase{
+	"scenario-hetero-2node-gss-static": {
+		name:         "scenario-hetero-2node-gss-static",
+		parallelTime: "0.0048596456989908219",
+		globalChunks: 89, localChunks: 786,
+		lockAtt: 3000, lockAcq: 810,
+		barrierWait: "0", finishSum: "0.11231537697218416",
+	},
+	"scenario-perturbed-2node-fac2-ss": {
+		name:         "scenario-perturbed-2node-fac2-ss",
+		parallelTime: "0.012386876726284451",
+		globalChunks: 224, localChunks: 2048,
+		lockAtt: 19135, lockAcq: 2080,
+		barrierWait: "0", finishSum: "0.3794039125083748",
+	},
+	"scenario-mixed-knl-openmp": {
+		name:         "scenario-mixed-knl-openmp",
+		parallelTime: "0.0020476558879315991",
+		globalChunks: 12, localChunks: 604,
+		lockAtt: 0, lockAcq: 0,
+		barrierWait: "0.044713360462813941", finishSum: "0.11699701101597589",
+	},
+}
