@@ -12,12 +12,21 @@ vet:
 fmt:
 	gofmt -l .
 
-# bench writes the BENCH_<date>.json perf snapshot: the figure sweep at the
-# benchmark scale plus the kernel microbenchmarks to stderr. Commit the JSON
-# to extend the perf trajectory.
+# bench writes the BENCH_<date>$(SUFFIX).json perf snapshot: the figure
+# sweep at the benchmark scale plus the kernel microbenchmarks to stderr.
+# Commit the JSON to extend the perf trajectory; set SUFFIX (e.g. SUFFIX=b)
+# when a snapshot for the date already exists, so the trajectory keeps both
+# points.
+SUFFIX ?=
 bench:
-	$(GO) run ./cmd/hdlsweep -scale 64 -nodes 2,4 -q -json BENCH_$(DATE).json
+	$(GO) run ./cmd/hdlsweep -scale 64 -nodes 2,4 -q -json BENCH_$(DATE)$(SUFFIX).json
 	$(GO) test ./internal/sim -bench Kernel -benchmem -run '^$$' | tee -a /dev/stderr >/dev/null
+
+# bench-check fails when the current tree's sweep throughput regresses more
+# than 25% against the latest committed BENCH_*.json (wall-clock sensitive:
+# run on a quiet machine; CI's perf job does).
+bench-check:
+	BENCH_TREND=1 $(GO) test -run TestBenchTrend -v .
 
 # sweep regenerates the paper evaluation at the quick default scale (1/8
 # workloads); set SCALE=1 for the full-size numbers (minutes).

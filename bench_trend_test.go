@@ -1,0 +1,105 @@
+// Bench-trend smoke: regenerates the `make bench` figure sweep and fails
+// when host throughput (cells/second) regresses more than 25% against the
+// latest committed BENCH_*.json snapshot. Wall-clock comparisons are only
+// meaningful on a quiet machine, so the test is opt-in: set BENCH_TREND=1
+// (the CI perf job does).
+package repro_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/hdls"
+	"repro/internal/cliutil"
+)
+
+type benchTrendSnapshot struct {
+	Scale       int     `json:"scale"`
+	Nodes       []int   `json:"nodes"`
+	Figures     []int   `json:"figures"`
+	Cells       int     `json:"cells"`
+	CellsPerSec float64 `json:"cells_per_second"`
+	CalibScore  float64 `json:"calib_score"`
+}
+
+// latestBenchSnapshot returns the lexicographically newest committed
+// figure-sweep BENCH_*.json (names embed ISO dates, so lexical order is
+// date order). Non-figure snapshots (e.g. robustness-mode -json files)
+// are skipped rather than disabling the check.
+func latestBenchSnapshot(t *testing.T) (string, benchTrendSnapshot) {
+	t.Helper()
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		t.Skipf("no committed BENCH_*.json snapshot (%v)", err)
+	}
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		name := matches[i]
+		buf, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		var snap benchTrendSnapshot
+		if err := json.Unmarshal(buf, &snap); err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		if snap.CellsPerSec > 0 && len(snap.Figures) > 0 {
+			return name, snap
+		}
+	}
+	t.Skip("no figure-sweep snapshot among BENCH_*.json")
+	return "", benchTrendSnapshot{}
+}
+
+func TestBenchTrend(t *testing.T) {
+	if os.Getenv("BENCH_TREND") == "" {
+		t.Skip("set BENCH_TREND=1 to compare against the committed snapshot (wall-clock sensitive)")
+	}
+	name, snap := latestBenchSnapshot(t)
+
+	cells := 0
+	start := time.Now()
+	for _, fig := range snap.Figures {
+		for _, app := range []hdls.App{hdls.Mandelbrot, hdls.PSIA} {
+			fr, err := hdls.RunFigure(fig, app, hdls.FigureOptions{
+				Scale: snap.Scale, Nodes: snap.Nodes,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, times := range fr.Times {
+				for _, row := range times {
+					for _, v := range row {
+						if v == v { // not NaN
+							cells++
+						}
+					}
+				}
+			}
+		}
+	}
+	wall := time.Since(start).Seconds()
+	got := float64(cells) / wall
+	if cells != snap.Cells {
+		t.Logf("cell count %d differs from snapshot's %d (sweep shape changed?)", cells, snap.Cells)
+	}
+	want := snap.CellsPerSec
+	// When the snapshot carries a calibration score, compare load-normalized
+	// throughput: cells/second scaled by the ratio of the host's integer
+	// throughput now vs at snapshot time. Absolute wall numbers swing with
+	// neighbour load and host class; the normalized ratio does not.
+	if snap.CalibScore > 0 {
+		calib := cliutil.CalibScore()
+		t.Logf("calibration: %.0f Mops/s now vs %.0f at snapshot time", calib, snap.CalibScore)
+		want = snap.CellsPerSec * calib / snap.CalibScore
+	}
+	t.Logf("bench trend: %.1f cells/s vs %s's %.1f (load-adjusted %.1f)", got, name, snap.CellsPerSec, want)
+	if got < 0.75*want {
+		t.Fatalf("throughput regression: %.1f cells/s is more than 25%% below %s's load-adjusted %.1f",
+			got, name, want)
+	}
+}

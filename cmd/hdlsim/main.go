@@ -52,8 +52,14 @@ func main() {
 		slowDur  = flag.Float64("slow-dur", 0.01, "mean slowdown duration (seconds)")
 		bgCSV    = flag.String("bg", "", "per-node background load fractions, tiled (e.g. 0,0.3)")
 		wlSpec   = flag.String("workload", "", "workload spec (e.g. \"gaussian:n=8192,cv=0.5\") overriding -app")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	fatalIf(err)
+	defer stopProf()
 
 	app, err := hdls.ParseApp(*appName)
 	fatalIf(err)

@@ -52,9 +52,14 @@ type benchSnapshot struct {
 	CellsPerSec float64 `json:"cells_per_second"`
 	// VirtualSeconds sums simulated time over all cells: the ratio of
 	// simulated to host time is the kernel's headline throughput metric.
-	VirtualSeconds  float64            `json:"virtual_seconds"`
-	SimPerHostRatio float64            `json:"sim_per_host_ratio"`
-	Tables          map[string]float64 `json:"cell_seconds"`
+	VirtualSeconds  float64 `json:"virtual_seconds"`
+	SimPerHostRatio float64 `json:"sim_per_host_ratio"`
+	// CalibScore is the host's single-core integer throughput measured
+	// right after the sweep (cliutil.CalibScore); the bench-trend check
+	// compares cells/second normalized by it, so snapshots stay comparable
+	// across host classes and neighbour load.
+	CalibScore float64            `json:"calib_score,omitempty"`
+	Tables     map[string]float64 `json:"cell_seconds"`
 	// Robustness carries the scenario sweeps run with -robust.
 	Robustness []*hdls.RobustnessResult `json:"robustness,omitempty"`
 }
@@ -71,8 +76,12 @@ func main() {
 		withEff  = flag.Bool("eff", false, "also print parallel-efficiency tables")
 		jsonOut  = flag.String("json", "", "write a BENCH_*.json perf snapshot to this path")
 		par      = flag.Int("p", 0, "max concurrent figure cells (0 = all cores)")
+		parallel = flag.Int("parallel", 0, "alias of -p: max concurrent cells (0 = all cores)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this path on exit")
 
 		robust   = flag.Bool("robust", false, "run the robustness sweep (techniques × scenario) instead of the figures")
+		repeat   = flag.Int("repeat", 1, "robust: seed replicas per technique (rows report means and spread)")
 		workers  = flag.Int("workers", 16, "robust: workers per node (per-node cap on heterogeneous machines)")
 		rnodes   = flag.Int("rnodes", 4, "robust: number of nodes")
 		techCSV  = flag.String("techniques", "", "robust: comma-separated inter techniques (default STATIC,SS,GSS,TSS,FAC2)")
@@ -87,6 +96,13 @@ func main() {
 		wlSpec   = flag.String("workload", "", "workload spec (workload.ParseSpec) overriding the app kernels")
 	)
 	flag.Parse()
+	if *par == 0 {
+		*par = *parallel
+	}
+
+	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	fatalIf(err)
+	defer stopProf()
 
 	nodes, err := cliutil.ParsePositiveInts(*nodesCSV)
 	fatalIf(err)
@@ -96,10 +112,10 @@ func main() {
 			workers: *workers, nodes: *rnodes, techCSV: *techCSV, intraS: *intraS,
 			speedCSV: *speedCSV, coreCSV: *coreCSV, noise: *noiseCV,
 			slowRate: *slowRate, slowFac: *slowFac, slowDur: *slowDur, bgCSV: *bgCSV,
-			workload: *wlSpec, scale: *scale, seed: *seed, par: *par,
+			workload: *wlSpec, scale: *scale, seed: *seed, par: *par, repeat: *repeat,
 			outDir: *outDir, jsonOut: *jsonOut, quiet: *quiet,
 		})
-		return
+		return // the deferred stopProf finishes the profiles
 	}
 
 	figures := []int{4, 5, 6, 7}
@@ -153,6 +169,7 @@ func main() {
 			snap.CellsPerSec = float64(snap.Cells) / wall
 			snap.SimPerHostRatio = snap.VirtualSeconds / wall
 		}
+		snap.CalibScore = cliutil.CalibScore()
 		buf, err := json.MarshalIndent(&snap, "", "  ")
 		fatalIf(err)
 		fatalIf(os.WriteFile(*jsonOut, append(buf, '\n'), 0o644))
@@ -212,7 +229,7 @@ type robustFlags struct {
 	workload                 string
 	scale                    int
 	seed                     int64
-	par                      int
+	par, repeat              int
 	outDir, jsonOut          string
 	quiet                    bool
 }
@@ -223,7 +240,7 @@ func runRobust(f robustFlags) {
 	opt := hdls.RobustnessOptions{
 		Nodes: f.nodes, WorkersPerNode: f.workers,
 		Scale: f.scale, Seed: f.seed, Workload: f.workload,
-		Parallelism: f.par,
+		Parallelism: f.par, Repeats: f.repeat,
 	}
 	var err error
 	opt.Intra, err = dls.Parse(f.intraS)

@@ -1,0 +1,122 @@
+package dls
+
+import (
+	"math"
+	"sync"
+)
+
+// This file provides a process-wide memo of immutable schedules: sweep
+// drivers run thousands of cells that rebuild identical schedules
+// (same technique, N, P, statistical inputs and weights), so non-adaptive
+// schedules — pure functions of (step, worker) — are constructed once and
+// shared. Adaptive techniques (the AWF family, AF) carry per-run mutable
+// state and are never shared.
+//
+// FAC and TFSS extend an internal batch table lazily, which would race
+// under concurrent sweep cells; Shared freezes them at construction by
+// precomputing the full table (the recurrences reach their constant tail
+// after finitely many batches), yielding chunk-for-chunk identical,
+// immutable schedules.
+
+// memoKey identifies a schedule construction. Weights (WF) are folded into
+// a hash; the stored entry keeps the exact weights to rule out collisions.
+type memoKey struct {
+	t           Technique
+	n, p, min   int
+	mean, sigma float64
+	overhead    float64
+	wlen        int
+	whash       uint64
+}
+
+type memoEntry struct {
+	sched   Schedule
+	weights []float64
+}
+
+var memo sync.Map // memoKey -> *memoEntry
+
+func hashWeights(ws []float64) uint64 {
+	h := uint64(1469598103934665603) // FNV-1a
+	for _, w := range ws {
+		b := math.Float64bits(w)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> uint(s)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func weightsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Shared returns a process-wide memoized schedule for technique t with
+// parameters p, safe for concurrent use from independent simulations. The
+// returned schedule produces chunk sizes identical to MustNew(t, p) for
+// every (step, worker). Adaptive techniques fall back to a fresh mutable
+// schedule, as they must.
+func Shared(t Technique, p Params) Schedule {
+	if t.IsAdaptive() {
+		return MustNew(t, p)
+	}
+	key := memoKey{
+		t: t, n: p.N, p: p.P, min: p.MinChunk,
+		mean: p.Mean, sigma: p.Sigma, overhead: p.Overhead,
+		wlen: len(p.Weights), whash: hashWeights(p.Weights),
+	}
+	if v, ok := memo.Load(key); ok {
+		e := v.(*memoEntry)
+		if weightsEqual(e.weights, p.Weights) {
+			return e.sched
+		}
+		return MustNew(t, p) // astronomically unlikely hash collision
+	}
+	s := MustNew(t, p)
+	freeze(s)
+	e := &memoEntry{sched: s}
+	if p.Weights != nil {
+		e.weights = append([]float64(nil), p.Weights...)
+	}
+	if prev, loaded := memo.LoadOrStore(key, e); loaded {
+		pe := prev.(*memoEntry)
+		if weightsEqual(pe.weights, p.Weights) {
+			return pe.sched
+		}
+		return s
+	}
+	return s
+}
+
+// freeze precomputes the lazily extended batch tables of FAC and TFSS so
+// the shared instance is immutable. Both recurrences reach a constant tail:
+// FAC once the remaining-iteration counter hits zero (every later batch
+// yields the clamped minimum), TFSS once the underlying TSS linear decrease
+// has bottomed out at its last chunk.
+func freeze(s Schedule) {
+	switch f := s.(type) {
+	case *facSched:
+		for batch := 0; ; batch++ {
+			f.extendTo(batch)
+			if f.remaining[batch] <= 0 {
+				f.frozen = true
+				return
+			}
+		}
+	case *tfssSched:
+		// Beyond the TSS step horizon every chunk is the clamped minimum,
+		// so batches past ⌈steps/P⌉ are constant; precompute one beyond.
+		last := f.tss.steps/f.p.P + 1
+		f.extendTo(last)
+		f.frozen = true
+	}
+}

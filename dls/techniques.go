@@ -142,9 +142,12 @@ func (s *tssSched) Chunk(step, _ int) int {
 type facSched struct {
 	base
 	// batchChunk[j] is the chunk size in batch j, precomputed by replaying
-	// the factoring recurrence; the slice is extended on demand.
+	// the factoring recurrence; the slice is extended on demand. A frozen
+	// schedule (dls.Shared) has the full table precomputed and is immutable:
+	// batches beyond the table are in the constant remaining≤0 tail.
 	batchChunk []int
 	remaining  []int // remaining iterations at the start of each batch
+	frozen     bool
 }
 
 // newFAC implements the probabilistic factoring rule of Hummel, Schonberg &
@@ -192,6 +195,12 @@ func (s *facSched) extendTo(batch int) {
 
 func (s *facSched) Chunk(step, _ int) int {
 	batch := step / s.p.P
+	if s.frozen {
+		if batch >= len(s.batchChunk) {
+			return s.clampMin(1) // exhausted tail, as the lazy recurrence yields
+		}
+		return s.clampMin(s.batchChunk[batch])
+	}
 	s.extendTo(batch)
 	return s.clampMin(s.batchChunk[batch])
 }
@@ -233,6 +242,7 @@ type tfssSched struct {
 	base
 	tss        *tssSched
 	batchChunk []int
+	frozen     bool
 }
 
 // newTFSS implements trapezoid factoring self-scheduling (Chronopoulos,
@@ -260,6 +270,14 @@ func (s *tfssSched) extendTo(batch int) {
 
 func (s *tfssSched) Chunk(step, _ int) int {
 	batch := step / s.p.P
+	if s.frozen {
+		if batch >= len(s.batchChunk) {
+			// Past the TSS horizon the batch chunk is constant (the table's
+			// last entry was computed inside that regime).
+			batch = len(s.batchChunk) - 1
+		}
+		return s.clampMin(s.batchChunk[batch])
+	}
 	s.extendTo(batch)
 	return s.clampMin(s.batchChunk[batch])
 }

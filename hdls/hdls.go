@@ -197,17 +197,17 @@ func profileFor(c Config) (*workload.Profile, error) {
 	}
 }
 
-// Run executes one experiment.
-func Run(cfg Config) (*Result, error) {
+// coreConfig resolves cfg into the executor configuration.
+func coreConfig(cfg Config) (core.Config, error) {
 	c := cfg.withDefaults()
 	cl := cluster.MiniHPC(c.Nodes)
 	cl.NoiseCV = c.NoiseCV
 	c.Topology.apply(&cl)
 	prof, err := profileFor(c)
 	if err != nil {
-		return nil, err
+		return core.Config{}, err
 	}
-	return core.Run(core.Config{
+	return core.Config{
 		Cluster:         cl,
 		WorkersPerNode:  c.WorkersPerNode,
 		Inter:           c.Inter,
@@ -218,7 +218,27 @@ func Run(cfg Config) (*Result, error) {
 		Perturb:         c.Perturbation,
 		ExtendedRuntime: c.ExtendedRuntime,
 		CollectTrace:    c.CollectTrace,
-	})
+	}, nil
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) {
+	cc, err := coreConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(cc)
+}
+
+// RunSummary executes one experiment returning only the compact per-cell
+// scalars (core.Summary). The sweep drivers use it so thousand-cell sweeps
+// aggregate incrementally instead of retaining per-worker slices.
+func RunSummary(cfg Config) (core.Summary, error) {
+	cc, err := coreConfig(cfg)
+	if err != nil {
+		return core.Summary{}, err
+	}
+	return core.RunSummary(cc)
 }
 
 // --------------------------------------------------------------- figures --
@@ -365,7 +385,7 @@ func RunFigure(figure int, app App, opt FigureOptions) (*FigureResult, error) {
 				if stop {
 					return
 				}
-				res, err := Run(Config{
+				res, err := RunSummary(Config{
 					App: app, Nodes: opt.Nodes[c.ni], Inter: inter, Intra: fr.Intras[c.ii],
 					Approach: c.ap, Scale: opt.Scale, Seed: opt.Seed,
 					ExtendedRuntime: opt.Extended,

@@ -2,11 +2,14 @@ package hdls
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/dls"
-	"repro/internal/stats"
+	"repro/internal/core"
 )
 
 // RobustnessTechniques is the default inter-node technique set of the
@@ -40,6 +43,11 @@ type RobustnessOptions struct {
 	Perturbation Perturbation
 	// ExtendedRuntime permits TSS/FAC2 intra under the OpenMP approaches.
 	ExtendedRuntime bool
+	// Repeats replicates every technique cell under consecutive seeds
+	// (Seed, Seed+1, …, Seed+Repeats−1); rows then report means over the
+	// replicas plus the parallel-time spread. The default 1 reproduces the
+	// single-seed sweep exactly.
+	Repeats int
 	// Parallelism bounds concurrent cells (0 = GOMAXPROCS, as in figures).
 	Parallelism int
 	// Progress, if non-nil, observes each completed cell (serialized).
@@ -62,10 +70,15 @@ func (o RobustnessOptions) withDefaults() RobustnessOptions {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Repeats <= 0 {
+		o.Repeats = 1
+	}
 	return o
 }
 
 // RobustnessRow scores one inter-node technique under the sweep's scenario.
+// With Repeats > 1 the base fields are means over the seed replicas and the
+// spread fields are populated.
 type RobustnessRow struct {
 	Technique string `json:"technique"`
 	// ParallelTime is the paper's metric (seconds of virtual time).
@@ -78,6 +91,11 @@ type RobustnessRow struct {
 	LoadImbalance float64 `json:"load_imbalance"`
 	GlobalChunks  int     `json:"global_chunks"`
 	LocalChunks   int     `json:"local_chunks"`
+	// Seed-replica spread of ParallelTime (Repeats > 1 only).
+	Repeats    int     `json:"repeats,omitempty"`
+	MinTime    float64 `json:"min_time,omitempty"`
+	MaxTime    float64 `json:"max_time,omitempty"`
+	TimeStdDev float64 `json:"time_stddev,omitempty"`
 }
 
 // RobustnessResult is one completed robustness sweep.
@@ -91,10 +109,62 @@ type RobustnessResult struct {
 	Rows     []RobustnessRow `json:"rows"`
 }
 
-// RunRobustness executes the robustness sweep: every technique runs the
-// identical scenario, and the resulting table ranks them by how well they
-// absorb heterogeneity and perturbations. Cells run concurrently; results
-// land in technique order regardless of completion order.
+// robustAcc folds one technique's replica summaries. The sweep keeps one
+// compact Summary (a few scalars) per cell so the fold can run in cell
+// order — deterministic at any parallelism — and nothing per-worker or
+// per-node is ever retained.
+type robustAcc struct {
+	n                  int
+	sumT, sumSqT       float64
+	minT, maxT         float64
+	sumCoV, sumImb     float64
+	sumGlobal, sumLoca int
+}
+
+func (a *robustAcc) add(s core.Summary) {
+	t := float64(s.ParallelTime)
+	if a.n == 0 || t < a.minT {
+		a.minT = t
+	}
+	if a.n == 0 || t > a.maxT {
+		a.maxT = t
+	}
+	a.n++
+	a.sumT += t
+	a.sumSqT += t * t
+	a.sumCoV += s.NodeFinishCoV
+	a.sumImb += s.LoadImbalance
+	a.sumGlobal += s.GlobalChunks
+	a.sumLoca += s.LocalChunks
+}
+
+func (a *robustAcc) row(tech dls.Technique, repeats int) RobustnessRow {
+	n := float64(a.n)
+	row := RobustnessRow{
+		Technique:     tech.String(),
+		ParallelTime:  a.sumT / n,
+		NodeFinishCoV: a.sumCoV / n,
+		LoadImbalance: a.sumImb / n,
+		GlobalChunks:  a.sumGlobal / a.n,
+		LocalChunks:   a.sumLoca / a.n,
+	}
+	if repeats > 1 {
+		row.Repeats = a.n
+		row.MinTime = a.minT
+		row.MaxTime = a.maxT
+		if v := a.sumSqT/n - (a.sumT/n)*(a.sumT/n); v > 0 {
+			row.TimeStdDev = math.Sqrt(v)
+		}
+	}
+	return row
+}
+
+// RunRobustness executes the robustness sweep: every technique (× seed
+// replica, with Repeats > 1) runs the identical scenario, and the resulting
+// table ranks techniques by how well they absorb heterogeneity and
+// perturbations. Cells run on a bounded worker pool and aggregate
+// incrementally via compact summaries, so thousand-cell sweeps run flat in
+// memory; results land in technique order regardless of completion order.
 func RunRobustness(opt RobustnessOptions) (*RobustnessResult, error) {
 	o := opt.withDefaults()
 	rr := &RobustnessResult{
@@ -109,47 +179,55 @@ func RunRobustness(opt RobustnessOptions) (*RobustnessResult, error) {
 	if rr.Workload == "" {
 		rr.Workload = o.App.String()
 	}
+	cells := len(o.Techniques) * o.Repeats
+	// Per-cell compact summaries (scalars only — O(cells) in the number of
+	// techniques × replicas, independent of machine or loop size); the fold
+	// below runs in cell-index order so the floating-point reductions are
+	// identical at any Parallelism.
+	summaries := make([]core.Summary, cells)
 	var (
+		next    atomic.Int64
 		mu      sync.Mutex
 		firstEr error
 		wg      sync.WaitGroup
 	)
-	sem := make(chan struct{}, parallelismOf(o.Parallelism, len(o.Techniques)))
-	for i, tech := range o.Techniques {
-		i, tech := i, tech
+	for w := 0; w < parallelismOf(o.Parallelism, cells); w++ {
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
-			defer func() { <-sem; wg.Done() }()
-			res, err := Run(Config{
-				App: o.App, Nodes: o.Nodes, WorkersPerNode: o.WorkersPerNode,
-				Inter: tech, Intra: o.Intra, Approach: o.Approach,
-				Scale: o.Scale, Seed: o.Seed,
-				Workload: o.Workload, Topology: o.Topology, Perturbation: o.Perturbation,
-				ExtendedRuntime: o.ExtendedRuntime,
-			})
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstEr == nil {
-					firstEr = fmt.Errorf("robustness %v: %w", tech, err)
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cells {
+					return
 				}
-				return
-			}
-			nf := make([]float64, len(res.NodeFinish))
-			for j, f := range res.NodeFinish {
-				nf[j] = float64(f)
-			}
-			rr.Rows[i] = RobustnessRow{
-				Technique:     tech.String(),
-				ParallelTime:  float64(res.ParallelTime),
-				NodeFinishCoV: stats.CoV(nf),
-				LoadImbalance: res.LoadImbalance,
-				GlobalChunks:  res.GlobalChunks,
-				LocalChunks:   res.LocalChunks,
-			}
-			if o.Progress != nil {
-				o.Progress(fmt.Sprintf("robust %v %s", tech, rr.Scenario))
+				ti, rep := i%len(o.Techniques), i/len(o.Techniques)
+				tech := o.Techniques[ti]
+				mu.Lock()
+				stop := firstEr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				s, err := RunSummary(Config{
+					App: o.App, Nodes: o.Nodes, WorkersPerNode: o.WorkersPerNode,
+					Inter: tech, Intra: o.Intra, Approach: o.Approach,
+					Scale: o.Scale, Seed: o.Seed + int64(rep),
+					Workload: o.Workload, Topology: o.Topology, Perturbation: o.Perturbation,
+					ExtendedRuntime: o.ExtendedRuntime,
+				})
+				mu.Lock()
+				if err != nil {
+					if firstEr == nil {
+						firstEr = fmt.Errorf("robustness %v seed %d: %w", tech, o.Seed+int64(rep), err)
+					}
+					mu.Unlock()
+					return
+				}
+				summaries[i] = s
+				if o.Progress != nil {
+					o.Progress(fmt.Sprintf("robust %v seed %d %s", tech, o.Seed+int64(rep), rr.Scenario))
+				}
+				mu.Unlock()
 			}
 		}()
 	}
@@ -157,15 +235,27 @@ func RunRobustness(opt RobustnessOptions) (*RobustnessResult, error) {
 	if firstEr != nil {
 		return nil, firstEr
 	}
+	accs := make([]robustAcc, len(o.Techniques))
+	for i, s := range summaries {
+		accs[i%len(o.Techniques)].add(s)
+	}
+	for i, tech := range o.Techniques {
+		rr.Rows[i] = accs[i].row(tech, o.Repeats)
+	}
 	return rr, nil
 }
 
+// parallelismOf bounds the sweep worker pool: an explicit Parallelism wins,
+// otherwise the host's cores, never more workers than cells.
 func parallelismOf(p, cells int) int {
-	if p <= 0 || p > cells {
-		if cells < 1 {
-			return 1
-		}
-		return cells
+	if cells < 1 {
+		return 1
+	}
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > cells {
+		p = cells
 	}
 	return p
 }

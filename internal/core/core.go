@@ -27,6 +27,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/dls"
 	"repro/internal/cluster"
@@ -220,6 +221,40 @@ type Result struct {
 // its result. The run fails if the executors violate the exact-coverage
 // invariant — every loop iteration executed exactly once.
 func Run(cfg Config) (*Result, error) {
+	h, err := runHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return h.result(), nil
+}
+
+// Summary is the compact per-cell outcome sweep drivers aggregate
+// incrementally: scalars only, no per-worker slices, so thousand-cell
+// sweeps run flat in memory. Every value is computed with exactly the
+// arithmetic Run's Result consumers would have used.
+type Summary struct {
+	ParallelTime     sim.Time
+	NodeFinishCoV    float64 // CoV over per-node last-finish times
+	LoadImbalance    float64
+	Workers          int
+	GlobalChunks     int
+	LocalChunks      int
+	LockAttempts     int64
+	LockAcquisitions int64
+	BarrierWait      sim.Time
+}
+
+// RunSummary executes the experiment like Run but returns only the compact
+// summary, skipping the Result's per-worker slice copies.
+func RunSummary(cfg Config) (Summary, error) {
+	h, err := runHarness(cfg)
+	if err != nil {
+		return Summary{}, err
+	}
+	return h.summary(), nil
+}
+
+func runHarness(cfg Config) (*harness, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -249,7 +284,7 @@ func Run(cfg Config) (*Result, error) {
 	if err := h.checkCoverage(); err != nil {
 		return nil, err
 	}
-	return h.result(), nil
+	return h, nil
 }
 
 // harness carries the shared bookkeeping of one run.
@@ -275,12 +310,23 @@ type harness struct {
 
 	tr *trace.Trace
 
-	// Intra-level schedule cache keyed by (node, chunk length); schedules
-	// are pure functions of (step, worker) so sharing them per node is safe
-	// and keeps FAC's batch replay O(log) amortized.
-	intraCache []map[int]dls.Schedule
-	sigma      float64
+	// Intra-level schedule cache, one slice per node indexed by chunk
+	// length; schedules are pure functions of (step, worker) so sharing
+	// them per node is safe. Slice indexing keeps the steady-state lookup
+	// in takeHeadLocked allocation- and hash-free (chunk lengths repeat
+	// heavily: inter-level techniques emit few distinct sizes). Lengths of
+	// intraCacheCap or more use the one-entry per-node cache below instead
+	// of inflating the slice.
+	intraCache  [][]dls.Schedule
+	intraBigLen []int
+	intraBig    []dls.Schedule
+	sigma       float64
 }
+
+// intraCacheCap bounds the slice-indexed intra-schedule cache per node;
+// chunk lengths at or above it (rare, e.g. full-scale inter-STATIC slabs)
+// use the one-entry cache plus the process-wide memo.
+const intraCacheCap = 1 << 14
 
 func newHarness(c *Config) *harness {
 	n := c.Workload.N()
@@ -299,10 +345,9 @@ func newHarness(c *Config) *harness {
 	}
 	h.finish = make([]sim.Time, h.nWorkers)
 	h.compute = make([]sim.Time, h.nWorkers)
-	h.intraCache = make([]map[int]dls.Schedule, c.Cluster.Nodes)
-	for i := range h.intraCache {
-		h.intraCache[i] = make(map[int]dls.Schedule)
-	}
+	h.intraCache = make([][]dls.Schedule, c.Cluster.Nodes)
+	h.intraBigLen = make([]int, c.Cluster.Nodes)
+	h.intraBig = make([]dls.Schedule, c.Cluster.Nodes)
 	h.sigma = h.prof.CoV() * h.prof.Mean()
 	if c.CollectTrace {
 		h.tr = trace.New(h.nWorkers)
@@ -358,7 +403,9 @@ func (h *harness) interSchedule(p int) dls.Schedule {
 		}
 		params.Weights = weights
 	}
-	return dls.MustNew(h.cfg.Inter, params)
+	// Non-adaptive inter schedules are pure: identical cells across a sweep
+	// share one immutable memoized instance.
+	return dls.Shared(h.cfg.Inter, params)
 }
 
 // intraChunkSize returns the sub-chunk size for a chunk of length origLen at
@@ -387,27 +434,51 @@ func (h *harness) intraChunkSize(node, origLen, step, w int) int {
 		}
 		return s
 	}
-	sched, ok := h.intraCache[node][origLen]
-	if !ok {
-		sched = dls.MustNew(c.Intra, dls.Params{
-			N: origLen, P: nw,
-			Mean: h.prof.Mean(), Sigma: h.sigma,
-			Overhead: 3e-6,
-		})
-		h.intraCache[node][origLen] = sched
+	// Intra schedules are pure functions of their parameters, so identical
+	// (technique, N, P, mean, sigma) cells — and identical chunk lengths in
+	// other nodes or other sweep cells — share one immutable schedule from
+	// the process-wide memo. Steady-state lengths are small and repeat
+	// heavily, so they index a per-node slice (allocation- and hash-free);
+	// the few large one-off lengths (e.g. an inter-STATIC slab at full
+	// scale) go straight to the memo instead of inflating the slice.
+	if origLen >= intraCacheCap {
+		// One-entry per-node cache: a large chunk is consumed sub-chunk by
+		// sub-chunk before the next appears, so the same length repeats.
+		if h.intraBigLen[node] != origLen {
+			h.intraBig[node] = dls.Shared(c.Intra, dls.Params{
+				N: origLen, P: nw,
+				Mean: h.prof.Mean(), Sigma: h.sigma,
+				Overhead: 3e-6,
+			})
+			h.intraBigLen[node] = origLen
+		}
+		return h.intraBig[node].Chunk(step, w)
 	}
+	cache := h.intraCache[node]
+	if origLen < len(cache) {
+		if sched := cache[origLen]; sched != nil {
+			return sched.Chunk(step, w)
+		}
+	} else {
+		grown := make([]dls.Schedule, origLen+1)
+		copy(grown, cache)
+		cache = grown
+		h.intraCache[node] = cache
+	}
+	sched := dls.Shared(c.Intra, dls.Params{
+		N: origLen, P: nw,
+		Mean: h.prof.Mean(), Sigma: h.sigma,
+		Overhead: 3e-6,
+	})
+	cache[origLen] = sched
 	return sched.Chunk(step, w)
 }
 
 // execute accounts one executed range for worker w: coverage bitmap,
 // compute time, finish time, and the optional trace event.
 func (h *harness) execute(w, node, a, b int, start, end sim.Time) {
-	for i := a; i < b; i++ {
-		idx, bit := i/64, uint64(1)<<uint(i%64)
-		if h.bitmap[idx]&bit != 0 {
-			panic(fmt.Sprintf("core: iteration %d executed twice (worker %d)", i, w))
-		}
-		h.bitmap[idx] |= bit
+	if a < b {
+		h.mark(w, a, b)
 	}
 	h.executed += b - a
 	h.compute[w] += end - start
@@ -422,14 +493,56 @@ func (h *harness) execute(w, node, a, b int, start, end sim.Time) {
 	}
 }
 
+// mark sets coverage bits for the non-empty range [a, b) with whole-word
+// operations: overlap detection is one AND per word, setting one OR. The
+// double-execution panic is byte-compatible with the per-iteration loop —
+// it names the lowest doubly-executed iteration.
+func (h *harness) mark(w, a, b int) {
+	wa, wb := a>>6, (b-1)>>6
+	maskA := ^uint64(0) << uint(a&63)
+	maskB := ^uint64(0) >> uint(63-(b-1)&63)
+	if wa == wb {
+		m := maskA & maskB
+		if dup := h.bitmap[wa] & m; dup != 0 {
+			h.panicTwice(wa, dup, w)
+		}
+		h.bitmap[wa] |= m
+		return
+	}
+	if dup := h.bitmap[wa] & maskA; dup != 0 {
+		h.panicTwice(wa, dup, w)
+	}
+	h.bitmap[wa] |= maskA
+	for i := wa + 1; i < wb; i++ {
+		if h.bitmap[i] != 0 {
+			h.panicTwice(i, h.bitmap[i], w)
+		}
+		h.bitmap[i] = ^uint64(0)
+	}
+	if dup := h.bitmap[wb] & maskB; dup != 0 {
+		h.panicTwice(wb, dup, w)
+	}
+	h.bitmap[wb] |= maskB
+}
+
+// panicTwice reports the first doubly-executed iteration in word idx.
+func (h *harness) panicTwice(idx int, dup uint64, w int) {
+	i := idx*64 + bits.TrailingZeros64(dup)
+	panic(fmt.Sprintf("core: iteration %d executed twice (worker %d)", i, w))
+}
+
 func (h *harness) checkCoverage() error {
 	n := h.prof.N()
 	if h.executed != n {
 		return fmt.Errorf("core: executed %d of %d iterations", h.executed, n)
 	}
-	for i := 0; i < n; i++ {
-		if h.bitmap[i/64]&(uint64(1)<<uint(i%64)) == 0 {
-			return fmt.Errorf("core: iteration %d never executed", i)
+	for i := range h.bitmap {
+		want := ^uint64(0)
+		if hi := n - i*64; hi < 64 {
+			want >>= uint(64 - hi)
+		}
+		if miss := want &^ h.bitmap[i]; miss != 0 {
+			return fmt.Errorf("core: iteration %d never executed", i*64+bits.TrailingZeros64(miss))
 		}
 	}
 	if h.tr != nil {
@@ -448,6 +561,37 @@ func (h *harness) makespan() sim.Time {
 		}
 	}
 	return m
+}
+
+// summary computes the compact outcome with the same floating-point
+// arithmetic as result() plus the stats the sweep drivers derive from it
+// (node-finish CoV as in hdls.RunRobustness, imbalance as in result).
+func (h *harness) summary() Summary {
+	fin := make([]float64, len(h.finish))
+	for i, f := range h.finish {
+		fin[i] = float64(f)
+	}
+	nf := make([]float64, h.cfg.Cluster.Nodes)
+	for node := range nf {
+		var m sim.Time
+		for w := h.wOff[node]; w < h.wOff[node]+h.wPerNode[node]; w++ {
+			if h.finish[w] > m {
+				m = h.finish[w]
+			}
+		}
+		nf[node] = float64(m)
+	}
+	return Summary{
+		ParallelTime:     h.makespan(),
+		NodeFinishCoV:    stats.CoV(nf),
+		LoadImbalance:    stats.LoadImbalance(fin),
+		Workers:          h.nWorkers,
+		GlobalChunks:     h.globalChunks,
+		LocalChunks:      h.localChunks,
+		LockAttempts:     h.lockAtt,
+		LockAcquisitions: h.lockAcq,
+		BarrierWait:      h.barrierWait,
+	}
 }
 
 func (h *harness) result() *Result {

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/dls"
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// testHarness builds a bare harness over n iterations for white-box tests
+// of the coverage bitmap and the schedule cache.
+func testHarness(t *testing.T, n int) *harness {
+	t.Helper()
+	cfg := Config{
+		Cluster: cluster.MiniHPC(1), WorkersPerNode: 4,
+		Inter: dls.GSS, Intra: dls.TSS,
+		Workload: workload.Constant(n, 1e-5), Approach: MPIMPI, Seed: 1,
+	}
+	c := cfg.withDefaults()
+	return newHarness(&c)
+}
+
+// naiveMark is the per-iteration oracle the word-level bitmap replaced: it
+// must agree bit for bit, including which iteration a double-execution
+// panic names.
+func naiveMark(bitmap []uint64, w, a, b int) {
+	for i := a; i < b; i++ {
+		idx, bit := i/64, uint64(1)<<uint(i%64)
+		if bitmap[idx]&bit != 0 {
+			panic(fmt.Sprintf("core: iteration %d executed twice (worker %d)", i, w))
+		}
+		bitmap[idx] |= bit
+	}
+}
+
+func recoverPanic(f func()) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg = fmt.Sprint(r)
+		}
+	}()
+	f()
+	return ""
+}
+
+// TestMarkMatchesNaiveOracle drives the word-level bitmap and the naive
+// per-iteration loop through identical random range sequences — adjacent,
+// overlapping, unaligned, word-crossing — and demands identical bitmaps
+// and identical panic messages.
+func TestMarkMatchesNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(500)
+		h := testHarness(t, n)
+		oracle := make([]uint64, len(h.bitmap))
+		for op := 0; op < 40; op++ {
+			a := rng.Intn(n)
+			b := a + 1 + rng.Intn(n-a)
+			w := rng.Intn(8)
+			want := recoverPanic(func() { naiveMark(oracle, w, a, b) })
+			got := recoverPanic(func() { h.mark(w, a, b) })
+			if got != want {
+				t.Fatalf("trial %d op %d [%d,%d): panic %q, oracle %q", trial, op, a, b, got, want)
+			}
+			if want != "" {
+				break // state after a panic is unspecified; next trial
+			}
+			for i := range oracle {
+				if h.bitmap[i] != oracle[i] {
+					t.Fatalf("trial %d op %d [%d,%d): word %d = %#x, oracle %#x",
+						trial, op, a, b, i, h.bitmap[i], oracle[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMarkExactRanges pins the aligned/unaligned word edges.
+func TestMarkExactRanges(t *testing.T) {
+	for _, tc := range [][2]int{{0, 64}, {0, 1}, {63, 65}, {64, 128}, {1, 191}, {127, 129}, {0, 192}} {
+		h := testHarness(t, 192)
+		h.mark(0, tc[0], tc[1])
+		for i := 0; i < 192; i++ {
+			got := h.bitmap[i/64]&(uint64(1)<<uint(i%64)) != 0
+			want := i >= tc[0] && i < tc[1]
+			if got != want {
+				t.Fatalf("range [%d,%d): bit %d = %v, want %v", tc[0], tc[1], i, got, want)
+			}
+		}
+	}
+}
+
+// TestCheckCoverageWordLevel verifies the word-level full-coverage check
+// reports the first missing iteration, exactly as the per-iteration scan.
+func TestCheckCoverageWordLevel(t *testing.T) {
+	h := testHarness(t, 130)
+	h.mark(0, 0, 130)
+	h.executed = 130
+	if err := h.checkCoverage(); err != nil {
+		t.Fatalf("full coverage rejected: %v", err)
+	}
+	h2 := testHarness(t, 130)
+	h2.mark(0, 0, 100)
+	h2.mark(0, 101, 130)
+	h2.executed = 130 // fake the count so the bitmap path is exercised
+	err := h2.checkCoverage()
+	if err == nil || err.Error() != "core: iteration 100 never executed" {
+		t.Fatalf("gap detection = %v, want iteration 100 never executed", err)
+	}
+}
+
+// TestExecutorSteadyStateZeroAlloc is the alloc-regression guard: the
+// steady-state executor path — coverage accounting plus a warm
+// intra-schedule lookup — must not allocate.
+func TestExecutorSteadyStateZeroAlloc(t *testing.T) {
+	h := testHarness(t, 1024)
+	h.intraChunkSize(0, 256, 0, 0) // warm the slice-indexed cache
+	allocs := testing.AllocsPerRun(200, func() {
+		h.mark(3, 0, 1024)
+		for i := range h.bitmap {
+			h.bitmap[i] = 0
+		}
+		if h.intraChunkSize(0, 256, 1, 0) < 1 {
+			t.Fatal("bad chunk")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state executor path allocates %.1f/op, want 0", allocs)
+	}
+}

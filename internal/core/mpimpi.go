@@ -81,115 +81,185 @@ func (h *harness) runMPIMPI() error {
 // (teammates poll the lock meanwhile), which is what preserves one-chunk-
 // per-node semantics under inter-node STATIC and prevents a thundering herd
 // against the global window at startup.
+// The worker runs continuation-style: the lock grant, the critical section,
+// the unlock release, and the compute dispatch all execute inside engine
+// events at the exact (time, scheduling-position) keys the literal
+// Lock/Sync/Sleep/Unlock/Compute chain occupied (NewLockCont/NewUnlockCont/
+// ComputeCost), so every run is byte-identical to the literal protocol —
+// including noise draws and trace order — while the rank's goroutine wakes
+// only once per sub-chunk, at execution end. Stage 2 (the global refill)
+// stays process-driven: it issues remote MPI calls that sleep the rank
+// anyway.
 func (h *harness) mpimpiWorker(r *mpi.Rank, gw, lw *mpi.Win, w int, inter interSched, n int) {
 	c := h.cfg
 	node := r.Node()
 	worker := r.Rank() // world rank == global worker index (one rank/core)
+	p := r.Proc()
 
-	for {
-		schedT0 := r.Now()
-		lw.Lock(r, 0, mpi.LockExclusive)
-		lw.Sync(r)
+	ws := c.Cluster.Mem.WinSync
+	cc := c.ChunkCalcCost
+	// q is the node's local-queue window memory: the exclusive lock guards
+	// every access, so the executor indexes it directly (one locality check
+	// at setup instead of per word).
+	q := lw.Shared(r, 0)
 
-		// Stage 1: sub-chunk from the local queue.
-		if int(lw.SharedRead(r, 0, lqCount)) > 0 {
-			a, b := h.takeHeadLocked(r, lw, w)
-			lw.Sync(r)
-			lw.Unlock(r, 0, mpi.LockExclusive)
-			h.traceSched(worker, node, trace.KindSchedLocal, schedT0, r.Now())
-			h.execRange(r, worker, node, a, b)
-			continue
-		}
-		if lw.SharedRead(r, 0, lqDone) != 0 {
-			lw.Sync(r)
-			lw.Unlock(r, 0, mpi.LockExclusive)
-			h.traceSched(worker, node, trace.KindSchedLocal, schedT0, r.Now())
-			return
-		}
+	// Continuation state: what the parked process does when it resumes.
+	const (
+		wakeRefill = iota // run stage 2 holding the queue lock
+		wakeExit          // local queue drained for good
+	)
+	var (
+		wake     int
+		a, b     int
+		start    sim.Time
+		schedT0  sim.Time
+		schedKnd trace.Kind
+		lockCont func()
+		eng      = h.eng
+	)
 
-		// Stage 2: queue empty — this worker fills it from the global
-		// queue (distributed chunk calculation: two atomics, chunk size
-		// computed locally from the obtained step). The requester identity
-		// matters only for weighted techniques: under MPI+MPI every rank
-		// is a requester, so pass the rank (its node's speed weights it).
-		step := gw.FetchAndOp(r, 0, gwStep, 1)
-		requester := node
-		if h.interP() > h.cfg.Cluster.Nodes {
-			requester = r.Rank()
-		}
-		size := inter.Chunk(int(step), requester)
-		r.Proc().Sleep(c.ChunkCalcCost)
-		start := gw.FetchAndOp(r, 0, gwScheduled, int64(size))
-		if int(start) >= n {
-			// Global queue exhausted: publish completion to the node.
-			lw.SharedWrite(r, 0, lqDone, 1)
-			lw.Sync(r)
-			lw.Unlock(r, 0, mpi.LockExclusive)
-			h.traceSched(worker, node, trace.KindSchedGlobal, schedT0, r.Now())
-			return
-		}
-		end := int(start) + size
-		if end > n {
-			end = n
-		}
-		h.globalChunks++
+	// execEnd fires at sub-chunk completion — the position of the literal
+	// Compute wake-up — accounts the executed range, and issues the next
+	// lock attempt, all without waking the rank's goroutine: the steady
+	// state is pure event processing.
+	execEnd := func() {
+		h.execute(worker, node, a, b, start, eng.Now())
+		schedT0 = eng.Now()
+		lockCont()
+	}
 
-		// Stage 3: install the chunk and take this worker's own sub-chunk
-		// within the same critical section.
-		cnt := int(lw.SharedRead(r, 0, lqCount))
-		if cnt >= c.QueueCapacity {
-			panic("core: local work queue overflow")
-		}
-		head := int(lw.SharedRead(r, 0, lqHead))
-		slot := (head + cnt) % c.QueueCapacity
-		base := lqBase + slot*lqWords
-		lw.SharedWrite(r, 0, base+entCur, start)
-		lw.SharedWrite(r, 0, base+entEnd, int64(end))
-		lw.SharedWrite(r, 0, base+entStep, 0)
-		lw.SharedWrite(r, 0, base+entOrig, int64(end-int(start)))
-		lw.SharedWrite(r, 0, lqCount, int64(cnt+1))
-		a, b := h.takeHeadLocked(r, lw, w)
-		lw.Sync(r)
-		lw.Unlock(r, 0, mpi.LockExclusive)
-		h.traceSched(worker, node, trace.KindSchedGlobal, schedT0, r.Now())
+	// execCont runs at the unlock release, exactly where the literal worker
+	// resumed to execute its sub-chunk [a, b).
+	execCont := func(release sim.Time) {
+		h.traceSched(worker, node, schedKnd, schedT0, release)
+		start = release
 		if a < b {
-			h.execRange(r, worker, node, a, b)
+			d := r.ComputeCost(h.prof.Range(a, b))
+			eng.ScheduleAsOf(release+d, release, execEnd)
+		} else {
+			eng.ScheduleAsOf(release, release, execEnd)
+		}
+	}
+	exitCont := func(release sim.Time) {
+		h.traceSched(worker, node, trace.KindSchedLocal, schedT0, release)
+		wake = wakeExit
+		p.UnparkAsOf(release, release)
+	}
+	unlockExec := lw.NewUnlockCont(r, 0, mpi.LockExclusive, execCont)
+	unlockExit := lw.NewUnlockCont(r, 0, mpi.LockExclusive, exitCont)
+
+	// granted runs at the event position where the literal worker resumed
+	// holding the queue lock (Lock's first check or the poller's grant).
+	granted := func() {
+		// Stage 1: sub-chunk from the local queue. The exclusive lock is
+		// held until the unlock release completes, so the reads and writes
+		// here — literally interleaved with Sync and chunk-calculation
+		// sleeps — see and leave exactly the same queue state (DESIGN.md §7).
+		if q[lqCount] > 0 {
+			a, b = h.takeHeadLocked(q, node, w)
+			schedKnd = trace.KindSchedLocal
+			t1 := r.Now() + ws // literal: Sync wake
+			t2 := t1 + cc      // literal: chunk-calc wake
+			unlockExec(t2+ws, t2)
+			return
+		}
+		if q[lqDone] != 0 {
+			t1 := r.Now() + ws
+			unlockExit(t1+ws, t1)
+			return
+		}
+		// Queue empty, not done: this worker refills from the global queue.
+		// Resume the process at the literal Sync wake (it issues MPI calls).
+		wake = wakeRefill
+		p.UnparkAsOf(r.Now()+ws, r.Now())
+	}
+
+	lockCont = lw.NewLockCont(r, 0, mpi.LockExclusive, granted)
+
+	schedT0 = r.Now()
+	lockCont()
+	for {
+		p.Park()
+
+		if wake == wakeRefill {
+			// Stage 2: distributed chunk calculation — two atomics on the
+			// global window, chunk size computed locally from the obtained
+			// step. The requester identity matters only for weighted
+			// techniques: under MPI+MPI every rank is a requester, so pass
+			// the rank (its node's speed weights it).
+			step := gw.FetchAndOp(r, 0, gwStep, 1)
+			requester := node
+			if h.interP() > h.cfg.Cluster.Nodes {
+				requester = r.Rank()
+			}
+			size := inter.Chunk(int(step), requester)
+			p.Sleep(cc)
+			gstart := gw.FetchAndOp(r, 0, gwScheduled, int64(size))
+			if int(gstart) >= n {
+				// Global queue exhausted: publish completion to the node.
+				q[lqDone] = 1
+				lw.UnlockAsOf(r, 0, mpi.LockExclusive, r.Now()+ws, r.Now())
+				h.traceSched(worker, node, trace.KindSchedGlobal, schedT0, r.Now())
+				return
+			}
+			end := int(gstart) + size
+			if end > n {
+				end = n
+			}
+			h.globalChunks++
+
+			// Stage 3: install the chunk and take this worker's own
+			// sub-chunk within the same critical section.
+			cnt := int(q[lqCount])
+			if cnt >= c.QueueCapacity {
+				panic("core: local work queue overflow")
+			}
+			head := int(q[lqHead])
+			slot := (head + cnt) % c.QueueCapacity
+			base := lqBase + slot*lqWords
+			q[base+entCur] = gstart
+			q[base+entEnd] = int64(end)
+			q[base+entStep] = 0
+			q[base+entOrig] = int64(end - int(gstart))
+			q[lqCount] = int64(cnt + 1)
+			a, b = h.takeHeadLocked(q, node, w)
+			schedKnd = trace.KindSchedGlobal
+			t1 := r.Now() + cc // literal: chunk-calc wake
+			unlockExec(t1+ws, t1)
+			continue // the event-driven cycle resumes; park again
+		}
+		if wake == wakeExit {
+			return
 		}
 	}
 }
 
-// takeHeadLocked removes one sub-chunk from the head chunk. The caller
-// holds the queue lock.
-func (h *harness) takeHeadLocked(r *mpi.Rank, lw *mpi.Win, w int) (int, int) {
+// takeHeadLocked removes one sub-chunk from the head chunk of node's local
+// queue memory. The caller holds the queue lock and charges the
+// chunk-calculation cost itself (the unlock continuation following each
+// call covers it, positioned where the literal post-calculation wake-up
+// fired).
+func (h *harness) takeHeadLocked(q []int64, node, w int) (int, int) {
 	c := h.cfg
-	head := int(lw.SharedRead(r, 0, lqHead))
+	head := int(q[lqHead])
 	base := lqBase + head*lqWords
-	cur := int(lw.SharedRead(r, 0, base+entCur))
-	end := int(lw.SharedRead(r, 0, base+entEnd))
-	step := int(lw.SharedRead(r, 0, base+entStep))
-	orig := int(lw.SharedRead(r, 0, base+entOrig))
-	size := h.intraChunkSize(r.Node(), orig, step, w)
-	r.Proc().Sleep(c.ChunkCalcCost)
+	cur := int(q[base+entCur])
+	end := int(q[base+entEnd])
+	step := int(q[base+entStep])
+	orig := int(q[base+entOrig])
+	size := h.intraChunkSize(node, orig, step, w)
 	if size > end-cur {
 		size = end - cur
 	}
 	nxt := cur + size
-	lw.SharedWrite(r, 0, base+entCur, int64(nxt))
-	lw.SharedWrite(r, 0, base+entStep, int64(step+1))
+	q[base+entCur] = int64(nxt)
+	q[base+entStep] = int64(step + 1)
 	if nxt >= end {
-		cnt := int(lw.SharedRead(r, 0, lqCount))
-		lw.SharedWrite(r, 0, lqHead, int64((head+1)%c.QueueCapacity))
-		lw.SharedWrite(r, 0, lqCount, int64(cnt-1))
+		q[lqHead] = int64((head + 1) % c.QueueCapacity)
+		q[lqCount]--
 	}
 	h.localChunks++
 	return cur, nxt
-}
-
-// execRange executes iterations [a, b) on the calling rank.
-func (h *harness) execRange(r *mpi.Rank, worker, node, a, b int) {
-	t0 := r.Now()
-	r.Compute(h.prof.Range(a, b))
-	h.execute(worker, node, a, b, t0, r.Now())
 }
 
 func (h *harness) traceSched(worker, node int, kind trace.Kind, t0, t1 sim.Time) {

@@ -48,6 +48,10 @@ type World struct {
 	world     *Comm
 	nodeComms []*Comm
 	wins      []*Win
+
+	// wakeFree pools wake-chain records (rma.go) so re-arming allocates
+	// nothing in steady state.
+	wakeFree *wakeRec
 }
 
 // NewWorld creates up to ranksPerNode ranks on each node of cfg: node n
@@ -158,6 +162,20 @@ type Rank struct {
 	collSeq map[*Comm]int // per-communicator collective call counter
 
 	computeTime sim.Time // cumulative execution time (for utilization stats)
+
+	// pollerBuf is the rank's reusable lock-poller: a rank has at most one
+	// outstanding Win.Lock, so the contended path allocates nothing in
+	// steady state.
+	pollerBuf *poller
+}
+
+// pooledPoller returns the rank's reusable poller; the caller overwrites
+// every field before registering it.
+func (r *Rank) pooledPoller() *poller {
+	if r.pollerBuf == nil {
+		r.pollerBuf = &poller{}
+	}
+	return r.pollerBuf
 }
 
 // Rank returns the world rank number.
@@ -188,6 +206,16 @@ func (r *Rank) Compute(ref sim.Time) {
 
 // ComputeTime reports the cumulative time this rank spent in Compute.
 func (r *Rank) ComputeTime() sim.Time { return r.computeTime }
+
+// ComputeCost charges ref seconds of reference work starting now and
+// returns the scaled duration without scheduling anything: fully
+// event-driven executors schedule their own completion event at
+// (now+d, now) — the exact position Compute's wake-up occupied.
+func (r *Rank) ComputeCost(ref sim.Time) sim.Time {
+	d := r.world.cfg.ExecTime(r.node, ref, r.proc.Now(), r.world.eng.Rand())
+	r.computeTime += d
+	return d
+}
 
 // sameNode reports whether two ranks share a node (shared-memory domain).
 func (w *World) sameNode(a, b int) bool {

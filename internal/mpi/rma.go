@@ -62,9 +62,122 @@ type lockState struct {
 // argument.
 type rmaPort struct {
 	srv sim.Server
-	// pollers holds the parked waiters in registration order, which is also
-	// the tie-break order for equal virtual timestamps.
-	pollers []*poller
+	// keys is a binary min-heap of pending poll steps ordered by
+	// (at, born, reg): the engine's (time, scheduling-time) event order,
+	// with registration order as the deterministic tie-break — exactly the
+	// order the literal selection scan preferred. Keys are pointer-free so
+	// every sift swap is a barrier-less copy; items holds the pollers in
+	// stable slots the keys point at. The heap makes each replayed step
+	// O(log P) instead of a full rescan, and the earliest pending step is
+	// an O(1) peek.
+	keys      []pollerKey
+	items     []*poller
+	freeSlots []int32
+	// byReg holds the same pollers in registration order: reconcilePort must
+	// walk them exactly as the literal slice scan did, because the order in
+	// which wake-chain positions are armed is part of the frozen event
+	// sequence.
+	byReg []*poller
+	// reg is the monotone registration counter behind the tie-break.
+	reg uint64
+}
+
+// pollerKey is a heap entry: the poller's pending-step position plus its
+// stable slot in items.
+type pollerKey struct {
+	at   sim.Time
+	born sim.Time
+	reg  uint64
+	slot int32
+}
+
+func keyLess(a, b *pollerKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.born != b.born {
+		return a.born < b.born
+	}
+	return a.reg < b.reg
+}
+
+// pending reports whether any poll step is registered.
+func (pt *rmaPort) pending() bool { return len(pt.keys) > 0 }
+
+// root returns the earliest pending step's poller.
+func (pt *rmaPort) root() *poller { return pt.items[pt.keys[0].slot] }
+
+// pushPoller registers a new waiter.
+func (pt *rmaPort) pushPoller(pl *poller) {
+	pt.reg++
+	pl.reg = pt.reg
+	pt.byReg = append(pt.byReg, pl)
+	var slot int32
+	if n := len(pt.freeSlots); n > 0 {
+		slot = pt.freeSlots[n-1]
+		pt.freeSlots = pt.freeSlots[:n-1]
+		pt.items[slot] = pl
+	} else {
+		pt.items = append(pt.items, pl)
+		slot = int32(len(pt.items) - 1)
+	}
+	h := append(pt.keys, pollerKey{at: pl.at, born: pl.born, reg: pl.reg, slot: slot})
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !keyLess(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	pt.keys = h
+}
+
+// fixRoot re-syncs the root key from its poller (whose pending step
+// advanced) and restores the heap.
+func (pt *rmaPort) fixRoot() {
+	h := pt.keys
+	pl := pt.items[h[0].slot]
+	h[0].at, h[0].born = pl.at, pl.born
+	n := len(h)
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && keyLess(&h[r], &h[l]) {
+			m = r
+		}
+		if !keyLess(&h[m], &h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// popRoot removes the earliest pending step from every view.
+func (pt *rmaPort) popRoot() {
+	h := pt.keys
+	slot := h[0].slot
+	pl := pt.items[slot]
+	pt.items[slot] = nil
+	pt.freeSlots = append(pt.freeSlots, slot)
+	n := len(h) - 1
+	h[0] = h[n]
+	pt.keys = h[:n]
+	if n > 0 {
+		pt.fixRoot()
+	}
+	for i, q := range pt.byReg {
+		if q == pl {
+			pt.byReg = append(pt.byReg[:i], pt.byReg[i+1:]...)
+			break
+		}
+	}
 }
 
 // poller is one parked Win.Lock caller whose retries are simulated
@@ -78,6 +191,11 @@ type poller struct {
 	lockType int
 	proc     *sim.Proc
 	remote   bool
+	// cont, when non-nil, is run at the grant position instead of resuming
+	// proc there (continuation-style locking, see LockCont). The event it
+	// runs in has exactly the (time, scheduling-time) key the literal
+	// winner's resume would have had.
+	cont func()
 
 	inService bool
 	at        sim.Time
@@ -89,6 +207,7 @@ type poller struct {
 	born     sim.Time
 	attempts int
 	granted  bool
+	reg      uint64 // registration tie-break, assigned by pushPoller
 }
 
 // canSucceed reports whether the poller's next check would acquire the lock
@@ -113,27 +232,16 @@ func (pl *poller) canSucceed(ls *lockState) bool {
 // at its own virtual time). Grants resolve exactly at their check time and
 // position: the wake chain guarantees an engine event fires there, so
 // eng.Now() == pl.at.
-func (w *World) advancePort(node int, t, bornLimit sim.Time, incl bool) {
+func (w *World) advancePort(node int, t, bornLimit sim.Time, incl bool) (advanced bool) {
 	pt := w.memPort[node]
 	mem := &w.cfg.Mem
 	net := &w.cfg.Net
-	for {
-		var best *poller
-		bi := -1
-		for i, pl := range pt.pollers {
-			if pl.at > t {
-				continue
-			}
-			if pl.at == t && (pl.born > bornLimit || (pl.born == bornLimit && !incl)) {
-				continue
-			}
-			if best == nil || pl.at < best.at || (pl.at == best.at && pl.born < best.born) {
-				best, bi = pl, i
-			}
-		}
-		if best == nil {
+	for pt.pending() {
+		best := pt.root()
+		if best.at > t || (best.at == t && (best.born > bornLimit || (best.born == bornLimit && !incl))) {
 			return
 		}
+		advanced = true
 		if !best.inService {
 			// The retry reaches the port: consume serial service exactly as
 			// the literal rmaRound would, then wait for the check moment.
@@ -159,6 +267,7 @@ func (w *World) advancePort(node int, t, bornLimit sim.Time, incl bool) {
 				best.born = best.at
 				best.at = completion
 			}
+			pt.fixRoot()
 			continue
 		}
 		// The attempt completes: check the lock word at its own timestamp.
@@ -171,12 +280,16 @@ func (w *World) advancePort(node int, t, bornLimit sim.Time, incl bool) {
 			}
 			best.win.LockAcquisitions++
 			best.granted = true
-			pt.pollers = append(pt.pollers[:bi], pt.pollers[bi+1:]...)
+			pt.popRoot()
 			// Resume the winner at its check time, in the position the
 			// literal check event (scheduled at the attempt's arrival)
 			// would have fired, so everything it schedules next gets the
 			// same relative order as in the literal protocol.
-			best.proc.UnparkAsOf(best.at, best.born)
+			if best.cont != nil {
+				w.eng.ScheduleAsOf(best.at, best.born, best.cont)
+			} else {
+				best.proc.UnparkAsOf(best.at, best.born)
+			}
 			continue
 		}
 		// Failed: back off PollInterval and retry. A local rank's next
@@ -191,7 +304,9 @@ func (w *World) advancePort(node int, t, bornLimit sim.Time, incl bool) {
 			best.born = best.at
 			best.at += mem.PollInterval
 		}
+		pt.fixRoot()
 	}
+	return advanced
 }
 
 // reconcilePort re-establishes the wake-chain invariant after the port or a
@@ -202,7 +317,12 @@ func (w *World) advancePort(node int, t, bornLimit sim.Time, incl bool) {
 // advance and reconcile again.
 func (w *World) reconcilePort(node int) {
 	pt := w.memPort[node]
-	for _, pl := range pt.pollers {
+	// Walk in registration order — the literal scan order. The sequence of
+	// armed positions (including the intermediate, immediately-superseded
+	// ones) is part of the frozen event stream, so it must be reproduced
+	// exactly; only the selection scan inside advancePort is free to use the
+	// heap view.
+	for _, pl := range pt.byReg {
 		ls := &pl.win.locks[pl.target]
 		if !pl.canSucceed(ls) {
 			continue
@@ -217,19 +337,54 @@ func (w *World) reconcilePort(node int) {
 	}
 }
 
+// wakeRec is one pooled wake-chain link; fire is the closure bound to it
+// once, so re-arming the chain allocates nothing in steady state.
+type wakeRec struct {
+	w      *World
+	win    *Win
+	target int
+	node   int
+	at     sim.Time
+	born   sim.Time
+	fire   func()
+	next   *wakeRec
+}
+
 // scheduleWake arms one link of the wake chain: an event at the exact
 // (time, scheduling-time) position of the poll decision it covers, firing
 // after every same-instant event that preceded the literal decision and
 // before every one that followed it.
 func (w *World) scheduleWake(node int, win *Win, target int, at, born sim.Time) {
-	w.eng.ScheduleAsOf(at, born, func() {
-		ls := &win.locks[target]
-		if ls.wakeSet && ls.wakeAt == at && ls.wakeBorn == born {
-			ls.wakeSet = false
+	wr := w.wakeFree
+	if wr == nil {
+		wr = &wakeRec{w: w}
+		wr.fire = func() {
+			w := wr.w
+			ls := &wr.win.locks[wr.target]
+			cleared := ls.wakeSet && ls.wakeAt == wr.at && ls.wakeBorn == wr.born
+			if cleared {
+				ls.wakeSet = false
+			}
+			node, born := wr.node, wr.born
+			wr.win = nil
+			wr.next = w.wakeFree
+			w.wakeFree = wr
+			advanced := w.advancePort(node, w.eng.Now(), born, true)
+			if cleared || advanced {
+				w.reconcilePort(node)
+				return
+			}
+			// A stale link that replayed nothing cannot have created a new
+			// earliest decision: poll positions only ever move later, every
+			// eligibility-increasing mutation (a release) reconciles itself,
+			// and the covering mark is still armed. The walk would arm
+			// nothing, so skip it.
 		}
-		w.advancePort(node, w.eng.Now(), born, true)
-		w.reconcilePort(node)
-	})
+	} else {
+		w.wakeFree = wr.next
+	}
+	wr.win, wr.target, wr.node, wr.at, wr.born = win, target, node, at, born
+	w.eng.ScheduleAsOf(at, born, wr.fire)
 }
 
 // Lock types, mirroring MPI_LOCK_EXCLUSIVE / MPI_LOCK_SHARED.
@@ -298,7 +453,7 @@ func (w *Win) rmaRoundFrom(p *sim.Proc, fromNode, target int, service sim.Time) 
 	tn := w.targetNode(target)
 	pt := wld.memPort[tn]
 	if tn == fromNode {
-		if len(pt.pollers) > 0 {
+		if pt.pending() {
 			wld.advancePort(tn, p.Now(), wld.eng.EventScheduledAt(), false)
 		}
 		pt.srv.Serve(p, service)
@@ -306,7 +461,7 @@ func (w *Win) rmaRoundFrom(p *sim.Proc, fromNode, target int, service sim.Time) 
 	}
 	net := &wld.cfg.Net
 	p.Sleep(net.Latency)
-	if len(pt.pollers) > 0 {
+	if pt.pending() {
 		wld.advancePort(tn, p.Now(), wld.eng.EventScheduledAt(), false)
 	}
 	pt.srv.Serve(p, service+net.PortService)
@@ -364,13 +519,14 @@ func (w *Win) Lock(r *Rank, target int, lockType int) int {
 		born = next
 		next += w.world.cfg.Net.Latency
 	}
-	pl := &poller{
+	pl := r.pooledPoller()
+	*pl = poller{
 		win: w, target: target, lockType: lockType,
 		proc: r.proc, remote: remote,
 		at: next, born: born, attempts: 1,
 	}
 	pt := w.world.memPort[tn]
-	pt.pollers = append(pt.pollers, pl)
+	pt.pushPoller(pl)
 	r.proc.Park()
 	if !pl.granted {
 		panic(fmt.Sprintf("mpi: lock poller on %s[%d] resumed without grant", w.name, target))
@@ -387,7 +543,7 @@ func (w *Win) Unlock(r *Rank, target int, lockType int) {
 	// still-held state: retries whose check lands before the release (in
 	// (time, scheduling-order) event order) must fail, exactly as they
 	// would have in the literal protocol.
-	if len(w.world.memPort[tn].pollers) > 0 {
+	if w.world.memPort[tn].pending() {
 		w.world.advancePort(tn, r.proc.Now(), w.world.eng.EventScheduledAt(), false)
 	}
 	ls := &w.locks[target]
@@ -405,6 +561,163 @@ func (w *Win) Unlock(r *Rank, target int, lockType int) {
 	// The lock may now be acquirable: arm the wake chain so the next poll
 	// decision fires at its exact virtual time.
 	w.world.reconcilePort(tn)
+}
+
+// UnlockAsOf is Unlock for a caller that is still at an earlier instant of
+// its critical section: arrival names the virtual time the unlock's RMA
+// round reaches the port and born the scheduling position of the literal
+// pre-arrival wake-up (the last sleep of the caller's critical-section
+// chain). The caller parks; the arrival half (pre-release poll replay plus
+// port service) runs in an event at the exact position the literal caller
+// occupied, and the caller resumes precisely at the service completion —
+// where the literal Serve wake-up fired — to apply the release. Every
+// externally visible action (poll replay, port-queue arrival, lock-word
+// mutation, wake-chain arming) happens at its literal (time, position), so
+// runs are byte-identical to Sync/Sleep/Unlock chains; only the caller's
+// intermediate wake-ups disappear. Shared (node-local) windows only.
+func (w *Win) UnlockAsOf(r *Rank, target, lockType int, arrival, born sim.Time) {
+	wld := w.world
+	tn := w.targetNode(target)
+	if tn != r.node {
+		panic(fmt.Sprintf("mpi: UnlockAsOf on %s[%d] from another node", w.name, target))
+	}
+	pt := wld.memPort[tn]
+	eng := wld.eng
+	eng.ScheduleAsOf(arrival, born, func() {
+		if pt.pending() {
+			wld.advancePort(tn, arrival, eng.EventScheduledAt(), false)
+		}
+		done := pt.srv.ServeAsync(arrival, wld.cfg.Mem.SharedWinOp)
+		// Mirror Serve's wake arithmetic bit for bit (see advancePort).
+		r.proc.UnparkAsOf(arrival+(done-arrival), arrival)
+	})
+	r.proc.Park()
+	// The release half runs in the wake event, exactly as the literal
+	// Unlock continuation did after its Serve returned.
+	if pt.pending() {
+		wld.advancePort(tn, r.proc.Now(), eng.EventScheduledAt(), false)
+	}
+	ls := &w.locks[target]
+	if lockType == LockExclusive {
+		if !ls.excl {
+			panic(fmt.Sprintf("mpi: exclusive Unlock of unheld lock on %s[%d]", w.name, target))
+		}
+		ls.excl = false
+	} else {
+		if ls.readers <= 0 {
+			panic(fmt.Sprintf("mpi: shared Unlock of unheld lock on %s[%d]", w.name, target))
+		}
+		ls.readers--
+	}
+	wld.reconcilePort(tn)
+}
+
+// NewLockCont returns a reusable continuation-style Lock issuer for a
+// node-local window. Calling the issuer performs the literal first
+// attempt's arrival (poll replay plus port service reservation) at the
+// current instant and arranges for cont to run, holding the lock, in an
+// event at the position of the literal check — where Lock's caller would
+// have resumed. Under contention the retry loop runs through the same
+// coalesced poller machinery and cont fires at the exact grant position.
+// The caller must park (or otherwise yield) after each issue; the issuer
+// and its closures are allocated once, so steady-state issues are
+// allocation-free.
+func (w *Win) NewLockCont(r *Rank, target, lockType int, cont func()) func() {
+	wld := w.world
+	tn := w.targetNode(target)
+	if tn != r.node {
+		panic(fmt.Sprintf("mpi: NewLockCont on %s[%d] from another node", w.name, target))
+	}
+	mem := &wld.cfg.Mem
+	pt := wld.memPort[tn]
+	eng := wld.eng
+	check := func() {
+		ls := &w.locks[target]
+		if lockType == LockExclusive {
+			if !ls.excl && ls.readers == 0 {
+				ls.excl = true
+				w.LockAcquisitions++
+				cont()
+				return
+			}
+		} else {
+			if !ls.excl {
+				ls.readers++
+				w.LockAcquisitions++
+				cont()
+				return
+			}
+		}
+		// Contended: park on the coalesced poller machinery, exactly as the
+		// literal loop registered itself after its first failed check.
+		born := eng.Now()
+		pl := r.pooledPoller()
+		*pl = poller{
+			win: w, target: target, lockType: lockType,
+			proc: r.proc, cont: cont,
+			at: born + mem.PollInterval, born: born, attempts: 1,
+		}
+		pt.pushPoller(pl)
+	}
+	return func() {
+		// Literal first attempt: one RMA round through the port.
+		w.LockAttempts++
+		if pt.pending() {
+			wld.advancePort(tn, r.proc.Now(), eng.EventScheduledAt(), false)
+		}
+		now := r.proc.Now()
+		done := pt.srv.ServeAsync(now, mem.LockAttempt)
+		eng.ScheduleAsOf(now+(done-now), now, check) // Serve's wake arithmetic, bit for bit
+	}
+}
+
+// NewUnlockCont returns a reusable continuation-style unlock issuer:
+// issue(arrival, born) runs the unlock's arrival half (poll replay, port
+// service) in an event at the literal pre-arrival wake position, the
+// release half at the literal service completion, and cont(release) inline
+// right after the release — exactly where the literal Unlock caller
+// resumed — so everything cont schedules gets the same relative order. At
+// most one unlock may be in flight per issuer; the caller parks meanwhile.
+func (w *Win) NewUnlockCont(r *Rank, target, lockType int, cont func(release sim.Time)) func(arrival, born sim.Time) {
+	wld := w.world
+	tn := w.targetNode(target)
+	if tn != r.node {
+		panic(fmt.Sprintf("mpi: NewUnlockCont on %s[%d] from another node", w.name, target))
+	}
+	pt := wld.memPort[tn]
+	eng := wld.eng
+	var arrival, release sim.Time
+	releaseFn := func() {
+		if pt.pending() {
+			wld.advancePort(tn, release, eng.EventScheduledAt(), false)
+		}
+		ls := &w.locks[target]
+		if lockType == LockExclusive {
+			if !ls.excl {
+				panic(fmt.Sprintf("mpi: exclusive Unlock of unheld lock on %s[%d]", w.name, target))
+			}
+			ls.excl = false
+		} else {
+			if ls.readers <= 0 {
+				panic(fmt.Sprintf("mpi: shared Unlock of unheld lock on %s[%d]", w.name, target))
+			}
+			ls.readers--
+		}
+		wld.reconcilePort(tn)
+		cont(release)
+	}
+	arriveFn := func() {
+		if pt.pending() {
+			wld.advancePort(tn, arrival, eng.EventScheduledAt(), false)
+		}
+		done := pt.srv.ServeAsync(arrival, wld.cfg.Mem.SharedWinOp)
+		release = arrival + (done - arrival)
+		eng.ScheduleAsOf(release, arrival, releaseFn)
+	}
+	return func(arr, born sim.Time) {
+		arrival = arr
+		eng.ScheduleAsOf(arr, born, arriveFn)
+	}
 }
 
 // FetchAndOp atomically adds delta to the word at (target, offset) and
@@ -462,6 +775,16 @@ func (w *Win) Put(r *Rank, target, offset int, vals []int64) {
 // algorithms pay to publish or observe direct stores.
 func (w *Win) Sync(r *Rank) {
 	r.proc.Sleep(w.world.cfg.Mem.WinSync)
+}
+
+// Shared returns the target segment of a shared window for direct
+// load/store access, validating locality once. Hot executor loops index it
+// instead of paying the per-access checks of SharedRead/SharedWrite; the
+// visibility discipline (Sync, or a lock held across the accesses) remains
+// the caller's responsibility, as in MPI-3.
+func (w *Win) Shared(r *Rank, target int) []int64 {
+	w.checkShared(r, target)
+	return w.data[target]
 }
 
 // SharedRead performs a direct load from a shared window. Only legal on

@@ -186,18 +186,59 @@ func (t *Team) ParallelFor(master *sim.Proc, f For) ForResult {
 	chunks := 0
 
 	body := func(p *sim.Proc, tid int) {
-		for {
-			a, b := t.grab(p, f, st, tid)
-			if a >= b {
-				break
+		if f.Schedule == ScheduleStatic {
+			// Precomputed split, no chunk-grab port: stay process-driven.
+			for {
+				a, b := t.grab(p, f, st, tid)
+				if a >= b {
+					break
+				}
+				chunks++
+				start := p.Now()
+				d := t.cl.ExecTime(t.node, f.RangeCost(a, b), start, t.eng.Rand())
+				p.Sleep(d)
+				if f.Visit != nil {
+					f.Visit(tid, a, b, start, p.Now())
+				}
 			}
-			chunks++
-			start := p.Now()
-			d := t.cl.ExecTime(t.node, f.RangeCost(a, b), start, t.eng.Rand())
-			p.Sleep(d)
-			if f.Visit != nil {
-				f.Visit(tid, a, b, start, p.Now())
+		} else {
+			// Dynamic-family schedules run fully event-driven: the chunk
+			// grab's shared-state update, cost lookup and noise draw happen
+			// in an event at the exact position of the literal post-serve
+			// wake-up, chunk completion (visit plus next grab) in an event
+			// at the literal execution wake-up, and the thread's goroutine
+			// parks until the loop is exhausted. Event keys, state updates
+			// and RNG draw order are identical to the literal Serve/Sleep
+			// loop.
+			var a, b int
+			var start sim.Time
+			eng := t.eng
+			var issueGrab func()
+			execEnd := func() {
+				chunks++
+				if f.Visit != nil {
+					f.Visit(tid, a, b, start, eng.Now())
+				}
+				issueGrab()
 			}
+			grabbed := func() {
+				a, b = t.take(f, st, tid)
+				now := eng.Now()
+				if a >= b {
+					p.UnparkAsOf(now, now)
+					return
+				}
+				start = now
+				d := t.cl.ExecTime(t.node, f.RangeCost(a, b), start, eng.Rand())
+				eng.ScheduleAsOf(start+d, start, execEnd)
+			}
+			issueGrab = func() {
+				now := eng.Now()
+				fin := t.atomicPort.ServeAsync(now, t.cl.Mem.LocalAtomic)
+				eng.ScheduleAsOf(now+(fin-now), now, grabbed)
+			}
+			issueGrab()
+			p.Park()
 		}
 		p.Sleep(t.Barrier) // barrier signalling cost
 		res.ThreadFinish[tid] = p.Now()
@@ -249,6 +290,10 @@ func allDone(done []bool) bool {
 
 // grab assigns the next chunk [a, b) to thread tid under f's schedule,
 // charging the appropriate runtime cost. a >= b signals loop exhaustion.
+// Dynamic-family schedules serve the grab's atomic at the team port and
+// apply the shared-state update at the service completion (take); the
+// continuation path in ParallelFor performs the same two halves without
+// waking the thread in between.
 func (t *Team) grab(p *sim.Proc, f For, st *loopState, tid int) (int, int) {
 	T := t.threads
 	switch f.Schedule {
@@ -267,60 +312,52 @@ func (t *Team) grab(p *sim.Proc, f For, st *loopState, tid int) (int, int) {
 		}
 		st.assignedStatic[tid] = true
 		return f.N * tid / T, f.N * (tid + 1) / T
-	case ScheduleDynamic:
-		k := f.Chunk
-		if k <= 0 {
-			k = 1
-		}
+	case ScheduleDynamic, ScheduleGuided, ScheduleTSS, ScheduleFAC2, ScheduleRandom:
 		t.atomicPort.Serve(p, t.cl.Mem.LocalAtomic)
-		if st.next >= f.N {
-			return f.N, f.N
+		return t.take(f, st, tid)
+	}
+	panic(fmt.Sprintf("openmp: unknown schedule %v", f.Schedule))
+}
+
+// take is the post-service half of a dynamic-family chunk grab: it reads
+// and updates the shared loop state at the atomic's completion instant.
+func (t *Team) take(f For, st *loopState, tid int) (int, int) {
+	T := t.threads
+	if st.next >= f.N {
+		return f.N, f.N
+	}
+	var c int
+	switch f.Schedule {
+	case ScheduleDynamic:
+		c = f.Chunk
+		if c <= 0 {
+			c = 1
 		}
-		a := st.next
-		st.next = minInt(a+k, f.N)
-		return a, st.next
 	case ScheduleGuided:
 		k := f.Chunk
 		if k <= 0 {
 			k = 1
 		}
-		t.atomicPort.Serve(p, t.cl.Mem.LocalAtomic)
-		if st.next >= f.N {
-			return f.N, f.N
-		}
 		rem := f.N - st.next
-		c := (rem + T - 1) / T
+		c = (rem + T - 1) / T
 		if c < k {
 			c = k
 		}
-		a := st.next
-		st.next = minInt(a+c, f.N)
-		return a, st.next
 	case ScheduleTSS, ScheduleFAC2:
-		t.atomicPort.Serve(p, t.cl.Mem.LocalAtomic)
-		if st.next >= f.N {
-			return f.N, f.N
-		}
-		c := st.sched.Chunk(st.step, tid)
+		c = st.sched.Chunk(st.step, tid)
 		st.step++
-		a := st.next
-		st.next = minInt(a+c, f.N)
-		return a, st.next
 	case ScheduleRandom:
-		t.atomicPort.Serve(p, t.cl.Mem.LocalAtomic)
-		if st.next >= f.N {
-			return f.N, f.N
-		}
 		maxC := (f.N - st.next + T - 1) / T
 		if maxC < 1 {
 			maxC = 1
 		}
-		c := 1 + t.eng.Rand().Intn(maxC)
-		a := st.next
-		st.next = minInt(a+c, f.N)
-		return a, st.next
+		c = 1 + t.eng.Rand().Intn(maxC)
+	default:
+		panic(fmt.Sprintf("openmp: unknown schedule %v", f.Schedule))
 	}
-	panic(fmt.Sprintf("openmp: unknown schedule %v", f.Schedule))
+	a := st.next
+	st.next = minInt(a+c, f.N)
+	return a, st.next
 }
 
 // staticCyclic hands thread tid its full round-robin strip set as one range

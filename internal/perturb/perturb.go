@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -99,19 +101,83 @@ type interval struct {
 	start, end sim.Time
 }
 
-// nodeStream is the lazily extended slowdown history of one node.
-type nodeStream struct {
-	rng       *rand.Rand
-	intervals []interval
-	clock     sim.Time // next arrival is drawn relative to this point
+// sharedStream is the process-wide slowdown interval source of one
+// (seed, node, rate, duration) tuple. The interval sequence is a pure
+// function of that key — DESIGN.md §6's replay contract — so every cell of
+// a sweep that runs the same scenario reads one shared, append-only
+// history instead of rebuilding an RNG stream per cell. Readers take an
+// atomic snapshot of the published prefix; extension happens under the
+// mutex and re-publishes.
+type sharedStream struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	clock sim.Time // next arrival is drawn relative to this point
+	ivs   atomic.Pointer[[]interval]
+}
+
+// streamKey identifies a slowdown stream; every parameter that shapes the
+// drawn sequence participates.
+type streamKey struct {
+	seed     int64
+	node     int
+	rate     float64
+	duration sim.Time
+}
+
+var streamCache sync.Map // streamKey -> *sharedStream
+
+func sharedStreamFor(key streamKey) *sharedStream {
+	if v, ok := streamCache.Load(key); ok {
+		return v.(*sharedStream)
+	}
+	s := &sharedStream{rng: rand.New(rand.NewSource(nodeSeed(key.seed, key.node)))}
+	empty := []interval(nil)
+	s.ivs.Store(&empty)
+	if v, loaded := streamCache.LoadOrStore(key, s); loaded {
+		return v.(*sharedStream)
+	}
+	return s
+}
+
+// extendTo draws intervals until the stream covers t and returns the
+// published history. Gaps are exponential(1/rate) between consecutive
+// windows and lengths exponential(duration), so windows never overlap and
+// the long-run active fraction is rate·duration / (1 + rate·duration).
+func (s *sharedStream) extendTo(t sim.Time, rate float64, duration sim.Time) []interval {
+	ivs := *s.ivs.Load()
+	if s.clockCovered(ivs, t) {
+		return ivs
+	}
+	s.mu.Lock()
+	ivs = *s.ivs.Load()
+	for s.clock <= t {
+		gap := sim.Time(s.rng.ExpFloat64() / rate)
+		dur := sim.Time(s.rng.ExpFloat64()) * duration
+		iv := interval{start: s.clock + gap, end: s.clock + gap + dur}
+		ivs = append(ivs, iv)
+		s.clock = iv.end
+	}
+	s.ivs.Store(&ivs)
+	s.mu.Unlock()
+	return ivs
+}
+
+// clockCovered reports whether the published history already extends past
+// t (reading clock requires either the lock or this conservative check on
+// the immutable snapshot).
+func (s *sharedStream) clockCovered(ivs []interval, t sim.Time) bool {
+	return len(ivs) > 0 && ivs[len(ivs)-1].end > t
 }
 
 // Model is the instantiated perturbation scenario for a cluster of a given
-// size. It implements the cluster package's perturber hook.
+// size. It implements the cluster package's perturber hook. Models are
+// cheap per-cell views: the interval streams behind them are shared
+// process-wide (see sharedStream), so instantiating one per simulation
+// allocates no RNG state in the per-chunk path.
 type Model struct {
 	cfg     Config
 	bgSpeed []float64 // per-node 1/(1−load) execution-time multiplier
-	streams []*nodeStream
+	streams []*sharedStream
 }
 
 // New instantiates cfg for a cluster of nodes nodes. A nil model (from a
@@ -131,9 +197,12 @@ func New(cfg Config, nodes int) (*Model, error) {
 		}
 	}
 	if cfg.SlowdownRate > 0 {
-		m.streams = make([]*nodeStream, nodes)
+		m.streams = make([]*sharedStream, nodes)
 		for n := range m.streams {
-			m.streams[n] = &nodeStream{rng: rand.New(rand.NewSource(nodeSeed(cfg.Seed, n)))}
+			m.streams[n] = sharedStreamFor(streamKey{
+				seed: cfg.Seed, node: n,
+				rate: cfg.SlowdownRate, duration: cfg.SlowdownDuration,
+			})
 		}
 	}
 	return m, nil
@@ -185,42 +254,37 @@ func (m *Model) Factor(node int, now sim.Time) float64 {
 }
 
 // inSlowdown reports whether node is inside a transient slowdown at t,
-// extending the node's interval stream as far as t on demand. Intervals are
-// drawn as exponential(1/rate) gaps between consecutive windows followed by
-// exponential(duration) lengths, so they never overlap and the long-run
-// active fraction is rate·duration / (1 + rate·duration).
+// extending the node's shared interval stream as far as t on demand.
+// Lookup is a binary search over the immutable published history —
+// allocation-free and O(log windows) regardless of how far queries jump
+// around in time.
 func (m *Model) inSlowdown(node int, t sim.Time) bool {
 	s := m.streams[node%len(m.streams)]
-	for s.clock <= t {
-		gap := sim.Time(s.rng.ExpFloat64() / m.cfg.SlowdownRate)
-		dur := sim.Time(s.rng.ExpFloat64()) * m.cfg.SlowdownDuration
-		iv := interval{start: s.clock + gap, end: s.clock + gap + dur}
-		s.intervals = append(s.intervals, iv)
-		s.clock = iv.end
-	}
-	// t precedes s.clock, so the covering interval (if any) is near the end;
-	// scan backwards past at most the windows beyond t.
-	for i := len(s.intervals) - 1; i >= 0; i-- {
-		iv := s.intervals[i]
-		if iv.end <= t {
-			return false
-		}
-		if iv.start <= t {
-			return true
+	ivs := s.extendTo(t, m.cfg.SlowdownRate, m.cfg.SlowdownDuration)
+	// First window ending after t; t is inside iff that window started.
+	lo, hi := 0, len(ivs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ivs[mid].end <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return false
+	return lo < len(ivs) && ivs[lo].start <= t
 }
 
 // Intervals returns a copy of node's slowdown windows generated so far
-// (diagnostics and tests).
+// (diagnostics and tests). Because streams are shared process-wide, "so
+// far" covers every model with the same (Seed, rate, duration) — the
+// sequence itself is identical for all of them by the replay contract.
 func (m *Model) Intervals(node int) [][2]sim.Time {
 	if m == nil || m.streams == nil {
 		return nil
 	}
-	s := m.streams[node%len(m.streams)]
-	out := make([][2]sim.Time, len(s.intervals))
-	for i, iv := range s.intervals {
+	ivs := *m.streams[node%len(m.streams)].ivs.Load()
+	out := make([][2]sim.Time, len(ivs))
+	for i, iv := range ivs {
 		out[i] = [2]sim.Time{iv.start, iv.end}
 	}
 	return out

@@ -46,8 +46,16 @@ type event struct {
 	t    Time
 	seq  uint64
 	born Time
-	p    *Proc
-	fn   func()
+	// pay indexes the engine's payload table. Keeping the heap entries
+	// pointer-free makes every sift swap a barrier-less 32-byte copy, which
+	// is most of what push/pop cost on deep queues.
+	pay int32
+}
+
+// payload carries an event's action: resume p, or call fn.
+type payload struct {
+	p  *Proc
+	fn func()
 }
 
 // eventLess orders events by (time, scheduling time, schedule sequence).
@@ -67,9 +75,27 @@ func eventLess(a, b *event) bool {
 // process runs at any instant and simulated processes may freely share Go
 // memory without host-level synchronization.
 type Engine struct {
-	now  Time
-	seq  uint64
-	heap []event
+	now Time
+	seq uint64
+	// heap holds the queued events in one of two layouts: while small
+	// (arrayMode), a descending-sorted array — pops take the last element
+	// with zero comparisons and inserts are a binary search plus a short,
+	// branch-predictable memmove, which beats heap sifting at the queue
+	// sizes simulations actually reach (tens of events). If the queue ever
+	// grows past arrayModeMax it is heapified in place (an ascending array
+	// is already a valid 4-ary min-heap once reversed) and stays a heap
+	// until it drains. Pop order is the total order (t, born, seq) either
+	// way.
+	heap      []event
+	arrayMode bool
+	// nextEv, when nextSet, is the queue's minimum, buffered outside the
+	// heap (see push).
+	nextEv  event
+	nextSet bool
+	// pays holds event payloads, indexed by event.pay; free is the slot
+	// free-list.
+	pays []payload
+	free []int32
 
 	// main is the Run caller's wake-up gate: the baton returns here when the
 	// event queue drains (and during Shutdown hand-back).
@@ -90,8 +116,9 @@ type Engine struct {
 // deterministic random source derived from seed.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
-		main: make(chan struct{}, 1),
-		rng:  rand.New(rand.NewSource(seed)),
+		main:      make(chan struct{}, 1),
+		rng:       rand.New(rand.NewSource(seed)),
+		arrayMode: true,
 	}
 }
 
@@ -102,8 +129,90 @@ func (e *Engine) Now() Time { return e.now }
 // used from simulated processes or event callbacks.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// push inserts an event into the 4-ary min-heap.
+// alloc stores a payload and returns its slot index.
+func (e *Engine) alloc(p *Proc, fn func()) int32 {
+	if n := len(e.free); n > 0 {
+		i := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.pays[i] = payload{p: p, fn: fn}
+		return i
+	}
+	e.pays = append(e.pays, payload{p: p, fn: fn})
+	return int32(len(e.pays) - 1)
+}
+
+// push inserts an event into the queue. The single-slot front buffer
+// (nextEv) catches the dominant pattern — an event scheduled to fire before
+// everything already queued, usually a continuation at or just after the
+// current instant — and makes its round-trip O(1): no sift on push, no sift
+// on pop. Ordering is decided by the same (t, born, seq) comparator either
+// way, so the firing sequence is untouched.
 func (e *Engine) push(ev event) {
+	if e.nextSet {
+		if eventLess(&ev, &e.nextEv) {
+			e.pushHeap(e.nextEv)
+			e.nextEv = ev
+			return
+		}
+		e.pushHeap(ev)
+		return
+	}
+	if len(e.heap) == 0 || eventLess(&ev, e.peekMin()) {
+		e.nextEv = ev
+		e.nextSet = true
+		return
+	}
+	e.pushHeap(ev)
+}
+
+// arrayModeMax bounds the sorted-array layout; beyond it inserts would
+// memmove too much and the queue switches to the heap layout.
+const arrayModeMax = 128
+
+// peekMin returns the earliest queued event (the queue must be non-empty;
+// the front buffer is checked by callers).
+func (e *Engine) peekMin() *event {
+	if e.arrayMode {
+		return &e.heap[len(e.heap)-1]
+	}
+	return &e.heap[0]
+}
+
+// heapify converts the descending-sorted array into a 4-ary min-heap by
+// reversing it: an ascending array satisfies the heap invariant.
+func (e *Engine) heapify() {
+	h := e.heap
+	for i, j := 0, len(h)-1; i < j; i, j = i+1, j-1 {
+		h[i], h[j] = h[j], h[i]
+	}
+	e.arrayMode = false
+}
+
+// pending reports whether any event is queued.
+func (e *Engine) pending() bool { return e.nextSet || len(e.heap) > 0 }
+
+// pushHeap inserts an event into the queue's current layout.
+func (e *Engine) pushHeap(ev event) {
+	if e.arrayMode {
+		if len(e.heap) < arrayModeMax {
+			h := e.heap
+			lo, hi := 0, len(h)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if eventLess(&h[mid], &ev) {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			h = append(h, event{})
+			copy(h[lo+1:], h[lo:])
+			h[lo] = ev
+			e.heap = h
+			return
+		}
+		e.heapify()
+	}
 	h := append(e.heap, ev)
 	i := len(h) - 1
 	for i > 0 {
@@ -119,12 +228,26 @@ func (e *Engine) push(ev event) {
 
 // pop removes and returns the earliest event.
 func (e *Engine) pop() event {
+	if e.nextSet {
+		e.nextSet = false
+		return e.nextEv
+	}
+	if e.arrayMode {
+		h := e.heap
+		n := len(h) - 1
+		top := h[n]
+		e.heap = h[:n]
+		return top
+	}
 	h := e.heap
 	top := h[0]
 	n := len(h) - 1
+	if n == 0 {
+		e.arrayMode = true // drained: return to the cheap layout
+	}
 	last := h[n]
-	h[n] = event{} // release the fn/proc references
 	h = h[:n]
+	e.heap = h
 	if n > 0 {
 		i := 0
 		for {
@@ -150,7 +273,6 @@ func (e *Engine) pop() event {
 		}
 		h[i] = last
 	}
-	e.heap = h
 	return top
 }
 
@@ -161,7 +283,7 @@ func (e *Engine) Schedule(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	e.push(event{t: t, seq: e.seq, born: e.now, fn: fn})
+	e.push(event{t: t, seq: e.seq, born: e.now, pay: e.alloc(nil, fn)})
 }
 
 // ScheduleAsOf arranges for fn to run at absolute virtual time t in the
@@ -175,7 +297,7 @@ func (e *Engine) ScheduleAsOf(t, born Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	e.push(event{t: t, seq: e.seq, born: born, fn: fn})
+	e.push(event{t: t, seq: e.seq, born: born, pay: e.alloc(nil, fn)})
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -189,6 +311,31 @@ func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
 // scheduling time.
 func (e *Engine) EventScheduledAt() Time { return e.curBorn }
 
+// sleepInPlace reports whether a resume event (t, born, next seq) for the
+// running process would fire strictly before every pending event, and if so
+// advances the clock to t without touching the heap or the baton. The
+// skipped event is exactly the one dispatch would pop next, so the simulated
+// event order is unchanged; curBorn is set as dispatch would have set it.
+// Sequence numbers refine scheduling order only relatively, so leaving seq
+// untouched cannot reorder anything.
+func (e *Engine) sleepInPlace(t, born Time) bool {
+	if e.nextSet {
+		if e.nextEv.t < t || (e.nextEv.t == t && e.nextEv.born <= born) {
+			return false // an earlier (or tie-winning) event must fire first
+		}
+	} else if len(e.heap) > 0 {
+		h0 := e.peekMin()
+		if h0.t < t || (h0.t == t && h0.born <= born) {
+			return false
+		}
+	}
+	if t > e.now {
+		e.now = t
+	}
+	e.curBorn = born
+	return true
+}
+
 // scheduleResume arranges for p to be handed the baton at absolute time t.
 // This is the allocation-free fast path beneath Sleep, Unpark and Spawn.
 func (e *Engine) scheduleResume(p *Proc, t Time) {
@@ -196,7 +343,7 @@ func (e *Engine) scheduleResume(p *Proc, t Time) {
 		t = e.now
 	}
 	e.seq++
-	e.push(event{t: t, seq: e.seq, born: e.now, p: p})
+	e.push(event{t: t, seq: e.seq, born: e.now, pay: e.alloc(p, nil)})
 }
 
 // dispatch advances the simulation until control must move elsewhere: it
@@ -205,20 +352,23 @@ func (e *Engine) scheduleResume(p *Proc, t Time) {
 // drains it hands the baton back to the Run caller. The caller must be the
 // current baton holder and must park (or finish) immediately after.
 func (e *Engine) dispatch() {
-	for len(e.heap) > 0 {
+	for e.pending() {
 		ev := e.pop()
+		pay := e.pays[ev.pay]
+		e.pays[ev.pay] = payload{}
+		e.free = append(e.free, ev.pay)
 		if ev.t > e.now {
 			e.now = ev.t
 		}
 		e.curBorn = ev.born
-		if ev.p != nil {
-			if ev.p.done {
+		if pay.p != nil {
+			if pay.p.done {
 				continue
 			}
-			ev.p.gate <- struct{}{}
+			pay.p.gate <- struct{}{}
 			return
 		}
-		ev.fn()
+		pay.fn()
 	}
 	e.main <- struct{}{}
 }

@@ -96,11 +96,21 @@ func (p *Proc) Now() Time { return p.eng.now }
 // Sleep advances the process's local view of time by d. Other processes run
 // in the meantime. Negative or zero durations still yield, modelling a
 // zero-cost reschedule point.
+//
+// Fast path: when the wake-up would be the next event anyway — nothing else
+// fires strictly before it in (time, born, seq) order — the engine advances
+// the clock in place and control never leaves the process. The observable
+// event order is exactly that of the literal schedule-and-dispatch cycle
+// (the skipped resume would have been popped immediately); only the host
+// cost of a heap round-trip and a baton hand-off disappears.
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
 	e := p.eng
+	if e.sleepInPlace(e.now+d, e.now) {
+		return
+	}
 	e.scheduleResume(p, e.now+d)
 	p.yield()
 }
@@ -144,7 +154,7 @@ func (p *Proc) UnparkAsOf(t, born Time) {
 		t = e.now
 	}
 	e.seq++
-	e.push(event{t: t, seq: e.seq, born: born, p: p})
+	e.push(event{t: t, seq: e.seq, born: born, pay: e.alloc(p, nil)})
 }
 
 // WaitQueue is a FIFO list of parked processes. Wake order equals wait

@@ -4,7 +4,17 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
+
+// specKey identifies one ParseSpec construction; the seed participates
+// because the random synthetic kinds draw from it.
+type specKey struct {
+	spec string
+	seed int64
+}
+
+var specCache sync.Map // specKey -> *Profile
 
 // ParseSpec builds a workload from a compact scenario string of the form
 // "kind" or "kind:key=val,key=val". It is the CLI/Config surface of the
@@ -26,7 +36,25 @@ import (
 //	psia         scale
 //
 // Shared defaults: n=4096, mean=100e-6, scale=8.
+//
+// Successful parses are memoized process-wide by (spec, seed): profiles are
+// immutable, and sweep drivers resolve the same spec in every cell.
 func ParseSpec(spec string, seed int64) (*Profile, error) {
+	key := specKey{spec: spec, seed: seed}
+	if v, ok := specCache.Load(key); ok {
+		return v.(*Profile), nil
+	}
+	p, err := parseSpec(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	if v, loaded := specCache.LoadOrStore(key, p); loaded {
+		return v.(*Profile), nil
+	}
+	return p, nil
+}
+
+func parseSpec(spec string, seed int64) (*Profile, error) {
 	kind, rest, _ := strings.Cut(strings.TrimSpace(spec), ":")
 	kind = strings.ToLower(strings.TrimSpace(kind))
 	if kind == "" {

@@ -28,6 +28,9 @@ type Profile struct {
 	name   string
 	costs  []float64
 	prefix []float64 // prefix[i] = Σ costs[0..i)
+
+	covOnce sync.Once
+	cov     float64
 }
 
 // New builds a profile; every cost must be positive.
@@ -80,8 +83,12 @@ func (p *Profile) Mean() float64 {
 }
 
 // CoV returns the coefficient of variation of iteration costs — the
-// irregularity measure the DLS literature keys on.
-func (p *Profile) CoV() float64 { return stats.CoV(p.costs) }
+// irregularity measure the DLS literature keys on. The O(N) statistic is
+// computed once per profile: sweeps ask for it in every cell.
+func (p *Profile) CoV() float64 {
+	p.covOnce.Do(func() { p.cov = stats.CoV(p.costs) })
+	return p.cov
+}
 
 // Costs returns the backing cost slice; callers must not modify it.
 func (p *Profile) Costs() []float64 { return p.costs }
@@ -132,7 +139,7 @@ func MandelbrotProfile(scale int) *Profile {
 	return cached(fmt.Sprintf("mandelbrot/%d", scale), func() *Profile {
 		p := mandelbrot.Default(1024, 1024/scale)
 		return FromCounts(fmt.Sprintf("Mandelbrot-%dx%d", p.Width, p.Height),
-			p.EscapeCounts(), 143e-6, 0.05)
+			p.EscapeCountsCached(), 143e-6, 0.05)
 	})
 }
 
@@ -149,9 +156,8 @@ func PSIAProfile(scale int) *Profile {
 	}
 	return cached(fmt.Sprintf("psia/%d", scale), func() *Profile {
 		n := (1 << 22) / scale
-		cloud := spinimage.Torus(n, 2.0, 0.8, 0.02, 20190322)
 		radius := math.Sqrt(674.0 / float64(n)) // targets ≈96 mean candidates
-		counts := spinimage.CandidateCounts(cloud.Points, radius)
+		counts := spinimage.TorusCandidateCounts(n, 2.0, 0.8, 0.02, 20190322, radius)
 		return FromCounts(fmt.Sprintf("PSIA-%d", n), counts, 45e-6, 0.10)
 	})
 }
