@@ -14,13 +14,24 @@ fmt:
 
 # bench writes the BENCH_<date>$(SUFFIX).json perf snapshot: the figure
 # sweep at the benchmark scale plus the kernel microbenchmarks to stderr.
-# Commit the JSON to extend the perf trajectory; set SUFFIX (e.g. SUFFIX=b)
-# when a snapshot for the date already exists, so the trajectory keeps both
-# points.
+# The node axis spans 2..16 (the paper's full system-size sweep): the 8n/16n
+# cells are the large-P rows — 128/256 ranks per cell — and make up most of
+# the sweep's wall time, so bench-check's 25% gate catches large-P
+# regressions through the aggregate cells/second. Commit the JSON to extend
+# the perf trajectory; set SUFFIX (e.g. SUFFIX=b) when a snapshot for the
+# date already exists, so the trajectory keeps both points.
 SUFFIX ?=
 bench:
-	$(GO) run ./cmd/hdlsweep -scale 64 -nodes 2,4 -q -json BENCH_$(DATE)$(SUFFIX).json
+	$(GO) run ./cmd/hdlsweep -scale 64 -nodes 2,4,8,16 -q -json BENCH_$(DATE)$(SUFFIX).json
 	$(GO) test ./internal/sim -bench Kernel -benchmem -run '^$$' | tee -a /dev/stderr >/dev/null
+
+# bench-stress times the opt-in 64-node cells (1024 ranks each) — the
+# large-P extreme kept outside the committed snapshot trajectory because a
+# single cell takes seconds. Useful when touching the collectives, the
+# arena pool, or the event queue's spill-to-heap path.
+bench-stress:
+	$(GO) run ./cmd/hdlsweep -figure 5 -scale 64 -nodes 64 -q
+	$(GO) run ./cmd/hdlsim -app mandelbrot -inter GSS -intra SS -nodes 64 -scale 64
 
 # bench-check fails when the current tree's sweep throughput regresses more
 # than 25% against the latest committed BENCH_*.json (wall-clock sensitive:

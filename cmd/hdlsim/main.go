@@ -8,6 +8,7 @@
 //	hdlsim -app mandelbrot -inter GSS -intra STATIC -approach mpi+mpi -nodes 4
 //	hdlsim -app psia -inter FAC2 -intra SS -approach mpi+openmp -nodes 8 -scale 32
 //	hdlsim -app mandelbrot -inter GSS -intra STATIC -nodes 1 -workers 8 -gantt -scale 256
+//	hdlsim -app mandelbrot -inter GSS -intra SS -nodes 2,4,8,16,64   # system-size scan
 //
 // Scenario axes (heterogeneous topology, perturbations, synthetic
 // workloads) ride on the same flags the robustness sweep uses:
@@ -35,7 +36,7 @@ func main() {
 		interS   = flag.String("inter", "GSS", "inter-node DLS technique (STATIC, SS, GSS, TSS, FAC, FAC2, TFSS, FSC)")
 		intraS   = flag.String("intra", "STATIC", "intra-node DLS technique (STATIC, SS, GSS, TSS, FAC2, ...)")
 		approach = flag.String("approach", "mpi+mpi", "mpi+mpi | mpi+openmp | nowait")
-		nodes    = flag.Int("nodes", 4, "number of compute nodes")
+		nodesCSV = flag.String("nodes", "4", "compute node count, or a comma-separated list (runs one experiment per count)")
 		workers  = flag.Int("workers", 16, "workers (ranks or threads) per node")
 		scale    = flag.Int("scale", 8, "workload scale divisor (1 = full size)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
@@ -69,45 +70,78 @@ func main() {
 	fatalIf(err)
 	ap, err := parseApproach(*approach)
 	fatalIf(err)
+	nodeList, err := cliutil.ParsePositiveInts(*nodesCSV)
+	if err != nil {
+		fatalIf(fmt.Errorf("-nodes: %w (want a positive count or comma-separated list, e.g. 2,4,8,16)", err))
+	}
+	if len(nodeList) > 1 && (*gantt || *csvPath != "" || *jsonPath != "") {
+		fatalIf(fmt.Errorf("-gantt/-trace-csv/-trace-chrome need a single -nodes value (got %d)", len(nodeList)))
+	}
 
-	cfg := hdls.Config{
-		App: app, Nodes: *nodes, WorkersPerNode: *workers,
-		Inter: inter, Intra: intra, Approach: ap,
-		Scale: *scale, Seed: *seed, NoiseCV: *noise,
-		Workload:        *wlSpec,
-		ExtendedRuntime: *extended,
-		CollectTrace:    *gantt || *csvPath != "" || *jsonPath != "",
-	}
-	if *speedCSV != "" {
-		cfg.Topology.NodeSpeeds, err = cliutil.ParseFloats(*speedCSV)
+	for _, nodes := range nodeList {
+		cfg := hdls.Config{
+			App: app, Nodes: nodes, WorkersPerNode: *workers,
+			Inter: inter, Intra: intra, Approach: ap,
+			Scale: *scale, Seed: *seed, NoiseCV: *noise,
+			Workload:        *wlSpec,
+			ExtendedRuntime: *extended,
+			CollectTrace:    *gantt || *csvPath != "" || *jsonPath != "",
+		}
+		if *speedCSV != "" {
+			cfg.Topology.NodeSpeeds, err = cliutil.ParseFloats(*speedCSV)
+			fatalIf(err)
+		}
+		if *coreCSV != "" {
+			cfg.Topology.NodeCores, err = cliutil.ParsePositiveInts(*coreCSV)
+			fatalIf(err)
+		}
+		if *slowRate > 0 {
+			cfg.Perturbation.SlowdownRate = *slowRate
+			cfg.Perturbation.SlowdownFactor = *slowFac
+			cfg.Perturbation.SlowdownDuration = sim.Time(*slowDur)
+			cfg.Perturbation.Seed = *seed
+		}
+		if *bgCSV != "" {
+			cfg.Perturbation.BackgroundLoad, err = cliutil.ParseFloats(*bgCSV)
+			fatalIf(err)
+		}
+		res, err := hdls.Run(cfg)
 		fatalIf(err)
-	}
-	if *coreCSV != "" {
-		cfg.Topology.NodeCores, err = cliutil.ParsePositiveInts(*coreCSV)
-		fatalIf(err)
-	}
-	if *slowRate > 0 {
-		cfg.Perturbation.SlowdownRate = *slowRate
-		cfg.Perturbation.SlowdownFactor = *slowFac
-		cfg.Perturbation.SlowdownDuration = sim.Time(*slowDur)
-		cfg.Perturbation.Seed = *seed
-	}
-	if *bgCSV != "" {
-		cfg.Perturbation.BackgroundLoad, err = cliutil.ParseFloats(*bgCSV)
-		fatalIf(err)
-	}
-	res, err := hdls.Run(cfg)
-	fatalIf(err)
+		report(res, app, inter, intra, ap, nodes, *workers, *scale, *wlSpec)
 
+		if *gantt && res.Trace != nil {
+			fmt.Println()
+			fmt.Print(res.Trace.Gantt(100))
+		}
+		if *csvPath != "" && res.Trace != nil {
+			f, err := os.Create(*csvPath)
+			fatalIf(err)
+			fatalIf(res.Trace.WriteCSV(f))
+			fatalIf(f.Close())
+			fmt.Printf("  trace written      : %s (%d events)\n", *csvPath, len(res.Trace.Events))
+		}
+		if *jsonPath != "" && res.Trace != nil {
+			f, err := os.Create(*jsonPath)
+			fatalIf(err)
+			fatalIf(res.Trace.WriteChromeJSON(f))
+			fatalIf(f.Close())
+			fmt.Printf("  chrome trace       : %s (open in chrome://tracing)\n", *jsonPath)
+		}
+	}
+}
+
+// report prints one experiment's metric block.
+func report(res *hdls.Result, app hdls.App, inter, intra dls.Technique,
+	ap hdls.Approach, nodes, workers, scale int, wlSpec string) {
 	name := app.String()
-	if *wlSpec != "" {
-		name = *wlSpec
+	if wlSpec != "" {
+		name = wlSpec
 	}
 	fmt.Printf("%s  %v+%v  %v  %d nodes × %d workers (scale 1/%d)\n",
-		name, inter, intra, ap, *nodes, *workers, *scale)
-	if *wlSpec == "" {
+		name, inter, intra, ap, nodes, workers, scale)
+	if wlSpec == "" {
 		// The ideal-time bound is defined for the paper kernels only.
-		ideal := hdls.IdealTime(app, *scale, *nodes, *workers)
+		ideal := hdls.IdealTime(app, scale, nodes, workers)
 		fmt.Printf("  parallel loop time : %s  (%.2f× ideal %s)\n",
 			stats.FormatSeconds(float64(res.ParallelTime)),
 			float64(res.ParallelTime)/float64(ideal),
@@ -126,25 +160,6 @@ func main() {
 	if res.BarrierWait > 0 {
 		fmt.Printf("  barrier idle time  : %s accumulated across threads\n",
 			stats.FormatSeconds(float64(res.BarrierWait)))
-	}
-
-	if *gantt && res.Trace != nil {
-		fmt.Println()
-		fmt.Print(res.Trace.Gantt(100))
-	}
-	if *csvPath != "" && res.Trace != nil {
-		f, err := os.Create(*csvPath)
-		fatalIf(err)
-		fatalIf(res.Trace.WriteCSV(f))
-		fatalIf(f.Close())
-		fmt.Printf("  trace written      : %s (%d events)\n", *csvPath, len(res.Trace.Events))
-	}
-	if *jsonPath != "" && res.Trace != nil {
-		f, err := os.Create(*jsonPath)
-		fatalIf(err)
-		fatalIf(res.Trace.WriteChromeJSON(f))
-		fatalIf(f.Close())
-		fmt.Printf("  chrome trace       : %s (open in chrome://tracing)\n", *jsonPath)
 	}
 }
 

@@ -105,7 +105,12 @@ func main() {
 	defer stopProf()
 
 	nodes, err := cliutil.ParsePositiveInts(*nodesCSV)
-	fatalIf(err)
+	if err != nil {
+		fatalIf(fmt.Errorf("-nodes: %w (want positive counts, e.g. 2,4,8,16)", err))
+	}
+	if *rnodes < 1 {
+		fatalIf(fmt.Errorf("-rnodes: node count must be >= 1 (got %d)", *rnodes))
+	}
 
 	if *robust {
 		runRobust(robustFlags{

@@ -199,6 +199,17 @@ func profileFor(c Config) (*workload.Profile, error) {
 
 // coreConfig resolves cfg into the executor configuration.
 func coreConfig(cfg Config) (core.Config, error) {
+	// Reject nonsense sizes up front with a clear error: negative counts
+	// would otherwise panic deep inside cluster/topology slice allocation.
+	if cfg.Nodes < 0 {
+		return core.Config{}, fmt.Errorf("hdls: Nodes must be >= 1 (got %d)", cfg.Nodes)
+	}
+	if cfg.WorkersPerNode < 0 {
+		return core.Config{}, fmt.Errorf("hdls: WorkersPerNode must be >= 1 (got %d)", cfg.WorkersPerNode)
+	}
+	if cfg.Scale < 0 {
+		return core.Config{}, fmt.Errorf("hdls: Scale must be >= 1 (got %d)", cfg.Scale)
+	}
 	c := cfg.withDefaults()
 	cl := cluster.MiniHPC(c.Nodes)
 	cl.NoiseCV = c.NoiseCV

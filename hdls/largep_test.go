@@ -1,0 +1,61 @@
+package hdls
+
+import (
+	"testing"
+
+	"repro/dls"
+)
+
+// TestLargePRobustSweepSmoke is the large-P shard's quick end-to-end check:
+// a 16-node robustness sweep (256 ranks per cell, pooled arenas, the
+// goroutine-free MPI+MPI executor) over a synthetic workload. CI runs it
+// under -race to shake out sharing bugs between the pooled cells.
+func TestLargePRobustSweepSmoke(t *testing.T) {
+	rr, err := RunRobustness(RobustnessOptions{
+		Nodes:          16,
+		WorkersPerNode: 16,
+		Techniques:     []dls.Technique{dls.GSS, dls.FAC2},
+		Workload:       "gaussian:n=4096,cv=0.5",
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rr.Rows))
+	}
+	for _, row := range rr.Rows {
+		if row.ParallelTime <= 0 {
+			t.Fatalf("%s: non-positive parallel time", row.Technique)
+		}
+		if row.GlobalChunks < 16 {
+			t.Fatalf("%s: only %d global chunks on 16 nodes", row.Technique, row.GlobalChunks)
+		}
+	}
+}
+
+// TestLargePFigureCellMatchesSummary cross-checks the two run paths on a
+// 16-node cell: RunSummary (the pooled sweep path) must agree with Run's
+// full result on every scalar it reports.
+func TestLargePFigureCellMatchesSummary(t *testing.T) {
+	cfg := Config{
+		App: Mandelbrot, Nodes: 16, Scale: 256,
+		Inter: dls.GSS, Intra: dls.STATIC, Approach: MPIMPI,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := RunSummary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ParallelTime != res.ParallelTime ||
+		sum.GlobalChunks != res.GlobalChunks ||
+		sum.LocalChunks != res.LocalChunks ||
+		sum.LockAttempts != res.LockAttempts ||
+		sum.Workers != res.Workers {
+		t.Fatalf("summary %+v disagrees with result (time %v, chunks %d/%d, attempts %d, workers %d)",
+			sum, res.ParallelTime, res.GlobalChunks, res.LocalChunks, res.LockAttempts, res.Workers)
+	}
+}

@@ -28,9 +28,11 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"repro/dls"
 	"repro/internal/cluster"
+	"repro/internal/mpi"
 	"repro/internal/perturb"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -217,15 +219,20 @@ type Result struct {
 	Trace *trace.Trace
 }
 
-// Run executes the configured experiment on a fresh simulation and returns
-// its result. The run fails if the executors violate the exact-coverage
-// invariant — every loop iteration executed exactly once.
+// Run executes the configured experiment and returns its result. The run
+// fails if the executors violate the exact-coverage invariant — every loop
+// iteration executed exactly once. The simulation arena (engine, MPI world,
+// executor scratch) is drawn from a pool and reinitialized in place, which
+// is observationally identical to building it from scratch (DESIGN.md §8);
+// results are a pure function of cfg either way.
 func Run(cfg Config) (*Result, error) {
 	h, err := runHarness(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return h.result(), nil
+	res := h.result()
+	h.release()
+	return res, nil
 }
 
 // Summary is the compact per-cell outcome sweep drivers aggregate
@@ -251,7 +258,9 @@ func RunSummary(cfg Config) (Summary, error) {
 	if err != nil {
 		return Summary{}, err
 	}
-	return h.summary(), nil
+	s := h.summary()
+	h.release()
+	return s, nil
 }
 
 func runHarness(cfg Config) (*harness, error) {
@@ -289,9 +298,10 @@ func runHarness(cfg Config) (*harness, error) {
 
 // harness carries the shared bookkeeping of one run.
 type harness struct {
-	cfg  *Config
-	eng  *sim.Engine
-	prof *workload.Profile
+	cfg   *Config
+	eng   *sim.Engine
+	world *mpi.World // pooled across cells; reset per run (DESIGN.md §8)
+	prof  *workload.Profile
 
 	nWorkers int
 	wPerNode []int // workers hosted per node
@@ -328,31 +338,104 @@ type harness struct {
 // use the one-entry cache plus the process-wide memo.
 const intraCacheCap = 1 << 14
 
+// harnessPool holds retired cell arenas: harness scratch plus the engine and
+// MPI world attached to it. Sweep workers draw from it so a thousand-cell
+// sweep reuses a handful of arenas instead of rebuilding the simulated
+// machine — and spawning its goroutines — per cell (DESIGN.md §8).
+var harnessPool sync.Pool
+
+// newHarness returns a run-ready harness for c: a pooled arena reinitialized
+// in place when one is available, a freshly built one otherwise. The two are
+// observationally identical — Engine.Reset and World.Reset restore the
+// exact NewEngine/NewWorld starting state, and every scratch structure below
+// is resized and zeroed explicitly.
 func newHarness(c *Config) *harness {
-	n := c.Workload.N()
-	h := &harness{
-		cfg:      c,
-		eng:      sim.NewEngine(c.Seed),
-		prof:     c.Workload,
-		wPerNode: make([]int, c.Cluster.Nodes),
-		wOff:     make([]int, c.Cluster.Nodes),
-		bitmap:   make([]uint64, (n+63)/64),
+	h, _ := harnessPool.Get().(*harness)
+	if h == nil {
+		h = &harness{eng: sim.NewEngine(c.Seed)}
+	} else {
+		h.eng.Reset(c.Seed)
 	}
-	for node := range h.wPerNode {
+	n := c.Workload.N()
+	nodes := c.Cluster.Nodes
+	h.cfg = c
+	h.prof = c.Workload
+	h.nWorkers = 0
+	h.wPerNode = resizeZeroed(h.wPerNode, nodes)
+	h.wOff = resizeZeroed(h.wOff, nodes)
+	for node := 0; node < nodes; node++ {
 		h.wPerNode[node] = c.workersOn(node)
 		h.wOff[node] = h.nWorkers
 		h.nWorkers += h.wPerNode[node]
 	}
-	h.finish = make([]sim.Time, h.nWorkers)
-	h.compute = make([]sim.Time, h.nWorkers)
-	h.intraCache = make([][]dls.Schedule, c.Cluster.Nodes)
-	h.intraBigLen = make([]int, c.Cluster.Nodes)
-	h.intraBig = make([]dls.Schedule, c.Cluster.Nodes)
+	h.finish = resizeZeroed(h.finish, h.nWorkers)
+	h.compute = resizeZeroed(h.compute, h.nWorkers)
+	h.bitmap = resizeZeroed(h.bitmap, (n+63)/64)
+	h.executed = 0
+	h.globalChunks, h.localChunks = 0, 0
+	h.lockAtt, h.lockAcq = 0, 0
+	h.barrierWait = 0
+	if cap(h.intraCache) < nodes {
+		h.intraCache = make([][]dls.Schedule, nodes)
+	} else {
+		h.intraCache = h.intraCache[:nodes]
+		for node := range h.intraCache {
+			cache := h.intraCache[node]
+			for i := range cache {
+				cache[i] = nil
+			}
+		}
+	}
+	h.intraBigLen = resizeZeroed(h.intraBigLen, nodes)
+	h.intraBig = resizeZeroed(h.intraBig, nodes)
 	h.sigma = h.prof.CoV() * h.prof.Mean()
+	h.tr = nil
 	if c.CollectTrace {
-		h.tr = trace.New(h.nWorkers)
+		h.tr = trace.New(h.nWorkers) // escapes into the Result; never pooled
 	}
 	return h
+}
+
+// release returns a cleanly finished harness to the arena pool. Callers must
+// not release after an executor error: a failed run can leave live processes
+// or queued events behind, and such an arena is abandoned to the GC instead
+// (Engine.Reset would refuse it anyway).
+func (h *harness) release() {
+	h.cfg = nil
+	h.prof = nil
+	h.tr = nil
+	harnessPool.Put(h)
+}
+
+// resizeZeroed returns s resized to n zeroed entries, reusing capacity.
+func resizeZeroed[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// newWorld returns the cell's MPI world: the pooled world reset in place
+// when the harness came from the arena pool (byte-identical to a fresh one
+// by World.Reset's contract), or a newly built one otherwise.
+func (h *harness) newWorld(cfg *cluster.Config, ranksPerNode int) (*mpi.World, error) {
+	if h.world != nil {
+		if err := h.world.Reset(h.eng, cfg, ranksPerNode); err != nil {
+			return nil, err
+		}
+		return h.world, nil
+	}
+	w, err := mpi.NewWorld(h.eng, cfg, ranksPerNode)
+	if err != nil {
+		return nil, err
+	}
+	h.world = w
+	return w, nil
 }
 
 // interP returns the number of requesters the global queue serves.

@@ -35,9 +35,14 @@ const (
 // runMPIMPI executes the proposed hierarchical MPI+MPI approach: one MPI
 // rank per core, a shared local work queue per node, distributed chunk
 // calculation against the global window.
+//
+// Ranks are goroutine-free machines (World.Launch): the setup collectives,
+// the §3 worker loop and the rank's retirement all run as engine events at
+// the exact positions the process-driven rank occupied, so a cell spawns no
+// goroutines at all while producing byte-identical results (DESIGN.md §8).
 func (h *harness) runMPIMPI() error {
 	c := h.cfg
-	world, err := mpi.NewWorld(h.eng, &c.Cluster, c.WorkersPerNode)
+	world, err := h.newWorld(&c.Cluster, c.WorkersPerNode)
 	if err != nil {
 		return err
 	}
@@ -48,18 +53,24 @@ func (h *harness) runMPIMPI() error {
 	// Per-node window handles are filled in during setup (every rank of a
 	// node receives the same *Win from the collective allocation).
 	localWins := make([]*mpi.Win, c.Cluster.Nodes)
+	finished := 0
 
-	runErr := world.Run(func(r *mpi.Rank) {
-		gw := world.Comm().WinAllocate(r, "global-queue", 2)
-		nodeComm := world.SplitTypeShared(r)
-		lw := nodeComm.WinAllocateShared(r, fmt.Sprintf("local-queue-%d", r.Node()), ringWords)
-		localWins[r.Node()] = lw
-		world.Comm().Barrier(r)
-
-		h.mpimpiWorker(r, gw, lw, nodeComm.RankOf(r), inter, n)
+	runErr := world.Launch(func(r *mpi.Rank) {
+		world.Comm().WinAllocateCont(r, "global-queue", 2, func(gw *mpi.Win) {
+			nodeComm := world.SplitTypeShared(r)
+			nodeComm.WinAllocateSharedCont(r, fmt.Sprintf("local-queue-%d", r.Node()), ringWords, func(lw *mpi.Win) {
+				localWins[r.Node()] = lw
+				world.Comm().BarrierCont(r, func() {
+					h.mpimpiWorker(r, gw, lw, nodeComm.RankOf(r), inter, n, func() { finished++ })
+				})
+			})
+		})
 	})
 	if runErr != nil {
 		return runErr
+	}
+	if finished != world.Size() {
+		return fmt.Errorf("core: %d of %d MPI+MPI ranks stalled", world.Size()-finished, world.Size())
 	}
 	for _, lw := range localWins {
 		if lw == nil {
@@ -81,20 +92,19 @@ func (h *harness) runMPIMPI() error {
 // (teammates poll the lock meanwhile), which is what preserves one-chunk-
 // per-node semantics under inter-node STATIC and prevents a thundering herd
 // against the global window at startup.
-// The worker runs continuation-style: the lock grant, the critical section,
-// the unlock release, and the compute dispatch all execute inside engine
-// events at the exact (time, scheduling-position) keys the literal
-// Lock/Sync/Sleep/Unlock/Compute chain occupied (NewLockCont/NewUnlockCont/
+//
+// The worker is a pure event-driven state machine: the lock grant, the
+// critical section, the unlock release, the compute dispatch AND the global
+// refill's MPI calls all execute inside engine events at the exact (time,
+// scheduling-position) keys the literal Lock/Sync/Sleep/Unlock/Compute/
+// Fetch_and_op chain occupied (NewLockCont/NewUnlockCont/NewFetchAndOpCont/
 // ComputeCost), so every run is byte-identical to the literal protocol —
-// including noise draws and trace order — while the rank's goroutine wakes
-// only once per sub-chunk, at execution end. Stage 2 (the global refill)
-// stays process-driven: it issues remote MPI calls that sleep the rank
-// anyway.
-func (h *harness) mpimpiWorker(r *mpi.Rank, gw, lw *mpi.Win, w int, inter interSched, n int) {
+// including noise draws and trace order — while the rank owns no goroutine
+// at all. done is called once, at the rank's literal retirement position.
+func (h *harness) mpimpiWorker(r *mpi.Rank, gw, lw *mpi.Win, w int, inter interSched, n int, done func()) {
 	c := h.cfg
 	node := r.Node()
 	worker := r.Rank() // world rank == global worker index (one rank/core)
-	p := r.Proc()
 
 	ws := c.Cluster.Mem.WinSync
 	cc := c.ChunkCalcCost
@@ -103,25 +113,21 @@ func (h *harness) mpimpiWorker(r *mpi.Rank, gw, lw *mpi.Win, w int, inter interS
 	// at setup instead of per word).
 	q := lw.Shared(r, 0)
 
-	// Continuation state: what the parked process does when it resumes.
-	const (
-		wakeRefill = iota // run stage 2 holding the queue lock
-		wakeExit          // local queue drained for good
-	)
 	var (
-		wake     int
 		a, b     int
+		size     int // current refill's global chunk size
 		start    sim.Time
 		schedT0  sim.Time
 		schedKnd trace.Kind
 		lockCont func()
+		fopSched func(int64)
 		eng      = h.eng
 	)
+	fop := gw.NewFetchAndOpCont(r)
 
 	// execEnd fires at sub-chunk completion — the position of the literal
 	// Compute wake-up — accounts the executed range, and issues the next
-	// lock attempt, all without waking the rank's goroutine: the steady
-	// state is pure event processing.
+	// lock attempt: the steady state is pure event processing.
 	execEnd := func() {
 		h.execute(worker, node, a, b, start, eng.Now())
 		schedT0 = eng.Now()
@@ -140,13 +146,83 @@ func (h *harness) mpimpiWorker(r *mpi.Rank, gw, lw *mpi.Win, w int, inter interS
 			eng.ScheduleAsOf(release, release, execEnd)
 		}
 	}
+	// exitCont runs at the unlock release on the queue-drained path — where
+	// the literal rank resumed only to return; the machine rank retires.
 	exitCont := func(release sim.Time) {
 		h.traceSched(worker, node, trace.KindSchedLocal, schedT0, release)
-		wake = wakeExit
-		p.UnparkAsOf(release, release)
+		done()
+	}
+	// doneExit retires the rank after it published global exhaustion — the
+	// position where the literal rank resumed from UnlockAsOf and returned.
+	doneExit := func(release sim.Time) {
+		h.traceSched(worker, node, trace.KindSchedGlobal, schedT0, release)
+		done()
 	}
 	unlockExec := lw.NewUnlockCont(r, 0, mpi.LockExclusive, execCont)
 	unlockExit := lw.NewUnlockCont(r, 0, mpi.LockExclusive, exitCont)
+	unlockDone := lw.NewUnlockCont(r, 0, mpi.LockExclusive, doneExit)
+
+	// fopSched completes the refill: it fires where the literal rank
+	// resumed from its second Fetch_and_op, holding the obtained range.
+	fopSched = func(gstart64 int64) {
+		gstart := int(gstart64)
+		if gstart >= n {
+			// Global queue exhausted: publish completion to the node.
+			q[lqDone] = 1
+			now := eng.Now()
+			unlockDone(now+ws, now)
+			return
+		}
+		end := gstart + size
+		if end > n {
+			end = n
+		}
+		h.globalChunks++
+
+		// Stage 3: install the chunk and take this worker's own sub-chunk
+		// within the same critical section.
+		cnt := int(q[lqCount])
+		if cnt >= c.QueueCapacity {
+			panic("core: local work queue overflow")
+		}
+		head := int(q[lqHead])
+		slot := (head + cnt) % c.QueueCapacity
+		base := lqBase + slot*lqWords
+		q[base+entCur] = int64(gstart)
+		q[base+entEnd] = int64(end)
+		q[base+entStep] = 0
+		q[base+entOrig] = int64(end - gstart)
+		q[lqCount] = int64(cnt + 1)
+		a, b = h.takeHeadLocked(q, node, w)
+		schedKnd = trace.KindSchedGlobal
+		t1 := eng.Now() + cc // literal: chunk-calc wake
+		unlockExec(t1+ws, t1)
+	}
+	// fopCalc runs at the literal chunk-calculation wake between the two
+	// global atomics and issues the second one.
+	fopCalc := func() {
+		fop(0, gwScheduled, int64(size), fopSched)
+	}
+	// fopStep receives the scheduling step from the first global atomic,
+	// computes the chunk size locally (distributed chunk calculation) and
+	// sleeps the calculation cost — as an event, not a parked goroutine.
+	fopStep := func(step int64) {
+		// The requester identity matters only for weighted techniques:
+		// under MPI+MPI every rank is a requester, so pass the rank (its
+		// node's speed weights it).
+		requester := node
+		if h.interP() > h.cfg.Cluster.Nodes {
+			requester = r.Rank()
+		}
+		size = inter.Chunk(int(step), requester)
+		now := eng.Now()
+		eng.ScheduleAsOf(now+cc, now, fopCalc)
+	}
+	// refill runs stage 2 holding the queue lock — two atomics on the
+	// global window — starting at the literal Sync wake position.
+	refill := func() {
+		fop(0, gwStep, 1, fopStep)
+	}
 
 	// granted runs at the event position where the literal worker resumed
 	// holding the queue lock (Lock's first check or the poller's grant).
@@ -168,70 +244,16 @@ func (h *harness) mpimpiWorker(r *mpi.Rank, gw, lw *mpi.Win, w int, inter interS
 			unlockExit(t1+ws, t1)
 			return
 		}
-		// Queue empty, not done: this worker refills from the global queue.
-		// Resume the process at the literal Sync wake (it issues MPI calls).
-		wake = wakeRefill
-		p.UnparkAsOf(r.Now()+ws, r.Now())
+		// Queue empty, not done: this worker refills from the global queue,
+		// resuming at the literal Sync wake.
+		now := r.Now()
+		eng.ScheduleAsOf(now+ws, now, refill)
 	}
 
 	lockCont = lw.NewLockCont(r, 0, mpi.LockExclusive, granted)
 
 	schedT0 = r.Now()
 	lockCont()
-	for {
-		p.Park()
-
-		if wake == wakeRefill {
-			// Stage 2: distributed chunk calculation — two atomics on the
-			// global window, chunk size computed locally from the obtained
-			// step. The requester identity matters only for weighted
-			// techniques: under MPI+MPI every rank is a requester, so pass
-			// the rank (its node's speed weights it).
-			step := gw.FetchAndOp(r, 0, gwStep, 1)
-			requester := node
-			if h.interP() > h.cfg.Cluster.Nodes {
-				requester = r.Rank()
-			}
-			size := inter.Chunk(int(step), requester)
-			p.Sleep(cc)
-			gstart := gw.FetchAndOp(r, 0, gwScheduled, int64(size))
-			if int(gstart) >= n {
-				// Global queue exhausted: publish completion to the node.
-				q[lqDone] = 1
-				lw.UnlockAsOf(r, 0, mpi.LockExclusive, r.Now()+ws, r.Now())
-				h.traceSched(worker, node, trace.KindSchedGlobal, schedT0, r.Now())
-				return
-			}
-			end := int(gstart) + size
-			if end > n {
-				end = n
-			}
-			h.globalChunks++
-
-			// Stage 3: install the chunk and take this worker's own
-			// sub-chunk within the same critical section.
-			cnt := int(q[lqCount])
-			if cnt >= c.QueueCapacity {
-				panic("core: local work queue overflow")
-			}
-			head := int(q[lqHead])
-			slot := (head + cnt) % c.QueueCapacity
-			base := lqBase + slot*lqWords
-			q[base+entCur] = gstart
-			q[base+entEnd] = int64(end)
-			q[base+entStep] = 0
-			q[base+entOrig] = int64(end - int(gstart))
-			q[lqCount] = int64(cnt + 1)
-			a, b = h.takeHeadLocked(q, node, w)
-			schedKnd = trace.KindSchedGlobal
-			t1 := r.Now() + cc // literal: chunk-calc wake
-			unlockExec(t1+ws, t1)
-			continue // the event-driven cycle resumes; park again
-		}
-		if wake == wakeExit {
-			return
-		}
-	}
 }
 
 // takeHeadLocked removes one sub-chunk from the head chunk of node's local

@@ -20,7 +20,7 @@ func mapIntraToOpenMP(t dls.Technique) (openmp.ScheduleKind, error) {
 // chunk — the overhead the proposed approach removes).
 func (h *harness) runMPIOpenMP() error {
 	c := h.cfg
-	world, err := mpi.NewWorld(h.eng, &c.Cluster, 1)
+	world, err := h.newWorld(&c.Cluster, 1)
 	if err != nil {
 		return err
 	}
@@ -107,7 +107,7 @@ const threadMPIPenalty = 0.6 * sim.Microsecond
 // chunk descriptor.
 func (h *harness) runMPIOpenMPNoWait() error {
 	c := h.cfg
-	world, err := mpi.NewWorld(h.eng, &c.Cluster, 1)
+	world, err := h.newWorld(&c.Cluster, 1)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TestRankOfIndexed checks the O(1) RankOf index on every communicator
+// shape: the contiguous world and node communicators and a strided Split.
+func TestRankOfIndexed(t *testing.T) {
+	cl := cluster.MiniHPC(4)
+	eng := sim.NewEngine(1)
+	w, err := NewWorld(eng, &cl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(r *Rank) {
+		if got := w.Comm().RankOf(r); got != r.Rank() {
+			t.Errorf("world RankOf(%d) = %d", r.Rank(), got)
+		}
+		nc := w.SplitTypeShared(r)
+		if got := nc.RankOf(r); got != r.Core() {
+			t.Errorf("node RankOf(rank %d) = %d, want core %d", r.Rank(), got, r.Core())
+		}
+		// Odd/even split with reversed key order: a non-contiguous comm.
+		sc := w.Comm().Split(r, r.Rank()%2, -r.Rank())
+		me := sc.RankOf(r)
+		if sc.WorldRank(me) != r.Rank() {
+			t.Errorf("split comm index broken: RankOf→WorldRank = %d for rank %d", sc.WorldRank(me), r.Rank())
+		}
+		// A rank is never a member of the other color's communicator.
+		if r.Rank()%2 == 0 {
+			other := w.Rank((r.Rank() + 1) % w.Size())
+			if got := sc.RankOf(other); got != -1 {
+				t.Errorf("RankOf(non-member) = %d, want -1", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorldResetMatchesFresh verifies World.Reset's pooling contract: a
+// world reset onto a reset engine reproduces a fresh world's run bit for
+// bit, including RMA lock accounting, across a shape change.
+func TestWorldResetMatchesFresh(t *testing.T) {
+	run := func(eng *sim.Engine, w *World) (float64, int64, sim.Time) {
+		var sum float64
+		var win *Win
+		err := w.Run(func(r *Rank) {
+			wn := w.Comm().WinAllocate(r, "w", 2)
+			win = wn
+			w.Comm().Barrier(r)
+			wn.Lock(r, 0, LockExclusive)
+			wn.FetchAndOp(r, 0, 0, 1)
+			wn.Unlock(r, 0, LockExclusive)
+			sum = w.Comm().Allreduce(r, float64(r.Rank()), OpSum)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum, win.LockAttempts, eng.Now()
+	}
+
+	cl := cluster.MiniHPC(2)
+	engF := sim.NewEngine(5)
+	wF, err := NewWorld(engF, &cl, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumF, attF, endF := run(engF, wF)
+
+	// Pooled path: dirty the arena with a different shape first.
+	eng := sim.NewEngine(99)
+	clBig := cluster.MiniHPCHetero(3, 1.0, 0.5)
+	w, err := NewWorld(eng, &clBig, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(eng, w)
+	eng.Reset(5)
+	if err := w.Reset(eng, &cl, 8); err != nil {
+		t.Fatal(err)
+	}
+	sumP, attP, endP := run(eng, w)
+
+	if sumF != sumP || attF != attP || endF != endP {
+		t.Fatalf("reset world diverged: fresh (sum %v, attempts %d, end %v) vs pooled (%v, %d, %v)",
+			sumF, attF, endF, sumP, attP, endP)
+	}
+}
+
+// TestWorldResetRejectsBadShape mirrors NewWorld's validation.
+func TestWorldResetRejectsBadShape(t *testing.T) {
+	cl := cluster.MiniHPC(2)
+	eng := sim.NewEngine(1)
+	w, err := NewWorld(eng, &cl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(r *Rank) {}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Reset(1)
+	if err := w.Reset(eng, &cl, 999); err == nil {
+		t.Fatal("Reset accepted ranksPerNode beyond the core count")
+	}
+}
+
+// BenchmarkCommRankOf measures the O(1) rank lookup the executors lean on
+// (it was a linear scan before the precomputed index).
+func BenchmarkCommRankOf(b *testing.B) {
+	cl := cluster.MiniHPC(16)
+	eng := sim.NewEngine(1)
+	w, err := NewWorld(eng, &cl, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var comms []*Comm
+	err = w.Run(func(r *Rank) { comms = append(comms, w.SplitTypeShared(r)) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	last := w.Rank(w.Size() - 1) // worst case for the old linear scan
+	nc := comms[len(comms)-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w.Comm().RankOf(last) < 0 || nc.RankOf(last) < 0 {
+			b.Fatal("rank not found")
+		}
+	}
+}

@@ -13,8 +13,49 @@ type Comm struct {
 	world *World
 	ranks []int
 	name  string
-	colls map[int]*collState
+	// contig marks communicators whose members are the contiguous world-rank
+	// range [ranks[0], ranks[0]+Size): the world communicator and the
+	// node-local ones. RankOf is then a subtraction; other communicators
+	// carry the rankIdx index below.
+	contig bool
+	// rankIdx maps world rank → comm rank (-1 for non-members); built once
+	// at communicator creation so RankOf never scans.
+	rankIdx []int32
+	// In-flight collective states, indexed seq − collBase. States retire in
+	// sequence order (every rank passes collective k before entering k+1),
+	// so the window is a short sliding slice; retired states recycle through
+	// collFree, which keeps steady-state collectives allocation-free.
+	collRing []*collState
+	collBase int
+	collFree *collState
+	// seqOf[commRank] is that rank's next collective sequence number — the
+	// per-comm call counter that enforces "all ranks invoke collectives in
+	// the same order" without a per-rank map.
+	seqOf []int
 	nodes int // distinct nodes spanned (computed lazily)
+}
+
+// newComm builds a communicator over the given world ranks, precomputing the
+// O(1) rank index. The ranks slice is owned by the communicator afterwards.
+func newComm(w *World, ranks []int, name string) *Comm {
+	c := &Comm{world: w, ranks: ranks, name: name, seqOf: make([]int, len(ranks))}
+	c.contig = true
+	for i, wr := range ranks {
+		if wr != ranks[0]+i {
+			c.contig = false
+			break
+		}
+	}
+	if !c.contig {
+		c.rankIdx = make([]int32, len(w.ranks))
+		for i := range c.rankIdx {
+			c.rankIdx[i] = -1
+		}
+		for i, wr := range ranks {
+			c.rankIdx[wr] = int32(i)
+		}
+	}
+	return c
 }
 
 // Size reports the number of ranks in the communicator.
@@ -23,14 +64,18 @@ func (c *Comm) Size() int { return len(c.ranks) }
 // Name returns the communicator's debug name.
 func (c *Comm) Name() string { return c.name }
 
-// RankOf returns r's rank within c, or -1 if r is not a member.
+// RankOf returns r's rank within c, or -1 if r is not a member. It is O(1):
+// contiguous communicators subtract the base rank, the rest consult the
+// index built at creation time.
 func (c *Comm) RankOf(r *Rank) int {
-	for i, wr := range c.ranks {
-		if wr == r.rank {
-			return i
+	if c.contig {
+		i := r.rank - c.ranks[0]
+		if i < 0 || i >= len(c.ranks) {
+			return -1
 		}
+		return i
 	}
-	return -1
+	return int(c.rankIdx[r.rank])
 }
 
 // WorldRank translates a comm rank to a world rank.
@@ -39,31 +84,39 @@ func (c *Comm) WorldRank(commRank int) int { return c.ranks[commRank] }
 // spansNodes reports how many distinct nodes the communicator covers.
 func (c *Comm) spansNodes() int {
 	if c.nodes == 0 {
-		seen := map[int]bool{}
-		for _, wr := range c.ranks {
-			seen[c.world.ranks[wr].node] = true
+		if c.contig {
+			// Contiguous world ranks cover a contiguous node range.
+			c.nodes = c.world.ranks[c.ranks[len(c.ranks)-1]].node -
+				c.world.ranks[c.ranks[0]].node + 1
+		} else {
+			seen := make([]bool, c.world.cfg.Nodes)
+			for _, wr := range c.ranks {
+				n := c.world.ranks[wr].node
+				if !seen[n] {
+					seen[n] = true
+					c.nodes++
+				}
+			}
 		}
-		c.nodes = len(seen)
 	}
 	return c.nodes
 }
 
 // SplitTypeShared models MPI_Comm_split_type(MPI_COMM_TYPE_SHARED): it
 // returns the communicator of all world ranks sharing r's node. The result
-// is memoized so every rank of a node receives the same *Comm.
+// is memoized so every rank of a node receives the same *Comm. Ranks are
+// placed contiguously by node, so construction is O(ranks on the node).
 func (w *World) SplitTypeShared(r *Rank) *Comm {
 	if w.nodeComms == nil {
 		w.nodeComms = make([]*Comm, w.cfg.Nodes)
 	}
 	n := r.node
 	if w.nodeComms[n] == nil {
-		var members []int
-		for _, rk := range w.ranks {
-			if rk.node == n {
-				members = append(members, rk.rank)
-			}
+		members := make([]int, w.nodeRanks[n])
+		for i := range members {
+			members[i] = w.nodeOff[n] + i
 		}
-		w.nodeComms[n] = &Comm{world: w, ranks: members, name: fmt.Sprintf("node%d", n)}
+		w.nodeComms[n] = newComm(w, members, fmt.Sprintf("node%d", n))
 	}
 	return w.nodeComms[n]
 }
@@ -106,7 +159,7 @@ func (c *Comm) Split(r *Rank, color, key int) *Comm {
 			for i, m := range members {
 				ranks[i] = m.world
 			}
-			comms[color] = &Comm{world: c.world, ranks: ranks, name: fmt.Sprintf("%s/color%d", c.name, color)}
+			comms[color] = newComm(c.world, ranks, fmt.Sprintf("%s/color%d", c.name, color))
 		}
 		result = comms[color]
 	}
@@ -116,32 +169,57 @@ func (c *Comm) Split(r *Rank, color, key int) *Comm {
 
 // collState tracks one in-flight collective operation on a communicator.
 type collState struct {
+	seq     int
 	arrived int
 	passed  int
 	wait    sim.WaitQueue
+	// conts holds goroutine-free arrivals (the *Cont collective variants) in
+	// arrival order — the machine-rank analogue of wait. A collective never
+	// mixes the two: all ranks of an executor are procs or all are machines.
+	conts   []func()
 	rootIn  bool
 	acc     float64
 	vals    []float64
 	payload any
 	extra   any
 	kind    string
+	next    *collState // freelist link
 }
 
 // enter locates (or creates) the state for this rank's next collective call
 // on c, enforcing that all ranks invoke collectives in the same order.
+// Lookup is O(1): the per-rank sequence counter indexes the sliding window
+// of in-flight states, and retired states are recycled from a freelist.
 func (c *Comm) enter(r *Rank, kind string) *collState {
-	if c.colls == nil {
-		c.colls = make(map[int]*collState)
+	me := c.RankOf(r)
+	seq := c.seqOf[me]
+	c.seqOf[me] = seq + 1
+	idx := seq - c.collBase
+	for idx >= len(c.collRing) {
+		c.collRing = append(c.collRing, nil)
 	}
-	if r.collSeq == nil {
-		r.collSeq = make(map[*Comm]int)
-	}
-	seq := r.collSeq[c]
-	r.collSeq[c] = seq + 1
-	st := c.colls[seq]
+	st := c.collRing[idx]
 	if st == nil {
-		st = &collState{kind: kind, vals: make([]float64, c.Size())}
-		c.colls[seq] = st
+		st = c.collFree
+		if st == nil {
+			st = &collState{vals: make([]float64, c.Size())}
+		} else {
+			c.collFree = st.next
+			st.next = nil
+			if cap(st.vals) < c.Size() {
+				st.vals = make([]float64, c.Size())
+			} else {
+				st.vals = st.vals[:c.Size()]
+				for i := range st.vals {
+					st.vals[i] = 0
+				}
+			}
+			st.arrived, st.passed, st.rootIn, st.acc = 0, 0, false, 0
+			st.payload, st.extra = nil, nil
+		}
+		st.kind = kind
+		st.seq = seq
+		c.collRing[idx] = st
 	} else if st.kind != kind {
 		panic(fmt.Sprintf("mpi: collective mismatch on %s: %s vs %s", c.name, st.kind, kind))
 	}
@@ -152,6 +230,9 @@ func (c *Comm) enter(r *Rank, kind string) *collState {
 func (c *Comm) arriveAndWait(r *Rank, st *collState, cost sim.Time) {
 	st.arrived++
 	if st.arrived == c.Size() {
+		if len(st.conts) > 0 {
+			panic(fmt.Sprintf("mpi: collective on %s mixes process and machine ranks", c.name))
+		}
 		st.wait.WakeAll()
 	} else {
 		st.wait.Wait(r.proc)
@@ -159,12 +240,47 @@ func (c *Comm) arriveAndWait(r *Rank, st *collState, cost sim.Time) {
 	r.proc.Sleep(cost)
 }
 
-// leave retires the state once every rank has passed through.
+// arriveCont is arriveAndWait for goroutine-free ranks: instead of parking a
+// process it records cont and, when the last rank arrives, replays the
+// literal wake-and-sleep chain as engine events. Event positions are
+// byte-identical to the process version: the waiters' wake events occupy the
+// WakeAll resume positions (FIFO), the last arriver's post-cost continuation
+// is pushed next (its own Sleep), and each woken rank pushes its post-cost
+// continuation when its wake event fires (that rank's Sleep).
+func (c *Comm) arriveCont(r *Rank, st *collState, cost sim.Time, cont func()) {
+	st.arrived++
+	if st.arrived < c.Size() {
+		st.conts = append(st.conts, cont)
+		return
+	}
+	if st.wait.Len() > 0 {
+		panic(fmt.Sprintf("mpi: collective on %s mixes process and machine ranks", c.name))
+	}
+	eng := c.world.eng
+	now := eng.Now()
+	for _, wc := range st.conts {
+		wc := wc
+		eng.ScheduleAsOf(now, now, func() {
+			eng.ScheduleAsOf(now+cost, now, wc)
+		})
+	}
+	st.conts = st.conts[:0]
+	eng.ScheduleAsOf(now+cost, now, cont)
+}
+
+// leave retires the state once every rank has passed through. States retire
+// in sequence order (a rank passes collective k before entering k+1), so
+// retirement slides the ring window forward and recycles the state.
 func (c *Comm) leave(r *Rank, st *collState) {
 	st.passed++
 	if st.passed == c.Size() {
-		seq := r.collSeq[c] - 1
-		delete(c.colls, seq)
+		c.collRing[st.seq-c.collBase] = nil
+		for len(c.collRing) > 0 && c.collRing[0] == nil {
+			c.collRing = c.collRing[1:]
+			c.collBase++
+		}
+		st.next = c.collFree
+		c.collFree = st
 	}
 }
 
@@ -192,6 +308,16 @@ func (c *Comm) Barrier(r *Rank) {
 	st := c.enter(r, "barrier")
 	c.arriveAndWait(r, st, c.latencyCost(2, 0))
 	c.leave(r, st)
+}
+
+// BarrierCont is Barrier for goroutine-free ranks: cont runs at the event
+// position where the literal caller resumed past the barrier.
+func (c *Comm) BarrierCont(r *Rank, cont func()) {
+	st := c.enter(r, "barrier")
+	c.arriveCont(r, st, c.latencyCost(2, 0), func() {
+		c.leave(r, st)
+		cont()
+	})
 }
 
 // ReduceOp names a reduction operator.
@@ -233,10 +359,7 @@ func (c *Comm) Bcast(r *Rank, root int, val float64) float64 {
 		r.proc.Sleep(c.latencyCost(1, 8))
 	}
 	out := st.acc
-	st.passed++
-	if st.passed == c.Size() {
-		delete(c.colls, r.collSeq[c]-1)
-	}
+	c.leave(r, st)
 	return out
 }
 

@@ -48,6 +48,9 @@ type World struct {
 	world     *Comm
 	nodeComms []*Comm
 	wins      []*Win
+	// winFree holds retired windows from earlier cells of a pooled world;
+	// allocateWin reuses their backing arrays (see World.Reset).
+	winFree []*Win
 
 	// wakeFree pools wake-chain records (rma.go) so re-arming allocates
 	// nothing in steady state.
@@ -99,8 +102,104 @@ func NewWorld(eng *sim.Engine, cfg *cluster.Config, ranksPerNode int) (*World, e
 			worldRanks[r] = r
 		}
 	}
-	w.world = &Comm{world: w, ranks: worldRanks, name: "world"}
+	w.world = newComm(w, worldRanks, "world")
 	return w, nil
+}
+
+// Reset reinitializes a pooled world in place for a new cell on eng (which
+// the caller has already Reset): topology slices, rank structs, NIC and RMA
+// ports, communicators and window pools are rebuilt or cleared while keeping
+// their backing allocations, so a reused world behaves observationally
+// identically to NewWorld(eng, cfg, ranksPerNode) — same rank placement,
+// zeroed ports and counters, fresh collective state — with O(1) steady-state
+// allocations. Retired windows move to the reuse pool so the next cell's
+// WinAllocate recycles their memory (DESIGN.md §8).
+func (w *World) Reset(eng *sim.Engine, cfg *cluster.Config, ranksPerNode int) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if ranksPerNode <= 0 || ranksPerNode > cfg.MaxCores() {
+		return fmt.Errorf("mpi: ranksPerNode %d out of range 1..%d", ranksPerNode, cfg.MaxCores())
+	}
+	w.eng = eng
+	w.cfg = cfg
+	w.nodeRanks = resizeZeroed(w.nodeRanks, cfg.Nodes)
+	w.nodeOff = resizeZeroed(w.nodeOff, cfg.Nodes)
+	w.nicPort = resizeSlice(w.nicPort, cfg.Nodes)
+	w.memPort = resizeSlice(w.memPort, cfg.Nodes)
+	size := 0
+	for n := 0; n < cfg.Nodes; n++ {
+		if w.nicPort[n] == nil {
+			w.nicPort[n] = &sim.Server{}
+		} else {
+			*w.nicPort[n] = sim.Server{}
+		}
+		if w.memPort[n] == nil {
+			w.memPort[n] = &rmaPort{}
+		} else {
+			w.memPort[n].reset()
+		}
+		k := ranksPerNode
+		if c := cfg.Cores(n); k > c {
+			k = c
+		}
+		w.nodeRanks[n] = k
+		w.nodeOff[n] = size
+		size += k
+	}
+	w.ranks = resizeSlice(w.ranks, size)
+	worldRanks := make([]int, size)
+	for n := 0; n < cfg.Nodes; n++ {
+		for c := 0; c < w.nodeRanks[n]; c++ {
+			i := w.nodeOff[n] + c
+			r := w.ranks[i]
+			if r == nil {
+				r = &Rank{}
+				w.ranks[i] = r
+			}
+			pollerBuf := r.pollerBuf
+			*r = Rank{world: w, rank: i, node: n, core: c, pollerBuf: pollerBuf}
+			worldRanks[i] = i
+		}
+	}
+	w.world = newComm(w, worldRanks, "world")
+	w.nodeComms = resizeSlice(w.nodeComms, cfg.Nodes)
+	for i := range w.nodeComms {
+		w.nodeComms[i] = nil
+	}
+	// Retire this cell's windows into the reuse pool; their backing arrays
+	// are re-zeroed at reallocation time (pooledWin).
+	w.winFree = append(w.winFree, w.wins...)
+	w.wins = w.wins[:0]
+	return nil
+}
+
+// resizeZeroed returns s resized to n zeroed entries, reusing capacity.
+func resizeZeroed[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// resizeSlice returns s resized to n entries, reusing capacity and KEEPING
+// existing entries — the pooled Rank and port structs are reused in place;
+// entries beyond the previous length are nil.
+func resizeSlice[T any](s []*T, n int) []*T {
+	if cap(s) < n {
+		return make([]*T, n)
+	}
+	prev := len(s)
+	s = s[:n]
+	for i := prev; i < n; i++ {
+		s[i] = nil
+	}
+	return s
 }
 
 // RanksOn reports how many ranks node n hosts.
@@ -146,6 +245,22 @@ func (w *World) Run(body func(*Rank)) error {
 	return w.eng.Run()
 }
 
+// Launch drives a world of goroutine-free machine ranks: start is invoked
+// for every rank, in rank order, inside an engine event at virtual time
+// zero — the exact position Start's per-rank spawn resume occupied — and
+// the engine then runs to completion. start must build the rank's
+// event-driven state machine (the *Cont APIs) and return; no simulated
+// process is created, so the cell spawns no goroutines. Machine ranks must
+// not call the blocking Rank primitives (Compute, Lock, collectives without
+// a Cont suffix) — those need a process to park.
+func (w *World) Launch(start func(*Rank)) error {
+	for _, r := range w.ranks {
+		r := r
+		w.eng.Schedule(0, func() { start(r) })
+	}
+	return w.eng.Run()
+}
+
 // Rank is one MPI process.
 type Rank struct {
 	world *World
@@ -158,8 +273,6 @@ type Rank struct {
 	recvWait sim.WaitQueue // parked receivers
 	recvSrc  int           // active posted receive (valid while recvWait nonempty)
 	recvTag  int
-
-	collSeq map[*Comm]int // per-communicator collective call counter
 
 	computeTime sim.Time // cumulative execution time (for utilization stats)
 
@@ -190,11 +303,12 @@ func (r *Rank) Core() int { return r.core }
 // World returns the owning world.
 func (r *Rank) World() *World { return r.world }
 
-// Proc exposes the underlying simulated process.
+// Proc exposes the underlying simulated process (nil for the goroutine-free
+// machine ranks of World.Launch).
 func (r *Rank) Proc() *sim.Proc { return r.proc }
 
 // Now reports virtual time.
-func (r *Rank) Now() sim.Time { return r.proc.Now() }
+func (r *Rank) Now() sim.Time { return r.world.eng.Now() }
 
 // Compute executes ref seconds of reference-core work on this rank's core,
 // scaled by the node's speed and the cluster's noise/perturbation models.
@@ -212,7 +326,7 @@ func (r *Rank) ComputeTime() sim.Time { return r.computeTime }
 // event-driven executors schedule their own completion event at
 // (now+d, now) — the exact position Compute's wake-up occupied.
 func (r *Rank) ComputeCost(ref sim.Time) sim.Time {
-	d := r.world.cfg.ExecTime(r.node, ref, r.proc.Now(), r.world.eng.Rand())
+	d := r.world.cfg.ExecTime(r.node, ref, r.world.eng.Now(), r.world.eng.Rand())
 	r.computeTime += d
 	return d
 }

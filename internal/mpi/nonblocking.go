@@ -93,10 +93,7 @@ func (c *Comm) Scatter(r *Rank, root int, vals []float64) float64 {
 		r.proc.Sleep(c.latencyCost(1, 8))
 	}
 	out := st.vals[me]
-	st.passed++
-	if st.passed == c.Size() {
-		delete(c.colls, r.collSeq[c]-1)
-	}
+	c.leave(r, st)
 	return out
 }
 

@@ -21,8 +21,12 @@ type Win struct {
 	comm   *Comm
 	name   string
 	shared bool
-	data   [][]int64
-	locks  []lockState
+	// mem is the single backing array behind every rank's segment; data[i]
+	// is the i-th rank's count-word subslice of it. One allocation per
+	// window, and World.Reset can recycle the arrays across pooled cells.
+	mem   []int64
+	data  [][]int64
+	locks []lockState
 
 	// Accounting for overhead analysis.
 	LockAttempts     int64
@@ -66,10 +70,10 @@ type rmaPort struct {
 	// (at, born, reg): the engine's (time, scheduling-time) event order,
 	// with registration order as the deterministic tie-break — exactly the
 	// order the literal selection scan preferred. Keys are pointer-free so
-	// every sift swap is a barrier-less copy; items holds the pollers in
-	// stable slots the keys point at. The heap makes each replayed step
-	// O(log P) instead of a full rescan, and the earliest pending step is
-	// an O(1) peek.
+	// every sift swap is a barrier-less 24-byte copy; items holds the
+	// pollers in stable slots the keys point at. The heap makes each
+	// replayed step O(log P) instead of a full rescan, and the earliest
+	// pending step is an O(1) peek.
 	keys      []pollerKey
 	items     []*poller
 	freeSlots []int32
@@ -78,8 +82,14 @@ type rmaPort struct {
 	// which wake-chain positions are armed is part of the frozen event
 	// sequence.
 	byReg []*poller
-	// reg is the monotone registration counter behind the tie-break.
-	reg uint64
+	// hom is true while every registered poller targets one (win, target)
+	// pair — the common shape (a node's ranks all contend for the one local
+	// queue lock) — letting reconcilePort skip the whole walk with a single
+	// lock-word check when that lock is exclusively held.
+	hom bool
+	// reg is the monotone registration counter behind the tie-break
+	// (32-bit with a wrap guard, matching pollerKey.reg).
+	reg uint32
 }
 
 // pollerKey is a heap entry: the poller's pending-step position plus its
@@ -87,7 +97,9 @@ type rmaPort struct {
 type pollerKey struct {
 	at   sim.Time
 	born sim.Time
-	reg  uint64
+	// reg is 32-bit (with a wrap guard at registration): it only breaks
+	// (at, born) ties, and the 24-byte key keeps ring shifts cheap.
+	reg  uint32
 	slot int32
 }
 
@@ -101,6 +113,22 @@ func keyLess(a, b *pollerKey) bool {
 	return a.reg < b.reg
 }
 
+// reset clears a pooled port for reuse, keeping slice capacity.
+func (pt *rmaPort) reset() {
+	pt.srv = sim.Server{}
+	pt.keys = pt.keys[:0]
+	for i := range pt.items {
+		pt.items[i] = nil
+	}
+	pt.items = pt.items[:0]
+	pt.freeSlots = pt.freeSlots[:0]
+	for i := range pt.byReg {
+		pt.byReg[i] = nil
+	}
+	pt.byReg = pt.byReg[:0]
+	pt.reg = 0
+}
+
 // pending reports whether any poll step is registered.
 func (pt *rmaPort) pending() bool { return len(pt.keys) > 0 }
 
@@ -110,7 +138,15 @@ func (pt *rmaPort) root() *poller { return pt.items[pt.keys[0].slot] }
 // pushPoller registers a new waiter.
 func (pt *rmaPort) pushPoller(pl *poller) {
 	pt.reg++
+	if pt.reg == 0 {
+		panic("mpi: poller registration counter overflow")
+	}
 	pl.reg = pt.reg
+	if len(pt.byReg) == 0 {
+		pt.hom = true
+	} else if pt.hom && (pl.win != pt.byReg[0].win || pl.target != pt.byReg[0].target) {
+		pt.hom = false
+	}
 	pt.byReg = append(pt.byReg, pl)
 	var slot int32
 	if n := len(pt.freeSlots); n > 0 {
@@ -137,9 +173,15 @@ func (pt *rmaPort) pushPoller(pl *poller) {
 // fixRoot re-syncs the root key from its poller (whose pending step
 // advanced) and restores the heap.
 func (pt *rmaPort) fixRoot() {
+	pl := pt.items[pt.keys[0].slot]
+	pt.fixRootTo(pl.at, pl.born)
+}
+
+// fixRootTo is fixRoot with the advanced position passed in, saving the
+// poller reload on the advancePort hot path.
+func (pt *rmaPort) fixRootTo(at, born sim.Time) {
 	h := pt.keys
-	pl := pt.items[h[0].slot]
-	h[0].at, h[0].born = pl.at, pl.born
+	h[0].at, h[0].born = at, born
 	n := len(h)
 	i := 0
 	for {
@@ -207,7 +249,7 @@ type poller struct {
 	born     sim.Time
 	attempts int
 	granted  bool
-	reg      uint64 // registration tie-break, assigned by pushPoller
+	reg      uint32 // registration tie-break, assigned by pushPoller
 }
 
 // canSucceed reports whether the poller's next check would acquire the lock
@@ -237,10 +279,13 @@ func (w *World) advancePort(node int, t, bornLimit sim.Time, incl bool) (advance
 	mem := &w.cfg.Mem
 	net := &w.cfg.Net
 	for pt.pending() {
-		best := pt.root()
-		if best.at > t || (best.at == t && (best.born > bornLimit || (best.born == bornLimit && !incl))) {
+		// Bail out on the root KEY alone — the hot exit skips the poller
+		// indirection entirely.
+		k0 := &pt.keys[0]
+		if k0.at > t || (k0.at == t && (k0.born > bornLimit || (k0.born == bornLimit && !incl))) {
 			return
 		}
+		best := pt.items[k0.slot]
 		advanced = true
 		if !best.inService {
 			// The retry reaches the port: consume serial service exactly as
@@ -267,7 +312,7 @@ func (w *World) advancePort(node int, t, bornLimit sim.Time, incl bool) (advance
 				best.born = best.at
 				best.at = completion
 			}
-			pt.fixRoot()
+			pt.fixRootTo(best.at, best.born)
 			continue
 		}
 		// The attempt completes: check the lock word at its own timestamp.
@@ -304,7 +349,7 @@ func (w *World) advancePort(node int, t, bornLimit sim.Time, incl bool) (advance
 			best.born = best.at
 			best.at += mem.PollInterval
 		}
-		pt.fixRoot()
+		pt.fixRootTo(best.at, best.born)
 	}
 	return advanced
 }
@@ -317,6 +362,12 @@ func (w *World) advancePort(node int, t, bornLimit sim.Time, incl bool) (advance
 // advance and reconcile again.
 func (w *World) reconcilePort(node int) {
 	pt := w.memPort[node]
+	// Fast path: when every parked poller contends for the same lock and
+	// that lock is exclusively held, no poller can acquire it — the walk
+	// below would arm nothing. One lock-word load replaces the scan.
+	if pt.hom && len(pt.byReg) > 0 && pt.byReg[0].win.locks[pt.byReg[0].target].excl {
+		return
+	}
 	// Walk in registration order — the literal scan order. The sequence of
 	// armed positions (including the intermediate, immediately-superseded
 	// ones) is part of the frozen event stream, so it must be reproduced
@@ -396,25 +447,88 @@ const (
 // winState is the payload used during collective window creation.
 type winAllocPayload struct{ win *Win }
 
+// newWin builds the window object shared by a collective allocation. The
+// per-rank segments subslice one backing array (and reuse a pooled window's
+// backing memory when the world has one of the right shape), so window
+// creation costs O(1) allocations rather than O(ranks).
+func (c *Comm) newWin(name string, count int, shared bool) *Win {
+	size := c.Size()
+	w := c.world.pooledWin(size, count)
+	if w == nil {
+		w = &Win{mem: make([]int64, size*count), data: make([][]int64, size), locks: make([]lockState, size)}
+	}
+	w.world, w.comm, w.name, w.shared = c.world, c, name, shared
+	for i := range w.data {
+		w.data[i] = w.mem[i*count : (i+1)*count : (i+1)*count]
+	}
+	c.world.wins = append(c.world.wins, w)
+	return w
+}
+
+// pooledWin returns a retired window whose backing arrays fit size ranks of
+// count words each (see World.Reset), zeroed and ready for reuse, or nil.
+func (w *World) pooledWin(size, count int) *Win {
+	for i, pw := range w.winFree {
+		if len(pw.data) == size && cap(pw.mem) >= size*count {
+			w.winFree[i] = w.winFree[len(w.winFree)-1]
+			w.winFree = w.winFree[:len(w.winFree)-1]
+			pw.mem = pw.mem[:size*count]
+			for j := range pw.mem {
+				pw.mem[j] = 0
+			}
+			pw.locks = pw.locks[:size]
+			for j := range pw.locks {
+				pw.locks[j] = lockState{}
+			}
+			pw.LockAttempts, pw.LockAcquisitions, pw.AtomicOps = 0, 0, 0
+			return pw
+		}
+	}
+	return nil
+}
+
 func (c *Comm) allocateWin(r *Rank, name string, count int, shared bool) *Win {
 	if shared && c.spansNodes() != 1 {
 		panic(fmt.Sprintf("mpi: WinAllocateShared on communicator %q spanning %d nodes", c.name, c.spansNodes()))
 	}
 	st := c.enter(r, "winalloc")
 	if st.payload == nil {
-		w := &Win{world: c.world, comm: c, name: name, shared: shared}
-		w.data = make([][]int64, c.Size())
-		for i := range w.data {
-			w.data[i] = make([]int64, count)
-		}
-		w.locks = make([]lockState, c.Size())
-		c.world.wins = append(c.world.wins, w)
-		st.payload = winAllocPayload{win: w}
+		st.payload = winAllocPayload{win: c.newWin(name, count, shared)}
 	}
 	win := st.payload.(winAllocPayload).win
 	c.arriveAndWait(r, st, c.latencyCost(2, 0)) // window creation synchronizes
 	c.leave(r, st)
 	return win
+}
+
+// allocateWinCont is allocateWin for goroutine-free ranks: cont receives the
+// window at the event position where the literal caller resumed from the
+// creation barrier.
+func (c *Comm) allocateWinCont(r *Rank, name string, count int, shared bool, cont func(*Win)) {
+	if shared && c.spansNodes() != 1 {
+		panic(fmt.Sprintf("mpi: WinAllocateShared on communicator %q spanning %d nodes", c.name, c.spansNodes()))
+	}
+	st := c.enter(r, "winalloc")
+	if st.payload == nil {
+		st.payload = winAllocPayload{win: c.newWin(name, count, shared)}
+	}
+	win := st.payload.(winAllocPayload).win
+	c.arriveCont(r, st, c.latencyCost(2, 0), func() {
+		c.leave(r, st)
+		cont(win)
+	})
+}
+
+// WinAllocateCont is the goroutine-free WinAllocate: the calling rank must
+// be a machine rank (no simulated process), and cont runs holding the new
+// window at the literal post-creation-barrier event position.
+func (c *Comm) WinAllocateCont(r *Rank, name string, count int, cont func(*Win)) {
+	c.allocateWinCont(r, name, count, false, cont)
+}
+
+// WinAllocateSharedCont is the goroutine-free WinAllocateShared.
+func (c *Comm) WinAllocateSharedCont(r *Rank, name string, count int, cont func(*Win)) {
+	c.allocateWinCont(r, name, count, true, cont)
 }
 
 // WinAllocate collectively creates a window with count int64 words per rank.
@@ -663,9 +777,9 @@ func (w *Win) NewLockCont(r *Rank, target, lockType int, cont func()) func() {
 		// Literal first attempt: one RMA round through the port.
 		w.LockAttempts++
 		if pt.pending() {
-			wld.advancePort(tn, r.proc.Now(), eng.EventScheduledAt(), false)
+			wld.advancePort(tn, eng.Now(), eng.EventScheduledAt(), false)
 		}
-		now := r.proc.Now()
+		now := eng.Now()
 		done := pt.srv.ServeAsync(now, mem.LockAttempt)
 		eng.ScheduleAsOf(now+(done-now), now, check) // Serve's wake arithmetic, bit for bit
 	}
@@ -717,6 +831,64 @@ func (w *Win) NewUnlockCont(r *Rank, target, lockType int, cont func(release sim
 	return func(arr, born sim.Time) {
 		arrival = arr
 		eng.ScheduleAsOf(arr, born, arriveFn)
+	}
+}
+
+// NewFetchAndOpCont returns a reusable event-driven MPI_Fetch_and_op issuer
+// on w for rank r: issue(target, offset, delta, cont) performs the literal
+// rmaRound — wire latency both ways when the target is remote, poll replay
+// and serial service at the target port either way — entirely in engine
+// events at the exact (time, scheduling-time) positions the blocking
+// FetchAndOp's sleeps occupied, then applies the read-modify-write and runs
+// cont(old) inline at the completion event, where the literal caller
+// resumed. At most one operation may be in flight per issuer; the issuer
+// and its closures are allocated once, so steady-state issues allocate
+// nothing. The caller must already be executing inside an engine event (a
+// machine rank), so the pre-service poll replay sees the same
+// EventScheduledAt as the literal call site.
+func (w *Win) NewFetchAndOpCont(r *Rank) func(target, offset int, delta int64, cont func(old int64)) {
+	wld := w.world
+	eng := wld.eng
+	net := &wld.cfg.Net
+	var (
+		target, offset int
+		delta          int64
+		cont           func(int64)
+	)
+	finish := func() {
+		old := w.data[target][offset]
+		w.data[target][offset] = old + delta
+		cont(old)
+	}
+	servedRemote := func() {
+		now := eng.Now()
+		eng.ScheduleAsOf(now+net.Latency, now, finish)
+	}
+	arriveRemote := func() {
+		tn := w.targetNode(target)
+		pt := wld.memPort[tn]
+		if pt.pending() {
+			wld.advancePort(tn, eng.Now(), eng.EventScheduledAt(), false)
+		}
+		now := eng.Now()
+		done := pt.srv.ServeAsync(now, wld.cfg.Mem.SharedWinOp+net.PortService)
+		eng.ScheduleAsOf(now+(done-now), now, servedRemote)
+	}
+	return func(t, off int, d int64, c func(int64)) {
+		target, offset, delta, cont = t, off, d, c
+		w.AtomicOps++
+		tn := w.targetNode(target)
+		now := eng.Now()
+		if tn != r.node {
+			eng.ScheduleAsOf(now+net.Latency, now, arriveRemote)
+			return
+		}
+		pt := wld.memPort[tn]
+		if pt.pending() {
+			wld.advancePort(tn, now, eng.EventScheduledAt(), false)
+		}
+		done := pt.srv.ServeAsync(now, wld.cfg.Mem.SharedWinOp)
+		eng.ScheduleAsOf(now+(done-now), now, finish)
 	}
 }
 

@@ -245,12 +245,15 @@ func (t *Team) ParallelFor(master *sim.Proc, f For) ForResult {
 		done[tid] = true
 	}
 
+	// Worker threads are goroutine-free state machines: each one starts in
+	// an engine event at the exact position its spawn resume occupied, its
+	// grabs and chunk completions run at the literal event keys of body's
+	// process-driven loop, and its retirement (barrier signalling, finish
+	// bookkeeping, master wake-up) fires where the literal thread's final
+	// wake-ups did. A worksharing loop therefore spawns no goroutines at
+	// all; only the master — the calling MPI rank — is a real process.
 	for tid := 1; tid < T; tid++ {
-		tid := tid
-		t.eng.Spawn(fmt.Sprintf("omp-n%d-t%d", t.node, tid), func(p *sim.Proc) {
-			body(p, tid)
-			joinQueue.WakeAll() // master may be waiting for stragglers
-		})
+		t.startThreadMachine(f, st, res.ThreadFinish, done, &joinQueue, &chunks, tid)
 	}
 	body(master, 0)
 
@@ -277,6 +280,84 @@ func (t *Team) ParallelFor(master *sim.Proc, f For) ForResult {
 	t.Chunks += chunks
 	res.Chunks = chunks
 	return res
+}
+
+// startThreadMachine builds the goroutine-free worker thread tid of one
+// worksharing loop and schedules its start in an engine event at the current
+// instant — the exact position the literal thread's spawn resume occupied.
+// Every subsequent step (grab service completion, chunk completion, the
+// barrier-signalling sleep, finish bookkeeping and the master wake-up) fires
+// at the literal (time, scheduling-time) event keys of the process-driven
+// thread body, so shared loop state, noise draws and visit order are
+// byte-identical; only the goroutine disappears.
+func (t *Team) startThreadMachine(f For, st *loopState, finish []sim.Time, done []bool, join *sim.WaitQueue, chunks *int, tid int) {
+	eng := t.eng
+	var (
+		a, b  int
+		start sim.Time
+	)
+	retire := func() {
+		finish[tid] = eng.Now()
+		done[tid] = true
+		join.WakeAll() // master may be waiting for stragglers
+	}
+	// barrier charges the implicit-barrier signalling cost — the literal
+	// thread's final Sleep — and retires at its wake position.
+	barrier := func() {
+		now := eng.Now()
+		eng.ScheduleAsOf(now+t.Barrier, now, retire)
+	}
+	now := eng.Now()
+	if f.Schedule == ScheduleStatic {
+		// Precomputed split, no chunk-grab port: one event per strip.
+		var step func()
+		exec := func() {
+			if f.Visit != nil {
+				f.Visit(tid, a, b, start, eng.Now())
+			}
+			step()
+		}
+		step = func() {
+			a, b = t.grab(nil, f, st, tid)
+			if a >= b {
+				barrier()
+				return
+			}
+			*chunks++
+			start = eng.Now()
+			d := t.cl.ExecTime(t.node, f.RangeCost(a, b), start, eng.Rand())
+			eng.ScheduleAsOf(start+d, start, exec)
+		}
+		eng.ScheduleAsOf(now, now, step)
+		return
+	}
+	// Dynamic-family: the same event chain the process-driven body built,
+	// with the loop-exhaustion unpark feeding the barrier chain directly.
+	var issueGrab func()
+	execEnd := func() {
+		*chunks++
+		if f.Visit != nil {
+			f.Visit(tid, a, b, start, eng.Now())
+		}
+		issueGrab()
+	}
+	grabbed := func() {
+		a, b = t.take(f, st, tid)
+		now := eng.Now()
+		if a >= b {
+			eng.ScheduleAsOf(now, now, barrier)
+			return
+		}
+		start = now
+		d := t.cl.ExecTime(t.node, f.RangeCost(a, b), start, eng.Rand())
+		eng.ScheduleAsOf(start+d, start, execEnd)
+	}
+	issueGrab = func() {
+		now := eng.Now()
+		doneAt := t.atomicPort.ServeAsync(now, t.cl.Mem.LocalAtomic)
+		eng.ScheduleAsOf(now+(doneAt-now), now, grabbed)
+	}
+	eng.ScheduleAsOf(now, now, issueGrab)
 }
 
 func allDone(done []bool) bool {

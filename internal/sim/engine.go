@@ -44,11 +44,15 @@ const (
 // closure; fn is only set for generic callbacks.
 type event struct {
 	t    Time
-	seq  uint64
 	born Time
+	// seq is 32-bit on purpose: it only breaks ties between events of equal
+	// (t, born), so its absolute value never matters, and the 24-byte entry
+	// (vs 32 with a uint64) cuts the memmove volume of the sorted-array
+	// queue layout by a quarter. nextSeq guards against wrap-around.
+	seq uint32
 	// pay indexes the engine's payload table. Keeping the heap entries
-	// pointer-free makes every sift swap a barrier-less 32-byte copy, which
-	// is most of what push/pop cost on deep queues.
+	// pointer-free makes every shift a barrier-less 24-byte copy, which is
+	// most of what push/pop cost on deep queues.
 	pay int32
 }
 
@@ -76,17 +80,21 @@ func eventLess(a, b *event) bool {
 // memory without host-level synchronization.
 type Engine struct {
 	now Time
-	seq uint64
-	// heap holds the queued events in one of two layouts: while small
-	// (arrayMode), a descending-sorted array — pops take the last element
-	// with zero comparisons and inserts are a binary search plus a short,
-	// branch-predictable memmove, which beats heap sifting at the queue
-	// sizes simulations actually reach (tens of events). If the queue ever
-	// grows past arrayModeMax it is heapified in place (an ascending array
-	// is already a valid 4-ary min-heap once reversed) and stays a heap
-	// until it drains. Pop order is the total order (t, born, seq) either
-	// way.
+	seq uint32
+	// heap holds the queued events in one of two layouts: while at most
+	// arrayModeMax entries (arrayMode), a descending-sorted gap buffer —
+	// the live window is heap[lo:], pops take the last element with zero
+	// comparisons, and inserts binary-search the window and shift whichever
+	// side is shorter (the slack below lo makes a far-future insert, which
+	// lands at the front, an O(shift of the few events beyond it) move
+	// instead of a whole-array memmove). This beats heap sifting at the
+	// queue sizes cells actually reach — one pending event per simulated
+	// process, so hundreds of entries on 16-node machines. If the queue
+	// grows past arrayModeMax it is heapified (4-ary min-heap over heap[0:])
+	// and converts back once it drains to arrayModeLowWater. Pop order is
+	// the total order (t, born, seq) either way.
 	heap      []event
+	lo        int // array mode: first live entry of the gap buffer
 	arrayMode bool
 	// nextEv, when nextSet, is the queue's minimum, buffered outside the
 	// heap (see push).
@@ -125,6 +133,17 @@ func NewEngine(seed int64) *Engine {
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// nextSeq returns the next event sequence number. seq is 32-bit (see event);
+// a single run issuing more than 4.29 billion events would wrap it and
+// corrupt same-instant tie-breaks, so wrap-around panics instead.
+func (e *Engine) nextSeq() uint32 {
+	e.seq++
+	if e.seq == 0 {
+		panic("sim: event sequence counter overflow")
+	}
+	return e.seq
+}
+
 // Rand exposes the engine's deterministic random source. It must only be
 // used from simulated processes or event callbacks.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
@@ -157,7 +176,7 @@ func (e *Engine) push(ev event) {
 		e.pushHeap(ev)
 		return
 	}
-	if len(e.heap) == 0 || eventLess(&ev, e.peekMin()) {
+	if len(e.heap) == e.lo || eventLess(&ev, e.peekMin()) {
 		e.nextEv = ev
 		e.nextSet = true
 		return
@@ -166,8 +185,19 @@ func (e *Engine) push(ev event) {
 }
 
 // arrayModeMax bounds the sorted-array layout; beyond it inserts would
-// memmove too much and the queue switches to the heap layout.
-const arrayModeMax = 128
+// memmove too much and the queue switches to the heap layout. The bound is
+// sized for large-P sweeps: a P-rank cell keeps roughly one pending event
+// per rank, so 16 nodes × 16 ranks (plus wake-chain marks) still fits the
+// array layout, where pops are free and inserts are short tail memmoves.
+// Genuinely huge queues (the opt-in 64-node stress cells and beyond) spill
+// into the heap, whose O(log n) costs are the safe asymptotic fallback.
+const arrayModeMax = 1024
+
+// arrayModeLowWater is the size at which a heap-mode queue converts back to
+// the sorted-array layout (see pop): once a queue that spiked past
+// arrayModeMax has drained this far, array-mode pops win again and the
+// one-off re-sort is cheap.
+const arrayModeLowWater = 128
 
 // peekMin returns the earliest queued event (the queue must be non-empty;
 // the front buffer is checked by callers).
@@ -178,25 +208,50 @@ func (e *Engine) peekMin() *event {
 	return &e.heap[0]
 }
 
-// heapify converts the descending-sorted array into a 4-ary min-heap by
-// reversing it: an ascending array satisfies the heap invariant.
+// heapify converts the descending-sorted gap buffer into a 4-ary min-heap:
+// the window is compacted to the front and reversed (an ascending array
+// satisfies the heap invariant).
 func (e *Engine) heapify() {
 	h := e.heap
+	if e.lo > 0 {
+		n := copy(h, h[e.lo:])
+		h = h[:n]
+		e.lo = 0
+	}
 	for i, j := 0, len(h)-1; i < j; i, j = i+1, j-1 {
 		h[i], h[j] = h[j], h[i]
 	}
+	e.heap = h
 	e.arrayMode = false
 }
 
 // pending reports whether any event is queued.
-func (e *Engine) pending() bool { return e.nextSet || len(e.heap) > 0 }
+func (e *Engine) pending() bool { return e.nextSet || len(e.heap) > e.lo }
+
+// frontGap opens slack below the live window so front-side inserts can
+// shift left instead of moving the whole array; the gap is a quarter of the
+// window, which amortizes the slide.
+func (e *Engine) frontGap() {
+	n := len(e.heap)
+	g := n/4 + 8
+	if cap(e.heap) >= n+g {
+		h := e.heap[:n+g]
+		copy(h[g:], h[:n])
+		e.heap = h
+	} else {
+		h := make([]event, n+g, 2*(n+g))
+		copy(h[g:], e.heap)
+		e.heap = h
+	}
+	e.lo = g
+}
 
 // pushHeap inserts an event into the queue's current layout.
 func (e *Engine) pushHeap(ev event) {
 	if e.arrayMode {
-		if len(e.heap) < arrayModeMax {
+		if len(e.heap)-e.lo < arrayModeMax {
 			h := e.heap
-			lo, hi := 0, len(h)
+			lo, hi := e.lo, len(h)
 			for lo < hi {
 				mid := int(uint(lo+hi) >> 1)
 				if eventLess(&h[mid], &ev) {
@@ -204,6 +259,21 @@ func (e *Engine) pushHeap(ev event) {
 				} else {
 					lo = mid + 1
 				}
+			}
+			// Insert before index lo, shifting whichever side is shorter:
+			// soon events shift the tail, far-future events shift the few
+			// entries ahead of them into the front gap.
+			n := len(h)
+			if lo-e.lo < n-lo {
+				if e.lo == 0 {
+					e.frontGap()
+					h = e.heap
+					lo += e.lo
+				}
+				copy(h[e.lo-1:], h[e.lo:lo])
+				h[lo-1] = ev
+				e.lo--
+				return
 			}
 			h = append(h, event{})
 			copy(h[lo+1:], h[lo:])
@@ -236,6 +306,9 @@ func (e *Engine) pop() event {
 		h := e.heap
 		n := len(h) - 1
 		top := h[n]
+		if n == e.lo {
+			n, e.lo = 0, 0 // drained: close the front gap
+		}
 		e.heap = h[:n]
 		return top
 	}
@@ -248,6 +321,15 @@ func (e *Engine) pop() event {
 	last := h[n]
 	h = h[:n]
 	e.heap = h
+	if n > 0 && n <= arrayModeLowWater {
+		// A queue that spiked past arrayModeMax has drained back down:
+		// re-sort the remainder into the descending array layout. The pop
+		// order is the same total (t, born, seq) order in either layout.
+		h[0] = last
+		sort.Slice(h, func(i, j int) bool { return eventLess(&h[j], &h[i]) })
+		e.arrayMode = true
+		return top
+	}
 	if n > 0 {
 		i := 0
 		for {
@@ -282,8 +364,7 @@ func (e *Engine) Schedule(t Time, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
-	e.seq++
-	e.push(event{t: t, seq: e.seq, born: e.now, pay: e.alloc(nil, fn)})
+	e.push(event{t: t, seq: e.nextSeq(), born: e.now, pay: e.alloc(nil, fn)})
 }
 
 // ScheduleAsOf arranges for fn to run at absolute virtual time t in the
@@ -296,8 +377,7 @@ func (e *Engine) ScheduleAsOf(t, born Time, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
-	e.seq++
-	e.push(event{t: t, seq: e.seq, born: born, pay: e.alloc(nil, fn)})
+	e.push(event{t: t, seq: e.nextSeq(), born: born, pay: e.alloc(nil, fn)})
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -323,7 +403,7 @@ func (e *Engine) sleepInPlace(t, born Time) bool {
 		if e.nextEv.t < t || (e.nextEv.t == t && e.nextEv.born <= born) {
 			return false // an earlier (or tie-winning) event must fire first
 		}
-	} else if len(e.heap) > 0 {
+	} else if len(e.heap) > e.lo {
 		h0 := e.peekMin()
 		if h0.t < t || (h0.t == t && h0.born <= born) {
 			return false
@@ -342,8 +422,7 @@ func (e *Engine) scheduleResume(p *Proc, t Time) {
 	if t < e.now {
 		t = e.now
 	}
-	e.seq++
-	e.push(event{t: t, seq: e.seq, born: e.now, pay: e.alloc(p, nil)})
+	e.push(event{t: t, seq: e.nextSeq(), born: e.now, pay: e.alloc(p, nil)})
 }
 
 // dispatch advances the simulation until control must move elsewhere: it
@@ -428,3 +507,33 @@ func (e *Engine) Shutdown() {
 // LiveProcs reports the number of processes that have been spawned but have
 // not yet finished.
 func (e *Engine) LiveProcs() int { return e.live }
+
+// ProcsSpawned reports how many processes this engine has spawned since it
+// was created or Reset — the goroutine-free executors assert it stays zero.
+func (e *Engine) ProcsSpawned() int { return len(e.procs) }
+
+// Reset reinitializes a drained engine in place so it can run another
+// simulation: the clock returns to zero, the random source is reseeded, and
+// the event queue, payload table and process list empty while keeping their
+// backing capacity. The result is observationally identical to
+// NewEngine(seed) — same clock, same RNG stream, same (t, born, seq) event
+// ordering — which is what lets sweep drivers pool engines across cells
+// (DESIGN.md §8). Reset panics if the previous run left live processes or
+// queued events: such an engine still owns goroutines or pending work and
+// must be abandoned (or Shutdown) instead of reused.
+func (e *Engine) Reset(seed int64) {
+	if e.running || e.live > 0 || e.pending() {
+		panic("sim: Engine.Reset on an engine with live processes or pending events")
+	}
+	e.now = 0
+	e.seq = 0
+	e.curBorn = 0
+	e.heap = e.heap[:0]
+	e.lo = 0
+	e.arrayMode = true
+	e.nextSet = false
+	e.pays = e.pays[:0]
+	e.free = e.free[:0]
+	e.procs = e.procs[:0]
+	e.rng.Seed(seed)
+}

@@ -153,8 +153,7 @@ func (p *Proc) UnparkAsOf(t, born Time) {
 	if t < e.now {
 		t = e.now
 	}
-	e.seq++
-	e.push(event{t: t, seq: e.seq, born: born, pay: e.alloc(p, nil)})
+	e.push(event{t: t, seq: e.nextSeq(), born: born, pay: e.alloc(p, nil)})
 }
 
 // WaitQueue is a FIFO list of parked processes. Wake order equals wait
