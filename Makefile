@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date -u +%Y-%m-%d)
 
-.PHONY: test bench sweep vet fmt
+.PHONY: test bench sweep vet fmt doclint serve smoke
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -11,6 +11,20 @@ vet:
 
 fmt:
 	gofmt -l .
+
+# doclint fails when any exported identifier in the public packages lacks
+# a doc comment (the bar CI's doc-lint step enforces).
+doclint:
+	$(GO) run ./cmd/doclint ./dls ./parallel ./hdls
+
+# serve runs the sweep-as-a-service daemon on :8080 (see cmd/hdlsd and
+# DESIGN.md §9); smoke drives the end-to-end HTTP acceptance scenario
+# against a freshly built daemon and tears it down.
+serve:
+	$(GO) run ./cmd/hdlsd -addr :8080
+
+smoke:
+	scripts/hdlsd_smoke.sh
 
 # bench writes the BENCH_<date>$(SUFFIX).json perf snapshot: the figure
 # sweep at the benchmark scale plus the kernel microbenchmarks to stderr.

@@ -1,0 +1,184 @@
+// Command doclint enforces the repository's documentation bar on its
+// public packages: every exported identifier — package, type, function,
+// method, const/var, struct field and interface method — must carry a doc
+// comment. CI runs it over the public surface:
+//
+//	doclint ./dls ./parallel ./hdls
+//
+// It exits non-zero listing each undocumented identifier as
+// file:line: name. A const/var block's declaration comment covers all its
+// specs; struct fields and interface methods accept trailing line comments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: doclint <package-dir>...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var problems []string
+	for _, dir := range flag.Args() {
+		p, err := lintDir(strings.TrimPrefix(dir, "./"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, p...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifiers\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory (tests excluded) and returns its
+// documentation violations.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", filepath.ToSlash(p.Filename), p.Line, what))
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					lintFunc(d, report)
+				case *ast.GenDecl:
+					lintGen(d, report)
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// lintFunc checks exported functions and methods on exported receivers.
+func lintFunc(d *ast.FuncDecl, report func(token.Pos, string)) {
+	if !d.Name.IsExported() {
+		return
+	}
+	kind := "func"
+	if d.Recv != nil {
+		recv := receiverName(d.Recv)
+		if recv != "" && !ast.IsExported(recv) {
+			return // method on an unexported type: not public surface
+		}
+		kind = "method (" + recv + ")"
+	}
+	if d.Doc == nil {
+		report(d.Pos(), kind+" "+d.Name.Name)
+	}
+}
+
+// receiverName extracts the receiver's base type name.
+func receiverName(fl *ast.FieldList) string {
+	if len(fl.List) == 0 {
+		return ""
+	}
+	t := fl.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// lintGen checks type, const and var declarations. A doc comment on the
+// grouped declaration covers its specs; otherwise each exported spec needs
+// its own doc or line comment.
+func lintGen(d *ast.GenDecl, report func(token.Pos, string)) {
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if !sp.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil && sp.Doc == nil {
+				report(sp.Pos(), "type "+sp.Name.Name)
+			}
+			lintTypeBody(sp.Name.Name, sp.Type, report)
+		case *ast.ValueSpec:
+			for _, name := range sp.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+					report(name.Pos(), "const/var "+name.Name)
+				}
+			}
+		}
+	}
+}
+
+// lintTypeBody checks exported struct fields and interface methods.
+func lintTypeBody(typeName string, expr ast.Expr, report func(token.Pos, string)) {
+	switch t := expr.(type) {
+	case *ast.StructType:
+		for _, f := range t.Fields.List {
+			if f.Doc != nil || f.Comment != nil {
+				continue
+			}
+			for _, name := range f.Names {
+				if name.IsExported() {
+					report(name.Pos(), "field "+typeName+"."+name.Name)
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			if m.Doc != nil || m.Comment != nil {
+				continue
+			}
+			for _, name := range m.Names {
+				if name.IsExported() {
+					report(name.Pos(), "interface method "+typeName+"."+name.Name)
+				}
+			}
+		}
+	}
+}

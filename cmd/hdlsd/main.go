@@ -1,0 +1,89 @@
+// Command hdlsd serves hierarchical DLS simulation sweeps over HTTP: the
+// sweep-as-a-service daemon over the same hdls API the CLIs use. Cells run
+// on a bounded worker pool drawing pooled simulation arenas, results are
+// cached by canonical config hash (deterministic sims make them perfectly
+// cacheable), and sweeps stream per-cell NDJSON as cells complete.
+//
+//	hdlsd -addr :8080
+//
+//	curl -s localhost:8080/v1/techniques
+//	curl -s -d '{"app":"Mandelbrot","nodes":4,"inter":"GSS","intra":"STATIC",
+//	             "approach":"MPI+MPI"}' localhost:8080/v1/run
+//	curl -sN -d '{"cells":[{"inter":"GSS","intra":"SS","approach":"MPI+MPI"},
+//	              {"inter":"FAC2","intra":"SS","approach":"MPI+MPI"}]}' \
+//	     'localhost:8080/v1/sweep?stream=1'
+//
+// SIGTERM/SIGINT starts a graceful drain: /healthz flips to 503, new jobs
+// are rejected, in-flight jobs finish (bounded by -drain-timeout), then
+// the process exits. /metrics exposes throughput, cache and arena-pool
+// counters in Prometheus text format.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
+		cacheN   = flag.Int("cache", 4096, "result-cache entries (LRU)")
+		maxCells = flag.Int("max-cells", 4096, "maximum cells per sweep submission")
+		queueCap = flag.Int("queue", 1<<16, "queued-cell capacity across all jobs")
+		maxNodes = flag.Int("max-nodes", 4096, "per-cell simulated node limit")
+		maxWPN   = flag.Int("max-workers-per-node", 4096, "per-cell workers-per-node limit")
+		maxWN    = flag.Int("max-workload-n", 1<<22, "per-cell workload iteration limit")
+		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		Workers:           *workers,
+		CacheEntries:      *cacheN,
+		MaxCells:          *maxCells,
+		QueueCapacity:     *queueCap,
+		MaxNodes:          *maxNodes,
+		MaxWorkersPerNode: *maxWPN,
+		MaxWorkloadN:      *maxWN,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("hdlsd listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("hdlsd: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("hdlsd: draining (timeout %s)", *drainT)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	// Drain first so /healthz flips to 503 and new submissions are refused
+	// while existing streams keep flowing; Shutdown then waits for those
+	// streaming responses to finish.
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("hdlsd: drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("hdlsd: shutdown: %v", err)
+	}
+	<-errCh // ListenAndServe returns ErrServerClosed after Shutdown
+	log.Printf("hdlsd: drained, exiting")
+	os.Exit(0)
+}

@@ -21,7 +21,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/dls"
 	"repro/hdls"
@@ -164,15 +163,7 @@ func report(res *hdls.Result, app hdls.App, inter, intra dls.Technique,
 }
 
 func parseApproach(s string) (hdls.Approach, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "mpi+mpi", "mpimpi", "mpi-mpi":
-		return hdls.MPIMPI, nil
-	case "mpi+openmp", "mpiopenmp", "mpi-openmp", "openmp":
-		return hdls.MPIOpenMP, nil
-	case "nowait", "mpi+openmp-nowait":
-		return hdls.MPIOpenMPNoWait, nil
-	}
-	return 0, fmt.Errorf("unknown approach %q", s)
+	return hdls.ParseApproach(s)
 }
 
 func fatalIf(err error) {

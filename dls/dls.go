@@ -169,8 +169,13 @@ func (p *Params) validate(t Technique) error {
 // worker w; callers clamp it against the remaining iterations. Chunk never
 // returns less than max(1, MinChunk) so that coverage always terminates.
 type Schedule interface {
+	// Technique identifies the schedule's technique.
 	Technique() Technique
+	// Params returns the static inputs the schedule was built from
+	// (after defaulting, e.g. MinChunk 0 → 1).
 	Params() Params
+	// Chunk returns the raw chunk size for scheduling step s (0-based)
+	// requested by worker w; callers clamp against remaining iterations.
 	Chunk(s, w int) int
 }
 
@@ -180,6 +185,9 @@ type Schedule interface {
 // scheduling overhead, counted only by the D/E variants).
 type Adaptive interface {
 	Schedule
+	// Record reports that worker w executed a chunk of the given size in
+	// execTime seconds (plus schedTime seconds of scheduling overhead,
+	// counted only by the D/E variants).
 	Record(w int, size int, execTime, schedTime float64)
 }
 

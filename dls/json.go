@@ -1,0 +1,31 @@
+package dls
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON encodes the technique as its conventional name (e.g.
+// "FAC2", "AWF-B"), the form the hdlsd service API and sweep snapshots
+// use. Unknown values error rather than emitting a bare integer.
+func (t Technique) MarshalJSON() ([]byte, error) {
+	if _, ok := techniqueNames[t]; !ok {
+		return nil, fmt.Errorf("dls: cannot marshal unknown technique %d", int(t))
+	}
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON decodes a technique from its name via Parse
+// (case-insensitive, dashes optional: "fac2", "AWF-B", "awfb").
+func (t *Technique) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("dls: technique must be a JSON string: %w", err)
+	}
+	v, err := Parse(s)
+	if err != nil {
+		return err
+	}
+	*t = v
+	return nil
+}

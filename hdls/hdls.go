@@ -38,15 +38,17 @@ import (
 type Topology struct {
 	// NodeSpeeds holds relative per-node core speeds (1.0 = Xeon reference
 	// core). Chunk execution time divides by the host node's speed.
-	NodeSpeeds []float64
+	NodeSpeeds []float64 `json:"node_speeds,omitempty"`
 	// NodeCores holds per-node core counts (e.g. {16, 64} alternates Xeon
 	// and KNL partitions). Config.WorkersPerNode acts as a per-node cap.
-	NodeCores []int
+	NodeCores []int `json:"node_cores,omitempty"`
 }
 
 // IsZero reports whether the topology is the paper default.
 func (t Topology) IsZero() bool { return len(t.NodeSpeeds) == 0 && len(t.NodeCores) == 0 }
 
+// String renders the topology for scenario labels ("miniHPC", or the
+// deviation from it).
 func (t Topology) String() string {
 	if t.IsZero() {
 		return "miniHPC"
@@ -107,6 +109,7 @@ const (
 	PSIA
 )
 
+// String returns the application name ("Mandelbrot", "PSIA").
 func (a App) String() string {
 	switch a {
 	case Mandelbrot:
@@ -131,35 +134,46 @@ func ParseApp(s string) (App, error) {
 // Config describes one experiment. Zero values select the paper defaults:
 // 16 workers per node, scale 8 (fast), seed 1.
 type Config struct {
-	App   App
-	Nodes int
+	// App selects the paper workload (Mandelbrot or PSIA); Workload and
+	// Profile override it.
+	App App `json:"app"`
+	// Nodes is the simulated compute-node count (default 4).
+	Nodes int `json:"nodes,omitempty"`
 	// WorkersPerNode defaults to 16, the paper's configuration.
-	WorkersPerNode int
-	Inter, Intra   dls.Technique
-	Approach       Approach
+	WorkersPerNode int `json:"workers_per_node,omitempty"`
+	// Inter is the DLS technique at the inter-node level.
+	Inter dls.Technique `json:"inter"`
+	// Intra is the DLS technique at the intra-node level.
+	Intra dls.Technique `json:"intra"`
+	// Approach selects the executor (MPI+MPI, MPI+OpenMP, or the no-wait
+	// variant).
+	Approach Approach `json:"approach"`
 	// Scale divides the workload (N and total work together, preserving
 	// per-iteration granularity). 1 is the full experiment size; the
 	// default 8 keeps single runs interactive.
-	Scale int
-	Seed  int64
-	// Profile overrides App with a custom workload.
-	Profile *workload.Profile
+	Scale int `json:"scale,omitempty"`
+	// Seed drives the engine RNG; runs are bit-deterministic per seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Profile overrides App with a custom workload. It is a programmatic
+	// escape hatch only: JSON round-trips drop it (Hash still folds it in).
+	Profile *workload.Profile `json:"-"`
 	// Workload, when non-empty, overrides App with a synthetic workload
 	// spec parsed by workload.ParseSpec (e.g. "gaussian:n=8192,cv=0.5").
 	// Profile takes precedence over both.
-	Workload string
+	Workload string `json:"workload,omitempty"`
 	// Topology customizes node speeds and core counts; the zero value is
 	// the paper's homogeneous machine.
-	Topology Topology
+	Topology Topology `json:"topology,omitzero"`
 	// Perturbation injects system noise, transient slowdowns, and
 	// background load; the zero value keeps the machine smooth.
-	Perturbation Perturbation
+	Perturbation Perturbation `json:"perturbation,omitzero"`
 	// ExtendedRuntime enables TSS/FAC2 intra-node under MPI+OpenMP.
-	ExtendedRuntime bool
-	// CollectTrace records the full event trace.
-	CollectTrace bool
+	ExtendedRuntime bool `json:"extended_runtime,omitempty"`
+	// CollectTrace records the full event trace. Summary-returning paths
+	// ignore it, so Canonical clears it.
+	CollectTrace bool `json:"collect_trace,omitempty"`
 	// NoiseCV adds systemic variability (0 = deterministic machine).
-	NoiseCV float64
+	NoiseCV float64 `json:"noise_cv,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -244,10 +258,10 @@ func Run(cfg Config) (*Result, error) {
 // RunSummary executes one experiment returning only the compact per-cell
 // scalars (core.Summary). The sweep drivers use it so thousand-cell sweeps
 // aggregate incrementally instead of retaining per-worker slices.
-func RunSummary(cfg Config) (core.Summary, error) {
+func RunSummary(cfg Config) (Summary, error) {
 	cc, err := coreConfig(cfg)
 	if err != nil {
-		return core.Summary{}, err
+		return Summary{}, err
 	}
 	return core.RunSummary(cc)
 }
@@ -270,9 +284,12 @@ var DefaultNodes = []int{2, 4, 8, 16}
 
 // FigureOptions configures a figure sweep.
 type FigureOptions struct {
-	Scale int   // workload scale divisor (default 8)
-	Nodes []int // system sizes (default 2,4,8,16)
-	Seed  int64
+	// Scale is the workload scale divisor (default 8).
+	Scale int
+	// Nodes lists the system sizes to sweep (default 2,4,8,16).
+	Nodes []int
+	// Seed drives every cell's engine RNG (default 1).
+	Seed int64
 	// Extended fills in the MPI+OpenMP TSS/FAC2 cells the paper could not
 	// run on the Intel runtime. Off by default for fidelity.
 	Extended bool
@@ -295,13 +312,21 @@ type FigureOptions struct {
 // index] in seconds, with NaN marking combinations that are unsupported
 // (MPI+OpenMP with TSS/FAC2 intra on the stock runtime).
 type FigureResult struct {
-	Figure     int
-	App        App
-	Inter      dls.Technique
-	Intras     []dls.Technique
-	Nodes      []int
+	// Figure is the paper figure number (4-7).
+	Figure int
+	// App is the panel's application.
+	App App
+	// Inter is the figure's first-level technique.
+	Inter dls.Technique
+	// Intras lists the second-level techniques, one block per entry.
+	Intras []dls.Technique
+	// Nodes lists the swept system sizes, one column per entry.
+	Nodes []int
+	// Approaches lists the executors compared, one row per entry.
 	Approaches []Approach
-	Times      map[Approach][][]float64
+	// Times holds the cells: Times[approach][intra index][node index]
+	// in seconds, NaN for unsupported combinations.
+	Times map[Approach][][]float64
 }
 
 // RunFigure regenerates one panel (one application) of the paper's Figure

@@ -27,19 +27,24 @@ type RobustnessOptions struct {
 	// (STATIC) is the paper's lowest-overhead second level; cores within a
 	// node are homogeneous, so the scenario axes act at the inter level.
 	Intra dls.Technique
-	// Nodes (default 4) and WorkersPerNode (default 16) size the machine.
-	Nodes          int
+	// Nodes sizes the machine (default 4).
+	Nodes int
+	// WorkersPerNode sets each node's worker count (default 16).
 	WorkersPerNode int
 	// Approach defaults to MPIMPI, the paper's proposed executor.
 	Approach Approach
-	// App / Scale / Workload select the loop as in Config.
-	App      App
-	Scale    int
+	// App selects the paper workload, as in Config.
+	App App
+	// Scale divides the workload, as in Config (default 8).
+	Scale int
+	// Workload, when non-empty, overrides App with a spec string.
 	Workload string
-	Seed     int64
+	// Seed drives every cell's engine RNG (default 1).
+	Seed int64
 	// Topology and Perturbation define the scenario; their zero values are
 	// the smooth homogeneous paper machine.
-	Topology     Topology
+	Topology Topology
+	// Perturbation is the scenario's perturbation axis.
 	Perturbation Perturbation
 	// ExtendedRuntime permits TSS/FAC2 intra under the OpenMP approaches.
 	ExtendedRuntime bool
@@ -80,6 +85,7 @@ func (o RobustnessOptions) withDefaults() RobustnessOptions {
 // With Repeats > 1 the base fields are means over the seed replicas and the
 // spread fields are populated.
 type RobustnessRow struct {
+	// Technique names the inter-node technique of this row.
 	Technique string `json:"technique"`
 	// ParallelTime is the paper's metric (seconds of virtual time).
 	ParallelTime float64 `json:"parallel_time"`
@@ -89,24 +95,38 @@ type RobustnessRow struct {
 	NodeFinishCoV float64 `json:"node_finish_cov"`
 	// LoadImbalance is max/mean − 1 over worker finish times.
 	LoadImbalance float64 `json:"load_imbalance"`
-	GlobalChunks  int     `json:"global_chunks"`
-	LocalChunks   int     `json:"local_chunks"`
-	// Seed-replica spread of ParallelTime (Repeats > 1 only).
-	Repeats    int     `json:"repeats,omitempty"`
-	MinTime    float64 `json:"min_time,omitempty"`
-	MaxTime    float64 `json:"max_time,omitempty"`
+	// GlobalChunks counts chunks issued by the global queue.
+	GlobalChunks int `json:"global_chunks"`
+	// LocalChunks counts sub-chunks issued at the intra-node level.
+	LocalChunks int `json:"local_chunks"`
+	// Repeats is the number of seed replicas folded into this row
+	// (the spread fields below are populated only when it exceeds 1).
+	Repeats int `json:"repeats,omitempty"`
+	// MinTime is the fastest replica's parallel time.
+	MinTime float64 `json:"min_time,omitempty"`
+	// MaxTime is the slowest replica's parallel time.
+	MaxTime float64 `json:"max_time,omitempty"`
+	// TimeStdDev is the replica parallel-time standard deviation.
 	TimeStdDev float64 `json:"time_stddev,omitempty"`
 }
 
 // RobustnessResult is one completed robustness sweep.
 type RobustnessResult struct {
-	Scenario string          `json:"scenario"`
-	Workload string          `json:"workload"`
-	Nodes    int             `json:"nodes"`
-	Workers  int             `json:"workers_per_node"`
-	Approach string          `json:"approach"`
-	Intra    string          `json:"intra"`
-	Rows     []RobustnessRow `json:"rows"`
+	// Scenario describes the topology and perturbation axes in effect.
+	Scenario string `json:"scenario"`
+	// Workload names the loop the sweep ran.
+	Workload string `json:"workload"`
+	// Nodes is the simulated machine size.
+	Nodes int `json:"nodes"`
+	// Workers is the per-node worker count.
+	Workers int `json:"workers_per_node"`
+	// Approach names the executor every cell used.
+	Approach string `json:"approach"`
+	// Intra names the intra-node technique every cell used.
+	Intra string `json:"intra"`
+	// Rows holds one scored row per inter-node technique, ranked most
+	// robust (lowest NodeFinishCoV) first.
+	Rows []RobustnessRow `json:"rows"`
 }
 
 // robustAcc folds one technique's replica summaries. The sweep keeps one

@@ -29,6 +29,7 @@ import (
 	"math"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/dls"
 	"repro/internal/cluster"
@@ -240,15 +241,15 @@ func Run(cfg Config) (*Result, error) {
 // sweeps run flat in memory. Every value is computed with exactly the
 // arithmetic Run's Result consumers would have used.
 type Summary struct {
-	ParallelTime     sim.Time
-	NodeFinishCoV    float64 // CoV over per-node last-finish times
-	LoadImbalance    float64
-	Workers          int
-	GlobalChunks     int
-	LocalChunks      int
-	LockAttempts     int64
-	LockAcquisitions int64
-	BarrierWait      sim.Time
+	ParallelTime     sim.Time `json:"parallel_time"`
+	NodeFinishCoV    float64  `json:"node_finish_cov"` // CoV over per-node last-finish times
+	LoadImbalance    float64  `json:"load_imbalance"`
+	Workers          int      `json:"workers"`
+	GlobalChunks     int      `json:"global_chunks"`
+	LocalChunks      int      `json:"local_chunks"`
+	LockAttempts     int64    `json:"lock_attempts"`
+	LockAcquisitions int64    `json:"lock_acquisitions"`
+	BarrierWait      sim.Time `json:"barrier_wait"`
 }
 
 // RunSummary executes the experiment like Run but returns only the compact
@@ -344,6 +345,23 @@ const intraCacheCap = 1 << 14
 // machine — and spawning its goroutines — per cell (DESIGN.md §8).
 var harnessPool sync.Pool
 
+// Arena-pool telemetry: how many cells drew a recycled arena versus built a
+// fresh one, and how many arenas were returned after clean runs. The gap
+// between gets and puts counts arenas abandoned after executor errors.
+// Exposed by hdlsd's /metrics to observe pool behavior under live traffic.
+var (
+	arenaReuses atomic.Int64
+	arenaBuilds atomic.Int64
+	arenaPuts   atomic.Int64
+)
+
+// ArenaStats reports process-wide simulation-arena pool counters: cells
+// served by a recycled arena, cells that built a fresh arena, and arenas
+// returned to the pool after clean runs.
+func ArenaStats() (reuses, builds, puts int64) {
+	return arenaReuses.Load(), arenaBuilds.Load(), arenaPuts.Load()
+}
+
 // newHarness returns a run-ready harness for c: a pooled arena reinitialized
 // in place when one is available, a freshly built one otherwise. The two are
 // observationally identical — Engine.Reset and World.Reset restore the
@@ -353,8 +371,10 @@ func newHarness(c *Config) *harness {
 	h, _ := harnessPool.Get().(*harness)
 	if h == nil {
 		h = &harness{eng: sim.NewEngine(c.Seed)}
+		arenaBuilds.Add(1)
 	} else {
 		h.eng.Reset(c.Seed)
+		arenaReuses.Add(1)
 	}
 	n := c.Workload.N()
 	nodes := c.Cluster.Nodes
@@ -404,6 +424,7 @@ func (h *harness) release() {
 	h.cfg = nil
 	h.prof = nil
 	h.tr = nil
+	arenaPuts.Add(1)
 	harnessPool.Put(h)
 }
 

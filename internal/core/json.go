@@ -1,0 +1,48 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ParseApproach maps an approach name to its value. It accepts the
+// display forms ("MPI+MPI", "MPI+OpenMP", "MPI+OpenMP(nowait)") and the
+// usual CLI spellings ("mpimpi", "mpi-openmp", "nowait"), case-insensitively.
+func ParseApproach(s string) (Approach, error) {
+	n := strings.ToLower(strings.TrimSpace(s))
+	n = strings.NewReplacer("_", "", "-", "", "+", "", " ", "").Replace(n)
+	switch n {
+	case "mpimpi":
+		return MPIMPI, nil
+	case "mpiopenmp", "mpiomp", "openmp":
+		return MPIOpenMP, nil
+	case "mpiopenmp(nowait)", "mpiopenmpnowait", "nowait":
+		return MPIOpenMPNoWait, nil
+	}
+	return 0, fmt.Errorf("core: unknown approach %q", s)
+}
+
+// MarshalJSON encodes the approach as its display name ("MPI+MPI",
+// "MPI+OpenMP", "MPI+OpenMP(nowait)").
+func (a Approach) MarshalJSON() ([]byte, error) {
+	switch a {
+	case MPIMPI, MPIOpenMP, MPIOpenMPNoWait:
+		return json.Marshal(a.String())
+	}
+	return nil, fmt.Errorf("core: cannot marshal unknown approach %d", int(a))
+}
+
+// UnmarshalJSON decodes an approach from any spelling ParseApproach accepts.
+func (a *Approach) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("core: approach must be a JSON string: %w", err)
+	}
+	v, err := ParseApproach(s)
+	if err != nil {
+		return err
+	}
+	*a = v
+	return nil
+}

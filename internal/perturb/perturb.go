@@ -37,26 +37,26 @@ type Config struct {
 	// NoiseCV applies multiplicative white noise with this coefficient of
 	// variation to each executed chunk (drawn from the engine RNG, truncated
 	// so durations stay positive).
-	NoiseCV float64
+	NoiseCV float64 `json:"noise_cv,omitempty"`
 
 	// SlowdownRate is the expected number of transient slowdown events per
 	// simulated second per node (Poisson arrivals). 0 disables slowdowns.
-	SlowdownRate float64
+	SlowdownRate float64 `json:"slowdown_rate,omitempty"`
 	// SlowdownFactor multiplies execution time while a slowdown is active
 	// (must be > 1 when SlowdownRate > 0; 2 halves the node's speed).
-	SlowdownFactor float64
+	SlowdownFactor float64 `json:"slowdown_factor,omitempty"`
 	// SlowdownDuration is the mean duration of one slowdown (exponentially
 	// distributed; must be > 0 when SlowdownRate > 0).
-	SlowdownDuration sim.Time
+	SlowdownDuration sim.Time `json:"slowdown_duration,omitempty"`
 
 	// BackgroundLoad gives each node a constant stolen-CPU fraction in
 	// [0, 1): effective node speed is multiplied by (1 − load). The pattern
 	// is tiled across nodes; nil means no background load.
-	BackgroundLoad []float64
+	BackgroundLoad []float64 `json:"background_load,omitempty"`
 
 	// Seed drives the per-node slowdown streams. 0 lets the caller
 	// substitute the run seed.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // Enabled reports whether any perturbation axis is active.
@@ -126,6 +126,14 @@ type streamKey struct {
 
 var streamCache sync.Map // streamKey -> *sharedStream
 
+// streamCacheMax bounds the process-wide stream memo. Sweeps replay a few
+// scenarios (one key per node each), but a daemon sees client-controlled
+// seeds; beyond the bound new keys get private streams — identical
+// interval sequences (pure functions of the key), just unshared.
+const streamCacheMax = 1 << 14
+
+var streamCacheLen atomic.Int64
+
 func sharedStreamFor(key streamKey) *sharedStream {
 	if v, ok := streamCache.Load(key); ok {
 		return v.(*sharedStream)
@@ -133,9 +141,13 @@ func sharedStreamFor(key streamKey) *sharedStream {
 	s := &sharedStream{rng: rand.New(rand.NewSource(nodeSeed(key.seed, key.node)))}
 	empty := []interval(nil)
 	s.ivs.Store(&empty)
+	if streamCacheLen.Load() >= streamCacheMax {
+		return s // memo full: private stream (see streamCacheMax)
+	}
 	if v, loaded := streamCache.LoadOrStore(key, s); loaded {
 		return v.(*sharedStream)
 	}
+	streamCacheLen.Add(1)
 	return s
 }
 

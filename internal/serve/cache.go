@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a bounded LRU of marshaled cell results keyed by canonical
+// config hash (hdls.Config.Hash). Simulations are bit-deterministic
+// functions of their canonical config, so a hit can skip the engine
+// entirely and replay stored bytes — responses are byte-identical to the
+// run that populated the entry. Safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// NewCache returns an LRU holding at most max entries (minimum 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{
+		max:   max,
+		order: list.New(),
+		items: make(map[string]*list.Element, max),
+	}
+}
+
+// Get returns the stored bytes for key, marking the entry most recently
+// used. The returned slice is shared: callers must not modify it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	body := el.Value.(*cacheEntry).body
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return body, true
+}
+
+// Put stores body under key, evicting the least recently used entry when
+// the cache is full. Storing an existing key refreshes its recency but
+// keeps the original bytes (deterministic sims make re-runs identical).
+func (c *Cache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+}
+
+// Stats reports lifetime hit/miss counters and the current entry count.
+func (c *Cache) Stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	entries = c.order.Len()
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), entries
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/dls"
+	"repro/hdls"
+)
+
+// TestGracefulDrain locks down the shutdown contract: Drain returns only
+// after every accepted cell has completed, later submissions are refused
+// with ErrDraining (503 over HTTP), and /healthz flips to 503 so load
+// balancers stop routing.
+func TestGracefulDrain(t *testing.T) {
+	s := New(Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A sweep big enough that some cells are still queued when Drain starts.
+	cells := make([]hdls.Config, 24)
+	for i := range cells {
+		cells[i] = hdls.Config{
+			Nodes: 2, WorkersPerNode: 8, Inter: dls.GSS, Intra: dls.SS,
+			Approach: hdls.MPIMPI, Seed: int64(i + 1),
+			Workload: "gaussian:n=2048,cv=0.5",
+		}
+	}
+	job, err := s.manager.Submit(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Done() {
+		t.Log("job finished before drain; drain-waits-for-work not exercised this run")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !job.Done() {
+		t.Fatal("Drain returned before the accepted job completed")
+	}
+	if completed, failed := job.Progress(); completed != 24 || failed != 0 {
+		t.Fatalf("job progress after drain: %d/%d failed=%d", completed, 24, failed)
+	}
+
+	// New work is refused at both layers.
+	if _, err := s.manager.Submit(cells[:1]); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit during drain: err = %v, want ErrDraining", err)
+	}
+	body, _ := json.Marshal(map[string]any{"cells": cells[:1]})
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("sweep during drain: status %d, want 503", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: status %d, want 503", resp.StatusCode)
+	}
+
+	// Completed results remain replayable after the drain.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + job.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := parseNDJSON(t, readBody(t, resp))
+	if len(lines) != 24 {
+		t.Fatalf("post-drain replay: %d lines, want 24", len(lines))
+	}
+
+	// A second Drain is a no-op that returns promptly.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := s.Drain(ctx2); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestDrainTimeout exercises the bounded-drain path: a canceled context
+// makes Drain report the jobs it could not wait out.
+func TestDrainTimeout(t *testing.T) {
+	s := New(Options{Workers: 1})
+	cells := make([]hdls.Config, 8)
+	for i := range cells {
+		cells[i] = hdls.Config{
+			Nodes: 2, WorkersPerNode: 8, Inter: dls.GSS, Intra: dls.SS,
+			Approach: hdls.MPIMPI, Seed: int64(i + 1),
+			Workload: "gaussian:n=4096,cv=0.5",
+		}
+	}
+	job, err := s.manager.Submit(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: drain must not block on the running job
+	if err := s.Drain(ctx); err == nil && !job.Done() {
+		t.Fatal("Drain with canceled ctx returned nil while work was pending")
+	}
+
+	// Clean up for real so the worker pool exits.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel2()
+	if err := s.Drain(ctx2); err != nil {
+		t.Fatalf("final drain: %v", err)
+	}
+	if !job.Done() {
+		t.Fatal("job incomplete after final drain")
+	}
+}

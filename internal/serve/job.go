@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/hdls"
+)
+
+// Submission errors surfaced as HTTP statuses by the handlers.
+var (
+	// ErrDraining rejects new work while the daemon drains (503).
+	ErrDraining = errors.New("serve: draining, not accepting new jobs")
+	// ErrBusy rejects work that does not fit the bounded cell queue (503).
+	ErrBusy = errors.New("serve: cell queue full")
+)
+
+// Job is one accepted sweep: a batch of cells running on the manager's
+// worker pool. Each cell's result is frozen as a complete NDJSON line;
+// lines are retained so streams can be replayed after completion.
+type Job struct {
+	// ID addresses the job under /v1/jobs/{id}.
+	ID string
+	// Created is the submission time.
+	Created time.Time
+
+	mgr   *Manager
+	cells []hdls.Config
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	lines     [][]byte // per-cell NDJSON line, newline excluded
+	completed int
+	failed    int
+}
+
+// newJob freezes the cell list and allocates completion tracking.
+func newJob(mgr *Manager, id string, cells []hdls.Config) *Job {
+	j := &Job{
+		ID:      id,
+		Created: time.Now(),
+		mgr:     mgr,
+		cells:   cells,
+		lines:   make([][]byte, len(cells)),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// Cells returns the number of cells in the job.
+func (j *Job) Cells() int { return len(j.cells) }
+
+// Progress reports completed and failed cell counts.
+func (j *Job) Progress() (completed, failed int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.completed, j.failed
+}
+
+// Done reports whether every cell has completed.
+func (j *Job) Done() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.completed == len(j.cells)
+}
+
+// complete records cell idx's frozen line and wakes streamers.
+func (j *Job) complete(idx int, line []byte, failed bool) {
+	j.mu.Lock()
+	j.lines[idx] = line
+	j.completed++
+	if failed {
+		j.failed++
+	}
+	last := j.completed == len(j.cells)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	if last {
+		j.mgr.jobWG.Done()
+		j.mgr.activeJobs.Add(-1)
+	}
+}
+
+// WaitCell blocks until cell idx's line is available or ctx is canceled.
+// Streamers call it in index order, so results flow to the client as the
+// head-of-line cell completes while later cells are still running.
+func (j *Job) WaitCell(ctx context.Context, idx int) ([]byte, error) {
+	if idx < 0 || idx >= len(j.cells) {
+		return nil, fmt.Errorf("serve: cell %d out of range", idx)
+	}
+	// The wakeup must take j.mu before broadcasting: a bare Broadcast could
+	// fire in the window between a waiter's ctx check and its cond.Wait,
+	// waking nobody and leaving the waiter parked until the next cell
+	// completes. Holding the lock forces the broadcast to order after the
+	// waiter has either parked (wakes it) or not yet checked ctx (it will
+	// see the cancellation).
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.cond.Broadcast()
+	})
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for j.lines[idx] == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		j.cond.Wait()
+	}
+	return j.lines[idx], nil
+}
+
+// Manager owns the bounded worker pool that executes cells, the job
+// registry, and the result cache. One manager serves the whole daemon; its
+// worker count bounds simultaneous simulations regardless of how many
+// HTTP requests are in flight, so the arena pool (DESIGN.md §8) sees at
+// most Workers concurrent arenas.
+type Manager struct {
+	cache *Cache
+	queue chan cellTask
+
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	jobOrder    []string // submission order, for bounded retention
+	queueClosed bool
+
+	seq        atomic.Int64
+	draining   atomic.Bool
+	jobWG      sync.WaitGroup // accepted, not yet fully completed jobs
+	workerWG   sync.WaitGroup
+	queueDepth atomic.Int64
+	activeJobs atomic.Int64
+
+	jobsTotal   atomic.Int64
+	cellsTotal  atomic.Int64
+	cellsCached atomic.Int64
+	cellErrors  atomic.Int64
+}
+
+type cellTask struct {
+	job *Job
+	idx int
+}
+
+// maxRetainedJobs bounds the finished-job history kept for replaying
+// /v1/jobs/{id}/results; the oldest finished jobs are evicted first.
+const maxRetainedJobs = 256
+
+// NewManager starts workers goroutines serving a cell queue of the given
+// capacity (defaults: GOMAXPROCS workers, 65536 cells).
+func NewManager(workers, queueCapacity int, cache *Cache) *Manager {
+	if queueCapacity <= 0 {
+		queueCapacity = 1 << 16
+	}
+	m := &Manager{
+		cache: cache,
+		queue: make(chan cellTask, queueCapacity),
+		jobs:  make(map[string]*Job),
+	}
+	for i := 0; i < workers; i++ {
+		m.workerWG.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit accepts a batch of cells as one job and enqueues every cell on
+// the worker pool. It fails with ErrDraining during shutdown and ErrBusy
+// when the queue cannot hold the whole batch; partial enqueues never
+// happen, so a rejected submission leaves no orphaned work.
+func (m *Manager) Submit(cells []hdls.Config) (*Job, error) {
+	if len(cells) == 0 {
+		return nil, errors.New("serve: empty cell list")
+	}
+	m.mu.Lock()
+	// Re-checked under mu: Drain closes the queue only after setting the
+	// flag and waiting out accepted jobs, so a submission that sees the
+	// flag clear here enqueues strictly before the close.
+	if m.draining.Load() {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	// Holding mu across the capacity check and enqueue makes the
+	// all-or-nothing guarantee: Submit is the only sender.
+	if len(m.queue)+len(cells) > cap(m.queue) {
+		m.mu.Unlock()
+		return nil, ErrBusy
+	}
+	id := fmt.Sprintf("job-%d", m.seq.Add(1))
+	j := newJob(m, id, cells)
+	m.jobs[id] = j
+	m.jobOrder = append(m.jobOrder, id)
+	m.evictLocked()
+	m.jobWG.Add(1)
+	m.jobsTotal.Add(1)
+	m.activeJobs.Add(1)
+	for i := range cells {
+		m.queue <- cellTask{job: j, idx: i}
+		m.queueDepth.Add(1)
+	}
+	m.mu.Unlock()
+	return j, nil
+}
+
+// Job looks up a retained job by ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention bound.
+func (m *Manager) evictLocked() {
+	for len(m.jobOrder) > maxRetainedJobs {
+		evicted := false
+		for i, id := range m.jobOrder {
+			if j := m.jobs[id]; j != nil && j.Done() {
+				delete(m.jobs, id)
+				m.jobOrder = append(m.jobOrder[:i], m.jobOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything retained is still running
+		}
+	}
+}
+
+// worker executes queued cells until the queue closes during drain.
+func (m *Manager) worker() {
+	defer m.workerWG.Done()
+	for task := range m.queue {
+		m.queueDepth.Add(-1)
+		m.runCell(task)
+	}
+}
+
+// runCell resolves one cell: from the result cache when the canonical
+// config hash is known, through hdls.RunSummary (the pooled-arena path)
+// otherwise. The frozen NDJSON line embeds the cached summary bytes
+// verbatim, so identical cells produce byte-identical lines forever.
+func (m *Manager) runCell(task cellTask) {
+	cfg := task.job.cells[task.idx]
+	hash := cfg.Hash()
+	m.cellsTotal.Add(1)
+	if body, ok := m.cache.Get(hash); ok {
+		m.cellsCached.Add(1)
+		task.job.complete(task.idx, cellLine(task.idx, hash, body), false)
+		return
+	}
+	sum, err := hdls.RunSummary(cfg)
+	if err != nil {
+		// Submission validates every cell, so this is an internal failure;
+		// report it in-band so the stream stays well-formed.
+		m.cellErrors.Add(1)
+		line := fmt.Appendf(nil, `{"index":%d,"hash":%q,"error":%q}`, task.idx, hash, err.Error())
+		task.job.complete(task.idx, line, true)
+		return
+	}
+	body := marshalSummary(sum)
+	m.cache.Put(hash, body)
+	task.job.complete(task.idx, cellLine(task.idx, hash, body), false)
+}
+
+// cellLine composes the per-cell NDJSON line around the cached summary
+// bytes. Index and hash are deterministic, so the line is a pure function
+// of the cell config.
+func cellLine(idx int, hash string, summaryJSON []byte) []byte {
+	line := fmt.Appendf(nil, `{"index":%d,"hash":%q,"summary":`, idx, hash)
+	line = append(line, summaryJSON...)
+	return append(line, '}')
+}
+
+// Drain stops accepting jobs, waits for every accepted cell to finish (or
+// ctx to expire), then shuts the worker pool down. Idempotent in effect:
+// later calls wait on the same state.
+func (m *Manager) Drain(ctx context.Context) error {
+	// Setting the flag under mu orders it against Submit's jobWG.Add: every
+	// accepted job is either visible to the Wait below or rejected.
+	m.mu.Lock()
+	m.draining.Store(true)
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain aborted with %d jobs still active: %w",
+			m.activeJobs.Load(), ctx.Err())
+	}
+	m.mu.Lock()
+	if !m.queueClosed { // all cells consumed: jobWG is zero and Submit rejects
+		close(m.queue)
+		m.queueClosed = true
+	}
+	m.mu.Unlock()
+	m.workerWG.Wait()
+	return nil
+}
+
+// Draining reports whether Drain has been initiated.
+func (m *Manager) Draining() bool { return m.draining.Load() }
+
+// Counters reports lifetime job/cell counters and the live queue depth.
+func (m *Manager) Counters() (jobs, active, cells, cached, errors, depth int64) {
+	return m.jobsTotal.Load(), m.activeJobs.Load(), m.cellsTotal.Load(),
+		m.cellsCached.Load(), m.cellErrors.Load(), m.queueDepth.Load()
+}

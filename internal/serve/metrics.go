@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// handleMetrics exposes the daemon's operational counters in the
+// Prometheus text format: throughput (cells/sec over the process
+// lifetime), cache effectiveness, queue pressure, and the simulation
+// arena pool's reuse behavior under concurrent traffic (DESIGN.md §9).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	jobs, active, cells, cached, cellErrs, depth := s.manager.Counters()
+	hits, misses, entries := s.cache.Stats()
+	reuses, builds, puts := core.ArenaStats()
+	uptime := time.Since(s.started).Seconds()
+	cellsPerSec := 0.0
+	if uptime > 0 {
+		cellsPerSec = float64(cells) / uptime
+	}
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	draining := 0
+	if s.manager.Draining() {
+		draining = 1
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	type metric struct {
+		name, help, typ string
+		value           float64
+	}
+	for _, m := range []metric{
+		{"hdlsd_uptime_seconds", "Seconds since the daemon started.", "gauge", uptime},
+		{"hdlsd_jobs_total", "Sweep jobs accepted.", "counter", float64(jobs)},
+		{"hdlsd_jobs_active", "Jobs with incomplete cells.", "gauge", float64(active)},
+		{"hdlsd_cells_total", "Simulation cells processed (cache hits included).", "counter", float64(cells)},
+		{"hdlsd_cells_cached_total", "Cells served from the result cache.", "counter", float64(cached)},
+		{"hdlsd_cell_errors_total", "Cells that failed after validation.", "counter", float64(cellErrs)},
+		{"hdlsd_cells_per_second", "Lifetime cell throughput.", "gauge", cellsPerSec},
+		{"hdlsd_queue_depth", "Cells queued but not yet started.", "gauge", float64(depth)},
+		{"hdlsd_cache_hits_total", "Result-cache hits.", "counter", float64(hits)},
+		{"hdlsd_cache_misses_total", "Result-cache misses.", "counter", float64(misses)},
+		{"hdlsd_cache_entries", "Result-cache resident entries.", "gauge", float64(entries)},
+		{"hdlsd_cache_hit_rate", "Lifetime hit fraction of cache lookups.", "gauge", hitRate},
+		{"hdlsd_arena_reuses_total", "Cells served by a recycled simulation arena.", "counter", float64(reuses)},
+		{"hdlsd_arena_builds_total", "Cells that built a fresh simulation arena.", "counter", float64(builds)},
+		{"hdlsd_arena_returns_total", "Arenas returned to the pool after clean runs.", "counter", float64(puts)},
+		{"hdlsd_draining", "1 while the daemon is draining.", "gauge", float64(draining)},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.typ, m.name, m.value)
+	}
+}

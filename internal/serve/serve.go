@@ -1,0 +1,445 @@
+// Package serve implements hdlsd's sweep-as-a-service layer: HTTP handlers
+// that run hierarchical DLS simulation cells on a bounded worker pool,
+// stream per-cell results as NDJSON, and cache results by canonical config
+// hash — deterministic simulations make a cell's summary a pure function
+// of its canonical hdls.Config, so a cache hit replays byte-identical
+// bytes without touching the engine (DESIGN.md §9).
+//
+// Endpoints:
+//
+//	POST /v1/run               one cell, JSON hdls.Config in, summary out
+//	POST /v1/sweep             batched cells; ?stream=1 for inline NDJSON
+//	GET  /v1/jobs/{id}         job status
+//	GET  /v1/jobs/{id}/results NDJSON stream, cells in index order
+//	GET  /v1/techniques        DLS technique discovery
+//	GET  /v1/workloads         workload spec discovery
+//	GET  /healthz              liveness (503 while draining)
+//	GET  /metrics              Prometheus-style counters
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/dls"
+	"repro/hdls"
+	"repro/internal/workload"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds concurrent cell simulations (default GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the LRU result cache (default 4096 entries).
+	CacheEntries int
+	// MaxCells bounds the cell count of one sweep submission (default 4096).
+	MaxCells int
+	// QueueCapacity bounds queued-but-unstarted cells across all jobs;
+	// submissions that would overflow it get 503 (default 65536).
+	QueueCapacity int
+	// MaxNodes bounds a cell's simulated node count (default 4096). The
+	// machine model allocates per-node state during validation, so the
+	// bound is enforced before any allocation sized by the request.
+	MaxNodes int
+	// MaxWorkersPerNode bounds a cell's per-node worker cap (default 4096).
+	MaxWorkersPerNode int
+	// MaxWorkloadN bounds a cell's workload iteration count (default 2²²,
+	// the full-size PSIA loop). Workload profiles allocate O(n) float64s,
+	// so this is the request's memory ceiling; checked via workload.SpecN
+	// before the profile is built.
+	MaxWorkloadN int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 4096
+	}
+	if o.MaxCells <= 0 {
+		o.MaxCells = 4096
+	}
+	if o.QueueCapacity <= 0 {
+		o.QueueCapacity = 1 << 16
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 4096
+	}
+	if o.MaxWorkersPerNode <= 0 {
+		o.MaxWorkersPerNode = 4096
+	}
+	if o.MaxWorkloadN <= 0 {
+		o.MaxWorkloadN = 1 << 22
+	}
+	return o
+}
+
+// Server wires the manager, cache and HTTP handlers. Create with New,
+// mount Handler on an http.Server, and call Drain on shutdown.
+type Server struct {
+	opts    Options
+	cache   *Cache
+	manager *Manager
+	mux     *http.ServeMux
+	started time.Time
+
+	techOnce sync.Once
+	techJSON []byte
+}
+
+// New builds a Server and starts its worker pool.
+func New(opt Options) *Server {
+	o := opt.withDefaults()
+	s := &Server{
+		opts:    o,
+		cache:   NewCache(o.CacheEntries),
+		started: time.Now(),
+	}
+	s.manager = NewManager(o.Workers, o.QueueCapacity, s.cache)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	s.mux.HandleFunc("GET /v1/techniques", s.handleTechniques)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops accepting work and waits for accepted jobs (bounded by ctx).
+func (s *Server) Drain(ctx context.Context) error { return s.manager.Drain(ctx) }
+
+// marshalSummary freezes a summary as compact JSON. Field order is fixed
+// by the struct, so equal summaries marshal to equal bytes.
+func marshalSummary(sum hdls.Summary) []byte {
+	buf, err := json.Marshal(sum)
+	if err != nil { // Summary is plain scalars; cannot fail
+		panic(fmt.Sprintf("serve: marshal summary: %v", err))
+	}
+	return buf
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Write(append(body, '\n'))
+}
+
+// decodeConfig decodes a strict JSON hdls.Config: unknown fields and
+// trailing garbage are rejected so typos fail loudly instead of running
+// the default experiment.
+func decodeConfig(dec *json.Decoder, cfg *hdls.Config) error {
+	dec.DisallowUnknownFields()
+	return dec.Decode(cfg)
+}
+
+// maxTotalWorkers bounds Nodes × WorkersPerNode regardless of the
+// per-axis limits: rank state is allocated per worker, so the product is
+// the simulation's memory footprint.
+const maxTotalWorkers = 1 << 20
+
+// checkCell enforces the service's size limits — before hdls.Config
+// validation, because validation itself builds the machine model and the
+// workload profile, both sized by request fields — then runs the full
+// validator. All failures map to 400s.
+func (s *Server) checkCell(cfg hdls.Config) error {
+	c := cfg.Canonical()
+	if c.Nodes > s.opts.MaxNodes {
+		return fmt.Errorf("nodes %d exceeds the service limit %d", c.Nodes, s.opts.MaxNodes)
+	}
+	if c.WorkersPerNode > s.opts.MaxWorkersPerNode {
+		return fmt.Errorf("workers_per_node %d exceeds the service limit %d",
+			c.WorkersPerNode, s.opts.MaxWorkersPerNode)
+	}
+	if c.Nodes > 0 && c.WorkersPerNode > 0 && c.Nodes*c.WorkersPerNode > maxTotalWorkers {
+		return fmt.Errorf("nodes × workers_per_node = %d exceeds the service limit %d",
+			c.Nodes*c.WorkersPerNode, maxTotalWorkers)
+	}
+	if c.Workload != "" {
+		n, err := workload.SpecN(c.Workload)
+		if err != nil {
+			return err
+		}
+		if n > s.opts.MaxWorkloadN {
+			return fmt.Errorf("workload %q has %d iterations, exceeding the service limit %d",
+				c.Workload, n, s.opts.MaxWorkloadN)
+		}
+	}
+	return cfg.Validate()
+}
+
+// submitOrFail maps submission errors to 503s. nil job means the response
+// has been written.
+func (s *Server) submitOrFail(w http.ResponseWriter, cells []hdls.Config) *Job {
+	job, err := s.manager.Submit(cells)
+	if err != nil {
+		status := http.StatusServiceUnavailable
+		httpError(w, status, "%v", err)
+		return nil
+	}
+	return job
+}
+
+// handleRun runs a single cell synchronously through the worker pool and
+// returns {"hash":…,"summary":…}. Identical configs are served from the
+// result cache with byte-identical bodies (X-Cache: hit).
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var cfg hdls.Config
+	if err := decodeConfig(json.NewDecoder(r.Body), &cfg); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid config: %v", err)
+		return
+	}
+	if err := s.checkCell(cfg); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash := cfg.Hash()
+	if body, ok := s.cache.Get(hash); ok {
+		writeRunBody(w, hash, body, "hit")
+		return
+	}
+	job := s.submitOrFail(w, []hdls.Config{cfg})
+	if job == nil {
+		return
+	}
+	line, err := job.WaitCell(r.Context(), 0)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "canceled: %v", err)
+		return
+	}
+	// Slice the summary back out of the frozen cell line instead of
+	// re-querying the cache, so the hit/miss counters see only client
+	// lookups. An error line (no summary prefix) means the cell failed
+	// after validation — an internal fault.
+	prefix := fmt.Appendf(nil, `{"index":0,"hash":%q,"summary":`, hash)
+	if !bytes.HasPrefix(line, prefix) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write(append(bytes.Clone(line), '\n'))
+		return
+	}
+	writeRunBody(w, hash, line[len(prefix):len(line)-1], "miss")
+}
+
+// writeRunBody writes the /v1/run response. The bytes around the cached
+// summary are a pure function of the hash, so hit and miss responses for
+// one config are byte-identical.
+func writeRunBody(w http.ResponseWriter, hash string, summaryJSON []byte, cache string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cache)
+	w.Header().Set("X-Config-Hash", hash)
+	body := fmt.Appendf(nil, `{"hash":%q,"summary":`, hash)
+	body = append(body, summaryJSON...)
+	body = append(body, '}', '\n')
+	w.Write(body)
+}
+
+// sweepRequest is the POST /v1/sweep body.
+type sweepRequest struct {
+	// Cells lists one hdls.Config per simulation cell.
+	Cells []hdls.Config `json:"cells"`
+}
+
+// handleSweep accepts a batch of cells. With ?stream=1 (or Accept:
+// application/x-ndjson) it streams per-cell NDJSON results on this
+// response as cells complete; otherwise it returns 202 with the job's
+// status and results URLs.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid sweep request: %v", err)
+		return
+	}
+	if len(req.Cells) == 0 {
+		httpError(w, http.StatusBadRequest, "sweep needs at least one cell")
+		return
+	}
+	if len(req.Cells) > s.opts.MaxCells {
+		httpError(w, http.StatusBadRequest, "sweep of %d cells exceeds the %d-cell limit",
+			len(req.Cells), s.opts.MaxCells)
+		return
+	}
+	for i, cfg := range req.Cells {
+		if err := s.checkCell(cfg); err != nil {
+			httpError(w, http.StatusBadRequest, "cell %d: %v", i, err)
+			return
+		}
+	}
+	job := s.submitOrFail(w, req.Cells)
+	if job == nil {
+		return
+	}
+	if wantStream(r) {
+		s.streamJob(w, r, job)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	resp := map[string]any{
+		"job_id":      job.ID,
+		"cells":       job.Cells(),
+		"status_url":  "/v1/jobs/" + job.ID,
+		"results_url": "/v1/jobs/" + job.ID + "/results",
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+// wantStream reports whether a sweep submission asked for inline NDJSON:
+// ?stream with any truthy value ("1", "true", "yes", or bare), or an
+// NDJSON Accept header. "0", "false" and "no" explicitly select the
+// async 202 response.
+func wantStream(r *http.Request) bool {
+	if r.Header.Get("Accept") == "application/x-ndjson" {
+		return true
+	}
+	if !r.URL.Query().Has("stream") {
+		return false
+	}
+	switch strings.ToLower(r.URL.Query().Get("stream")) {
+	case "0", "false", "no":
+		return false
+	}
+	return true
+}
+
+// handleJobStatus reports a job's progress.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.manager.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	completed, failed := job.Progress()
+	status := "running"
+	if completed == job.Cells() {
+		status = "done"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"id":        job.ID,
+		"status":    status,
+		"cells":     job.Cells(),
+		"completed": completed,
+		"failed":    failed,
+		"created":   job.Created.UTC().Format(time.RFC3339Nano),
+	})
+}
+
+// handleJobResults streams (or replays) a job's per-cell NDJSON lines.
+func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.manager.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.streamJob(w, r, job)
+}
+
+// streamJob writes the job's cells as NDJSON in index order, flushing each
+// line as its cell completes. Index order makes the whole body a pure
+// function of the cell list: re-running an identical sweep — cached or not
+// — yields byte-identical output, while the head-of-line discipline still
+// delivers early cells long before the sweep finishes.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Job-Id", job.ID)
+	flusher, _ := w.(http.Flusher)
+	for i := 0; i < job.Cells(); i++ {
+		line, err := job.WaitCell(r.Context(), i)
+		if err != nil {
+			return // client went away; workers finish the job regardless
+		}
+		w.Write(line)
+		w.Write([]byte{'\n'})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// techniqueInfo is one /v1/techniques row.
+type techniqueInfo struct {
+	// Name is the conventional technique name (dls.Technique.String).
+	Name string `json:"name"`
+	// Adaptive marks techniques that learn from runtime measurements.
+	Adaptive bool `json:"adaptive"`
+	// Weighted marks techniques whose chunks depend on the worker.
+	Weighted bool `json:"weighted"`
+	// InterOK reports whether the technique is accepted at the inter-node
+	// level (probed against hdls.Config.Validate; approach-independent).
+	InterOK bool `json:"inter_ok"`
+	// IntraOK reports intra-node acceptance under the proposed MPI+MPI
+	// executor.
+	IntraOK bool `json:"intra_ok"`
+	// IntraOpenMPOK reports intra-node acceptance under MPI+OpenMP on the
+	// stock runtime — the paper's Intel stack, which lacks TSS/FAC2
+	// schedules (they need extended_runtime).
+	IntraOpenMPOK bool `json:"intra_openmp_ok"`
+}
+
+// handleTechniques lists every DLS technique with its hierarchy-level
+// support, computed once by probing the real validator so the endpoint
+// can never drift from what POST /v1/run actually accepts.
+func (s *Server) handleTechniques(w http.ResponseWriter, r *http.Request) {
+	s.techOnce.Do(func() {
+		probe := func(cfg hdls.Config) bool {
+			cfg.Workload = "constant:n=64"
+			cfg.Nodes = 2
+			return cfg.Validate() == nil
+		}
+		var infos []techniqueInfo
+		for _, t := range dls.All() {
+			infos = append(infos, techniqueInfo{
+				Name:          t.String(),
+				Adaptive:      t.IsAdaptive(),
+				Weighted:      t.IsWeighted(),
+				InterOK:       probe(hdls.Config{Inter: t, Intra: dls.STATIC}),
+				IntraOK:       probe(hdls.Config{Inter: dls.STATIC, Intra: t, Approach: hdls.MPIMPI}),
+				IntraOpenMPOK: probe(hdls.Config{Inter: dls.STATIC, Intra: t, Approach: hdls.MPIOpenMP}),
+			})
+		}
+		s.techJSON, _ = json.Marshal(map[string]any{"techniques": infos})
+		s.techJSON = append(s.techJSON, '\n')
+	})
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.techJSON)
+}
+
+// handleWorkloads lists the synthetic workload spec kinds plus the two
+// paper applications accepted by Config.App.
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"apps":  []string{hdls.Mandelbrot.String(), hdls.PSIA.String()},
+		"specs": workload.SpecKinds(),
+	})
+}
+
+// handleHealthz is the liveness/readiness probe: 200 while serving, 503
+// once draining so load balancers stop routing before shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.manager.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "{\"status\":\"draining\"}\n")
+		return
+	}
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.1f}\n", time.Since(s.started).Seconds())
+}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // specKey identifies one ParseSpec construction; the seed participates
@@ -15,6 +16,15 @@ type specKey struct {
 }
 
 var specCache sync.Map // specKey -> *Profile
+
+// specCacheMax bounds the memo's entry count. CLI sweeps resolve a
+// handful of distinct (spec, seed) pairs, but a long-running daemon sees
+// client-controlled keys; beyond the bound ParseSpec still works, it just
+// stops retaining (profiles are pure functions of the key, so skipping
+// the memo changes nothing but speed).
+const specCacheMax = 4096
+
+var specCacheLen atomic.Int64
 
 // ParseSpec builds a workload from a compact scenario string of the form
 // "kind" or "kind:key=val,key=val". It is the CLI/Config surface of the
@@ -48,31 +58,84 @@ func ParseSpec(spec string, seed int64) (*Profile, error) {
 	if err != nil {
 		return nil, err
 	}
+	if specCacheLen.Load() >= specCacheMax {
+		return p, nil // memo full: serve unretained (see specCacheMax)
+	}
 	if v, loaded := specCache.LoadOrStore(key, p); loaded {
 		return v.(*Profile), nil
 	}
+	specCacheLen.Add(1)
 	return p, nil
 }
 
-func parseSpec(spec string, seed int64) (*Profile, error) {
+// specParams parses a spec's head: the kind token and its key=val
+// parameter map. Shared by parseSpec and SpecN.
+func specParams(spec string) (string, map[string]float64, error) {
 	kind, rest, _ := strings.Cut(strings.TrimSpace(spec), ":")
 	kind = strings.ToLower(strings.TrimSpace(kind))
 	if kind == "" {
-		return nil, fmt.Errorf("workload: empty spec")
+		return "", nil, fmt.Errorf("workload: empty spec")
 	}
 	kv := map[string]float64{}
 	if rest != "" {
 		for _, part := range strings.Split(rest, ",") {
 			k, v, ok := strings.Cut(part, "=")
 			if !ok {
-				return nil, fmt.Errorf("workload: spec %q: bad parameter %q (want key=val)", spec, part)
+				return "", nil, fmt.Errorf("workload: spec %q: bad parameter %q (want key=val)", spec, part)
 			}
 			f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
 			if err != nil {
-				return nil, fmt.Errorf("workload: spec %q: parameter %q: %v", spec, part, err)
+				return "", nil, fmt.Errorf("workload: spec %q: parameter %q: %v", spec, part, err)
 			}
 			kv[strings.ToLower(strings.TrimSpace(k))] = f
 		}
+	}
+	return kind, kv, nil
+}
+
+// SpecN reports the iteration count a spec would produce, without
+// building the profile (no cost-slice allocation). Services use it to
+// bound request sizes before ParseSpec commits memory; parameter errors
+// the full parse would catch later (bad lo/hi etc.) are not detected here.
+func SpecN(spec string) (int, error) {
+	kind, kv, err := specParams(spec)
+	if err != nil {
+		return 0, err
+	}
+	get := func(key string, def float64) float64 {
+		if v, ok := kv[key]; ok {
+			return v
+		}
+		return def
+	}
+	switch kind {
+	case "mandelbrot", "mandel":
+		scale := int(get("scale", 8))
+		if scale < 1 {
+			scale = 1
+		}
+		return 1024 * (1024 / scale), nil
+	case "psia", "spinimage":
+		scale := int(get("scale", 8))
+		if scale < 1 {
+			scale = 1
+		}
+		return (1 << 22) / scale, nil
+	case "constant", "uniform", "gaussian", "normal", "exponential", "exp",
+		"gamma", "bimodal", "increasing", "decreasing":
+		n := int(get("n", 4096))
+		if n <= 0 {
+			return 0, fmt.Errorf("workload: spec %q: n = %d, must be positive", spec, n)
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("workload: unknown kind %q", kind)
+}
+
+func parseSpec(spec string, seed int64) (*Profile, error) {
+	kind, kv, err := specParams(spec)
+	if err != nil {
+		return nil, err
 	}
 	known := func(keys ...string) error {
 		for k := range kv {

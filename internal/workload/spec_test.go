@@ -121,3 +121,41 @@ func TestParseSpecErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestSpecN(t *testing.T) {
+	cases := []struct {
+		spec string
+		want int
+	}{
+		{"constant", 4096},
+		{"gaussian:n=512,cv=0.5", 512},
+		{"bimodal:n=100", 100},
+		{"mandelbrot:scale=8", 1024 * 128},
+		{"mandelbrot:scale=1", 1024 * 1024},
+		{"psia:scale=4", 1 << 20},
+	}
+	for _, tc := range cases {
+		got, err := SpecN(tc.spec)
+		if err != nil {
+			t.Errorf("SpecN(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("SpecN(%q) = %d, want %d", tc.spec, got, tc.want)
+		}
+		// SpecN must agree with the profile ParseSpec actually builds.
+		p, err := ParseSpec(tc.spec, 1)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if p.N() != got {
+			t.Errorf("SpecN(%q) = %d but ParseSpec built n = %d", tc.spec, got, p.N())
+		}
+	}
+	for _, bad := range []string{"", "nosuchkind", "constant:n=-1", "gaussian:n=oops"} {
+		if _, err := SpecN(bad); err == nil {
+			t.Errorf("SpecN(%q) should fail", bad)
+		}
+	}
+}

@@ -41,8 +41,11 @@ type Options struct {
 
 // Stats reports one loop execution.
 type Stats struct {
-	Workers    int
-	Chunks     int64
+	// Workers is the number of goroutines the loop ran on.
+	Workers int
+	// Chunks is the number of chunks the technique issued.
+	Chunks int64
+	// Iterations is the total number of iterations executed.
 	Iterations int64
 	// PerWorker is the number of iterations each worker executed.
 	PerWorker []int64

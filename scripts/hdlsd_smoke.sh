@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# End-to-end smoke against a live hdlsd: builds the daemon, drives the
+# acceptance scenario over real HTTP (single cell with cache-hit
+# byte-identity, a 16-cell NDJSON sweep repeated byte-identically, async
+# job lifecycle, discovery, metrics), then checks graceful SIGTERM drain.
+# CI runs it in the hdlsd shard; it is also the quickest local sanity
+# check: scripts/hdlsd_smoke.sh
+set -euo pipefail
+
+PORT="${HDLSD_PORT:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+DIR="$(mktemp -d)"
+trap 'kill "${PID:-}" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+echo "== build"
+go build -o "$DIR/hdlsd" ./cmd/hdlsd
+
+echo "== start"
+"$DIR/hdlsd" -addr "127.0.0.1:${PORT}" -workers 4 >"$DIR/hdlsd.log" 2>&1 &
+PID=$!
+for i in $(seq 1 50); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if [ "$i" = 50 ]; then echo "daemon never became healthy"; cat "$DIR/hdlsd.log"; exit 1; fi
+  sleep 0.2
+done
+curl -fsS "$BASE/healthz"
+
+echo "== single cell: miss then byte-identical hit"
+CELL='{"app":"Mandelbrot","nodes":2,"workers_per_node":8,"inter":"GSS","intra":"STATIC","approach":"MPI+MPI","workload":"gaussian:n=2048,cv=0.5"}'
+curl -fsS -D "$DIR/h1" -d "$CELL" "$BASE/v1/run" -o "$DIR/run1.json"
+curl -fsS -D "$DIR/h2" -d "$CELL" "$BASE/v1/run" -o "$DIR/run2.json"
+grep -qi '^x-cache: miss' "$DIR/h1" || { echo "first run should miss"; cat "$DIR/h1"; exit 1; }
+grep -qi '^x-cache: hit' "$DIR/h2" || { echo "second run should hit"; cat "$DIR/h2"; exit 1; }
+cmp "$DIR/run1.json" "$DIR/run2.json" || { echo "cache hit not byte-identical"; exit 1; }
+
+echo "== invalid config maps to 400"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -d '{"nodes":-1}' "$BASE/v1/run")
+[ "$CODE" = 400 ] || { echo "expected 400, got $CODE"; exit 1; }
+
+echo "== 16-cell sweep: NDJSON stream, repeat byte-identical from cache"
+python3 - "$DIR/sweep.json" <<'PYEOF'
+import json, sys
+inters = ["STATIC", "GSS", "TSS", "FAC2"]
+cells = [{"inter": inters[i % 4], "intra": "SS", "approach": "MPI+MPI",
+          "nodes": 2, "workers_per_node": 8, "seed": 100 + i // 4,
+          "workload": "gaussian:n=1024,cv=0.4"} for i in range(16)]
+json.dump({"cells": cells}, open(sys.argv[1], "w"))
+PYEOF
+curl -fsSN -d @"$DIR/sweep.json" "$BASE/v1/sweep?stream=1" -o "$DIR/sweep1.ndjson"
+[ "$(wc -l < "$DIR/sweep1.ndjson")" = 16 ] || { echo "expected 16 NDJSON lines"; exit 1; }
+curl -fsSN -d @"$DIR/sweep.json" "$BASE/v1/sweep?stream=1" -o "$DIR/sweep2.ndjson"
+cmp "$DIR/sweep1.ndjson" "$DIR/sweep2.ndjson" || { echo "repeated sweep not byte-identical"; exit 1; }
+
+echo "== async job lifecycle"
+JOB=$(curl -fsS -d @"$DIR/sweep.json" "$BASE/v1/sweep" | python3 -c 'import json,sys; print(json.load(sys.stdin)["job_id"])')
+curl -fsS "$BASE/v1/jobs/$JOB/results" -o "$DIR/job.ndjson"
+cmp "$DIR/sweep1.ndjson" "$DIR/job.ndjson" || { echo "job results differ from streamed sweep"; exit 1; }
+curl -fsS "$BASE/v1/jobs/$JOB" | grep -q '"status":"done"' || { echo "job not done"; exit 1; }
+
+echo "== discovery + metrics"
+curl -fsS "$BASE/v1/techniques" | grep -q '"name":"FAC2"'
+curl -fsS "$BASE/v1/workloads" | grep -q '"name":"gaussian"'
+curl -fsS "$BASE/metrics" >"$DIR/metrics"
+# sweep2 (16 cells) and the async job (16 cells) were served from cache.
+grep -q '^hdlsd_cells_cached_total 32' "$DIR/metrics" || { echo "cache counters off"; cat "$DIR/metrics"; exit 1; }
+grep -q '^hdlsd_arena_reuses_total' "$DIR/metrics"
+
+echo "== graceful drain on SIGTERM"
+kill -TERM "$PID"
+for i in $(seq 1 50); do
+  kill -0 "$PID" 2>/dev/null || break
+  if [ "$i" = 50 ]; then echo "daemon did not exit after SIGTERM"; exit 1; fi
+  sleep 0.2
+done
+wait "$PID" 2>/dev/null || true
+grep -q 'drained, exiting' "$DIR/hdlsd.log" || { echo "no drain log"; cat "$DIR/hdlsd.log"; exit 1; }
+PID=""
+
+echo "hdlsd smoke: OK"
