@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date -u +%Y-%m-%d)
 
-.PHONY: test bench sweep vet fmt doclint serve smoke
+.PHONY: test bench sweep vet fmt doclint serve smoke fleet-smoke
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -25,6 +25,13 @@ serve:
 
 smoke:
 	scripts/hdlsd_smoke.sh
+
+# fleet-smoke drives the fault-tolerance acceptance scenario (DESIGN.md
+# §10): a coordinator sharding a 64-cell sweep over three workers with one
+# worker SIGKILLed mid-stream, asserting the merged NDJSON is
+# byte-identical to a single daemon's output.
+fleet-smoke:
+	scripts/fleet_smoke.sh
 
 # bench writes the BENCH_<date>$(SUFFIX).json perf snapshot: the figure
 # sweep at the benchmark scale plus the kernel microbenchmarks to stderr.

@@ -20,8 +20,11 @@
 // Entry points: cmd/hdlsim runs one diagnosed experiment, cmd/hdlsweep
 // regenerates figures and robustness sweeps, cmd/hdlsd serves sweeps as a
 // long-running HTTP daemon (bounded worker pool, canonical-hash result
-// cache, NDJSON streaming, Prometheus metrics, graceful drain), and
-// cmd/psiagen runs the real application kernels on the host.
+// cache, NDJSON streaming, Prometheus metrics, graceful drain) — or, with
+// -role coordinator, shards sweeps across a fleet of worker daemons with
+// consistent-hash routing, retries, and circuit breakers while keeping
+// responses byte-identical to a single daemon's — and cmd/psiagen runs
+// the real application kernels on the host.
 //
 // The substrates live under internal/: a deterministic process-oriented
 // discrete-event engine (internal/sim), the machine model
@@ -29,9 +32,10 @@
 // lock-polling passive-target RMA (internal/mpi), an OpenMP runtime model
 // (internal/openmp), the hierarchical executors (internal/core), scenario
 // perturbations (internal/perturb), the HTTP service layer
-// (internal/serve), and the real application kernels (internal/mandelbrot,
-// internal/spinimage) whose measured per-iteration work builds the workload
-// profiles (internal/workload).
+// (internal/serve), the fleet coordinator (internal/fleet), and the real
+// application kernels (internal/mandelbrot, internal/spinimage) whose
+// measured per-iteration work builds the workload profiles
+// (internal/workload).
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation; see EXPERIMENTS.md for the measured-vs-paper record,

@@ -16,6 +16,8 @@
 package hdls
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -264,6 +266,35 @@ func RunSummary(cfg Config) (Summary, error) {
 		return Summary{}, err
 	}
 	return core.RunSummary(cc)
+}
+
+// RunSummaryCtx is RunSummary with cancellation: when ctx is canceled the
+// in-flight simulation aborts within a few hundred events and the context's
+// error is returned. A run that completes is byte-identical to RunSummary —
+// the engine only ever reads the cancellation flag — so services can hand
+// every request's context down without weakening the determinism contract.
+func RunSummaryCtx(ctx context.Context, cfg Config) (Summary, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return RunSummary(cfg)
+	}
+	if err := ctx.Err(); err != nil {
+		return Summary{}, err
+	}
+	cc, err := coreConfig(cfg)
+	if err != nil {
+		return Summary{}, err
+	}
+	var flag atomic.Bool
+	stop := context.AfterFunc(ctx, func() { flag.Store(true) })
+	defer stop()
+	cc.Interrupt = &flag
+	sum, err := core.RunSummary(cc)
+	if errors.Is(err, sim.ErrInterrupted) {
+		if cerr := ctx.Err(); cerr != nil {
+			return Summary{}, cerr
+		}
+	}
+	return sum, err
 }
 
 // --------------------------------------------------------------- figures --

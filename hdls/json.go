@@ -85,6 +85,30 @@ func (c Config) Hash() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// HashKey returns the first eight bytes of Hash as a big-endian uint64: a
+// uniformly distributed routing key for placing cells on consistent-hash
+// rings (internal/fleet). Equal canonical configs map to equal keys, so a
+// fleet routes every resubmission of a cell to the same worker and that
+// worker's result cache stays hot; HashKeyOf recovers the same key from a
+// hash string a client already holds.
+func (c Config) HashKey() uint64 { return hashKeyOf(c.Hash()) }
+
+// HashKeyOf returns the routing key (see HashKey) embedded in a Config.Hash
+// string. Malformed strings hash to 0; routing stays well-defined either
+// way because the ring only needs consistency, not collision resistance.
+func HashKeyOf(hash string) uint64 { return hashKeyOf(hash) }
+
+func hashKeyOf(hash string) uint64 {
+	if len(hash) < 16 {
+		return 0
+	}
+	b, err := hex.DecodeString(hash[:16])
+	if err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
 // Validate checks the configuration without running it: machine sizes,
 // workload spec syntax, technique support at each level, and the paper's
 // OpenMP-runtime constraint (TSS/FAC2 intra need ExtendedRuntime). It

@@ -106,6 +106,12 @@ type Config struct {
 	// ChunkCalcCost is the CPU cost of computing one chunk's size inside a
 	// critical section (default 0.15 µs).
 	ChunkCalcCost sim.Time
+	// Interrupt, when non-nil, is polled by the engine during the run; once
+	// it reads true the run aborts with an error wrapping sim.ErrInterrupted.
+	// It exists so services can stop a simulation whose requester has gone
+	// away (client disconnect). It never affects a run that completes: the
+	// flag is only read, so results stay pure functions of the other fields.
+	Interrupt *atomic.Bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -376,6 +382,7 @@ func newHarness(c *Config) *harness {
 		h.eng.Reset(c.Seed)
 		arenaReuses.Add(1)
 	}
+	h.eng.SetInterrupt(c.Interrupt)
 	n := c.Workload.N()
 	nodes := c.Cluster.Nodes
 	h.cfg = c

@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; failures are being counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the worker is presumed lost; all traffic is refused
+	// until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one trial request is
+	// allowed through to decide between reclosing and reopening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-worker circuit breaker. It trips open after threshold
+// consecutive failures, refuses traffic for cooldown, then admits a single
+// half-open trial whose outcome either recloses the breaker or rearms the
+// cooldown. Time is injected so tests drive transitions deterministically.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	trial    bool      // half-open trial currently in flight
+
+	opens int64 // lifetime closed/half-open → open transitions
+}
+
+// NewBreaker returns a closed breaker that trips after threshold
+// consecutive failures and cools down for cooldown before a trial.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may be sent now, performing the
+// open → half-open transition when the cooldown has elapsed. In half-open
+// state only one caller is admitted until Success or Fail settles the
+// trial.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.trial = true
+		return true
+	default: // BreakerHalfOpen
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// Available reports whether Allow would (or will soon) admit traffic,
+// without consuming the half-open trial slot. The coordinator uses it for
+// shed decisions and readiness reporting.
+func (b *Breaker) Available() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != BreakerOpen || b.now().Sub(b.openedAt) >= b.cooldown
+}
+
+// Success records a request that completed cleanly: the breaker recloses
+// and the consecutive-failure count resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.trial = false
+}
+
+// Fail records a failed request. A half-open trial failure reopens
+// immediately and rearms the cooldown; while closed, the threshold-th
+// consecutive failure trips the breaker.
+func (b *Breaker) Fail() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trial = false
+		b.failures = 0
+		b.opens++
+	case BreakerClosed:
+		if b.failures++; b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.failures = 0
+			b.opens++
+		}
+	default: // BreakerOpen: late failures from older in-flight requests
+		// must not extend the cooldown; ignore.
+	}
+}
+
+// State returns the breaker's current position (after applying a due
+// open → half-open transition, so metrics don't report a stale "open").
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Opens returns the lifetime count of trips to open.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

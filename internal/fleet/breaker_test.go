@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Breaker through time deterministically.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+// TestBreakerStateMachine walks the full closed → open → half-open cycle
+// both ways: a failed trial re-arms the cooldown, a successful one
+// recloses.
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(3, time.Minute)
+	b.now = clk.now
+
+	// Closed: admits traffic, counts consecutive failures.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused traffic")
+		}
+		b.Fail()
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("after %d failures: state %v, want closed", i+1, got)
+		}
+	}
+	// A success resets the count: two more failures must not trip it.
+	b.Success()
+	b.Fail()
+	b.Fail()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("failure count survived a success: %v", got)
+	}
+
+	// Third consecutive failure trips it open.
+	b.Fail()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after threshold failures: %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted traffic inside the cooldown")
+	}
+	if b.Available() {
+		t.Fatal("open breaker reported available inside the cooldown")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1", b.Opens())
+	}
+
+	// Cooldown elapses: exactly one half-open trial is admitted.
+	clk.advance(time.Minute)
+	if !b.Available() {
+		t.Fatal("cooled-down breaker reported unavailable")
+	}
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the half-open trial")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during trial: %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted while a trial is in flight")
+	}
+
+	// Failed trial: straight back to open, cooldown re-armed from now.
+	b.Fail()
+	if b.State() != BreakerOpen || b.Opens() != 2 {
+		t.Fatalf("failed trial: state %v opens %d, want open/2", b.State(), b.Opens())
+	}
+	clk.advance(30 * time.Second)
+	if b.Allow() {
+		t.Fatal("cooldown was not re-armed by the failed trial")
+	}
+	clk.advance(31 * time.Second)
+	if !b.Allow() {
+		t.Fatal("re-armed cooldown never elapsed")
+	}
+
+	// Successful trial recloses and clears everything.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful trial: %v, want closed", b.State())
+	}
+	b.Fail()
+	b.Fail()
+	if b.State() != BreakerClosed {
+		t.Fatal("failure count was not reset by the reclose")
+	}
+}
+
+// TestBreakerLateFailuresWhileOpen: failures reported by older in-flight
+// requests after the trip must not extend the cooldown.
+func TestBreakerLateFailuresWhileOpen(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	b := NewBreaker(1, time.Minute)
+	b.now = clk.now
+	b.Fail() // trips
+	clk.advance(59 * time.Second)
+	b.Fail() // a straggler from before the trip
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("straggler failure extended the cooldown")
+	}
+}

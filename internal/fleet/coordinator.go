@@ -1,0 +1,819 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/hdls"
+	"repro/internal/serve"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers lists the worker daemon base URLs (e.g. http://127.0.0.1:9101).
+	// At least one is required; trailing slashes are trimmed.
+	Workers []string
+	// Replicas is the virtual points per worker on the consistent-hash ring
+	// (default 64).
+	Replicas int
+	// MaxAttempts bounds the total tries per cell, initial dispatch included
+	// (default 4). A cell that fails MaxAttempts times resolves to an
+	// in-band NDJSON error line, never a broken stream.
+	MaxAttempts int
+	// BackoffBase is the pre-retry delay after the first failure; attempt k
+	// waits BackoffBase·2^(k-1), jittered to [d/2, d), capped at BackoffMax
+	// (defaults 25ms, 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// JitterSeed seeds the backoff jitter stream, so test schedules are
+	// reproducible (default 1).
+	JitterSeed int64
+	// CellTimeout bounds the wait for each next result line of a worker
+	// stream — a per-cell deadline, since workers stream cells in order
+	// (default 60s). It also bounds /v1/run forwards and is the implicit
+	// deadline for discovery proxying.
+	CellTimeout time.Duration
+	// BreakerFailures consecutive failures trip a worker's circuit breaker
+	// open; BreakerCooldown later it admits one half-open trial
+	// (defaults 3, 2s).
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// ProbeInterval enables active health probing of worker /readyz at this
+	// period (0 disables; probes feed the breakers, so a recovered worker is
+	// reclosed without sacrificing a live cell as the trial).
+	ProbeInterval time.Duration
+	// MaxCells bounds one sweep submission (default 4096).
+	MaxCells int
+	// MaxSweeps bounds concurrently coordinated sweeps; excess submissions
+	// are shed with 503 + Retry-After (default 16).
+	MaxSweeps int
+	// Limits are the per-cell validation limits, matching the workers'
+	// serve.Options so the coordinator 400s exactly what a worker would.
+	// Zero fields take the serve defaults.
+	Limits serve.Options
+	// Client overrides the HTTP client used for worker traffic (tests).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = 64
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 25 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	if o.JitterSeed == 0 {
+		o.JitterSeed = 1
+	}
+	if o.CellTimeout <= 0 {
+		o.CellTimeout = 60 * time.Second
+	}
+	if o.BreakerFailures <= 0 {
+		o.BreakerFailures = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * time.Second
+	}
+	if o.MaxCells <= 0 {
+		o.MaxCells = 4096
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 16
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return o
+}
+
+// worker is one fleet member: its base URL and the circuit breaker that
+// summarizes what the coordinator currently believes about it.
+type worker struct {
+	name    string
+	breaker *Breaker
+}
+
+// Coordinator shards sweeps across a fleet of hdlsd workers and merges the
+// result streams back into a byte-identical single-daemon response. See
+// the package comment and DESIGN.md §10 for the failure model.
+type Coordinator struct {
+	opts    Options
+	workers []*worker
+	ring    *Ring
+	mux     *http.ServeMux
+	started time.Time
+
+	sweepSem chan struct{}
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
+	// sleep is the backoff wait, injectable so retry tests run in
+	// microseconds while still observing every requested delay.
+	sleep func(ctx context.Context, d time.Duration) error
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+	closeOnce sync.Once
+
+	sweeps       atomic.Int64 // sweep submissions coordinated
+	runs         atomic.Int64 // /v1/run forwards
+	cells        atomic.Int64 // cell results merged (errors included)
+	retries      atomic.Int64 // re-dispatched cell attempts
+	reroutes     atomic.Int64 // retries that moved to a different worker
+	cellFailures atomic.Int64 // cells resolved as error lines by the fleet
+	shed         atomic.Int64 // submissions refused with 503
+	streamBreaks atomic.Int64 // worker shard streams that failed mid-flight
+	probes       atomic.Int64 // health probes sent
+	probeFails   atomic.Int64 // health probes that failed
+}
+
+// New builds a Coordinator over the given workers and starts the health
+// prober when Options.ProbeInterval is set. Call Close on shutdown.
+func New(opt Options) (*Coordinator, error) {
+	o := opt.withDefaults()
+	if len(o.Workers) == 0 {
+		return nil, errors.New("fleet: at least one worker URL is required")
+	}
+	c := &Coordinator{
+		opts:      o,
+		started:   time.Now(),
+		sweepSem:  make(chan struct{}, o.MaxSweeps),
+		jitter:    rand.New(rand.NewSource(o.JitterSeed)),
+		sleep:     sleepCtx,
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	names := make([]string, 0, len(o.Workers))
+	for _, u := range o.Workers {
+		name := strings.TrimRight(strings.TrimSpace(u), "/")
+		if name == "" {
+			return nil, errors.New("fleet: empty worker URL")
+		}
+		names = append(names, name)
+		c.workers = append(c.workers, &worker{
+			name:    name,
+			breaker: NewBreaker(o.BreakerFailures, o.BreakerCooldown),
+		})
+	}
+	c.ring = NewRing(names, o.Replicas)
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/run", c.handleRun)
+	c.mux.HandleFunc("POST /v1/sweep", c.handleSweep)
+	c.mux.HandleFunc("GET /v1/techniques", c.proxyDiscovery)
+	c.mux.HandleFunc("GET /v1/workloads", c.proxyDiscovery)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /readyz", c.handleReadyz)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	if o.ProbeInterval > 0 {
+		go c.probeLoop(o.ProbeInterval)
+	} else {
+		close(c.probeDone)
+	}
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Close stops the health prober. In-flight sweeps are not interrupted.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.probeStop) })
+	<-c.probeDone
+}
+
+// sleepCtx waits d or until ctx is canceled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// backoff computes the jittered pre-retry delay after `attempt` failed
+// attempts: base·2^(attempt-1) capped at max, then jittered to [d/2, d) so
+// simultaneous retries against a recovering worker spread out. The jitter
+// stream is seeded (Options.JitterSeed): the schedule is reproducible.
+func (c *Coordinator) backoff(attempt int) time.Duration {
+	d := c.opts.BackoffBase
+	for i := 1; i < attempt && d < c.opts.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.opts.BackoffMax {
+		d = c.opts.BackoffMax
+	}
+	c.jitterMu.Lock()
+	f := c.jitter.Float64()
+	c.jitterMu.Unlock()
+	half := d / 2
+	return half + time.Duration(f*float64(half))
+}
+
+// pickWorker returns the first worker in succ order (rotated by offset)
+// whose breaker admits traffic, or -1 when every breaker refuses. The
+// rotation makes attempt k of a cell start from its k-th ring successor,
+// so retries walk away from the failing worker instead of hammering it.
+func (c *Coordinator) pickWorker(succ []int, offset int) int {
+	n := len(succ)
+	for i := 0; i < n; i++ {
+		wi := succ[(offset+i)%n]
+		if c.workers[wi].breaker.Allow() {
+			return wi
+		}
+	}
+	return -1
+}
+
+// anyAvailable reports whether some worker's breaker would admit traffic,
+// without consuming a half-open trial slot.
+func (c *Coordinator) anyAvailable() bool {
+	for _, wk := range c.workers {
+		if wk.breaker.Available() {
+			return true
+		}
+	}
+	return false
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Write(append(body, '\n'))
+}
+
+// retryAfterSeconds mirrors the workers' back-pressure hint on shed 503s.
+const retryAfterSeconds = "2"
+
+// cellWork is one cell's routing state while its sweep is in flight.
+type cellWork struct {
+	index int         // global index in the sweep
+	cfg   hdls.Config // the cell, re-marshaled for worker dispatch
+	hash  string      // canonical config hash (authoritative: computed here)
+	succ  []int       // ring successor order for this cell's routing key
+}
+
+// merge reassembles per-cell lines into strict sweep order: deliver is
+// first-wins per cell (a timed-out shard and its retry may both resolve a
+// cell — with identical bytes, since summaries are pure functions of the
+// config), wait blocks until cell i resolves or ctx cancels.
+type merge struct {
+	mu    sync.Mutex
+	lines [][]byte
+	ready []chan struct{}
+}
+
+func newMerge(n int) *merge {
+	m := &merge{lines: make([][]byte, n), ready: make([]chan struct{}, n)}
+	for i := range m.ready {
+		m.ready[i] = make(chan struct{})
+	}
+	return m
+}
+
+func (m *merge) deliver(i int, line []byte) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lines[i] != nil {
+		return false
+	}
+	m.lines[i] = line
+	close(m.ready[i])
+	return true
+}
+
+func (m *merge) wait(ctx context.Context, i int) ([]byte, error) {
+	select {
+	case <-m.ready[i]:
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.lines[i], nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// handleSweep validates the sweep exactly like a worker would, shards the
+// cells across the fleet by consistent hash, and streams the merged NDJSON
+// in strict index order. The response is always a stream (the coordinator
+// keeps no job store), and its body is byte-identical to a single daemon
+// running the same sweep, whatever routing, retries, or worker losses
+// happened along the way.
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Cells []hdls.Config `json:"cells"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid sweep request: %v", err)
+		return
+	}
+	if len(req.Cells) == 0 {
+		httpError(w, http.StatusBadRequest, "sweep needs at least one cell")
+		return
+	}
+	if len(req.Cells) > c.opts.MaxCells {
+		httpError(w, http.StatusBadRequest, "sweep of %d cells exceeds the %d-cell limit",
+			len(req.Cells), c.opts.MaxCells)
+		return
+	}
+	for i, cfg := range req.Cells {
+		if err := c.opts.Limits.CheckCell(cfg); err != nil {
+			httpError(w, http.StatusBadRequest, "cell %d: %v", i, err)
+			return
+		}
+	}
+	// Graceful degradation: refuse up front — with a Retry-After hint —
+	// rather than queueing unboundedly against a dead fleet or coordinating
+	// more sweeps than configured.
+	if !c.anyAvailable() {
+		c.shed.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		httpError(w, http.StatusServiceUnavailable, "no fleet worker is available")
+		return
+	}
+	select {
+	case c.sweepSem <- struct{}{}:
+	default:
+		c.shed.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		httpError(w, http.StatusServiceUnavailable, "coordinator at its %d-sweep limit", c.opts.MaxSweeps)
+		return
+	}
+	defer func() { <-c.sweepSem }()
+	c.sweeps.Add(1)
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+
+	work := make([]*cellWork, len(req.Cells))
+	for i, cfg := range req.Cells {
+		work[i] = &cellWork{
+			index: i,
+			cfg:   cfg,
+			hash:  cfg.Hash(),
+			succ:  c.ring.Successors(cfg.HashKey()),
+		}
+	}
+	// Initial placement: each cell goes to its ring home unless that home's
+	// breaker refuses, in which case it starts life on a successor (this is
+	// the proactive re-route of cells owned by a known-lost worker).
+	batches := make(map[int][]*cellWork)
+	for _, cw := range work {
+		wi := c.pickWorker(cw.succ, 0)
+		if wi < 0 {
+			wi = cw.succ[0] // raced to all-open: dispatch will fail and retry
+		}
+		batches[wi] = append(batches[wi], cw)
+	}
+
+	mg := newMerge(len(work))
+	var wg sync.WaitGroup
+	for wi, batch := range batches {
+		wg.Add(1)
+		go func(wi int, batch []*cellWork) {
+			defer wg.Done()
+			c.dispatch(ctx, wi, batch, 1, mg)
+		}(wi, batch)
+	}
+	// dispatch resolves every cell (result, worker error line, or fleet
+	// error line), so draining the merge in order terminates; the deferred
+	// cancel + Wait reap the shard goroutines if the client disconnects.
+	defer wg.Wait()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	for i := range work {
+		line, err := mg.wait(r.Context(), i)
+		if err != nil {
+			return // client went away
+		}
+		w.Write(line)
+		w.Write([]byte{'\n'})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// dispatch runs one shard attempt against worker wi and recursively
+// retries whatever it leaves unresolved, with exponential backoff, against
+// each cell's next ring successor. It returns only once every cell in
+// batch is resolved in the merge. attempt counts this try (1-based);
+// wi < 0 means no worker would admit the batch this round.
+func (c *Coordinator) dispatch(ctx context.Context, wi int, batch []*cellWork, attempt int, mg *merge) {
+	var unresolved []*cellWork
+	var cause error
+	if wi < 0 {
+		unresolved, cause = batch, errors.New("no fleet worker is available")
+	} else {
+		unresolved, cause = c.streamShard(ctx, wi, batch, mg)
+	}
+	if len(unresolved) == 0 || ctx.Err() != nil {
+		return
+	}
+	if attempt >= c.opts.MaxAttempts {
+		// Out of attempts: resolve in-band so the merged stream stays
+		// well-formed — a fleet-level failure is a per-cell error line,
+		// exactly the shape a worker uses for its own cell failures.
+		for _, cw := range unresolved {
+			msg := fmt.Sprintf("fleet: cell failed after %d attempts: %v", attempt, cause)
+			if mg.deliver(cw.index, serve.ErrorCellLine(cw.index, cw.hash, msg)) {
+				c.cells.Add(1)
+				c.cellFailures.Add(1)
+			}
+		}
+		return
+	}
+	c.retries.Add(int64(len(unresolved)))
+	if err := c.sleep(ctx, c.backoff(attempt)); err != nil {
+		return
+	}
+	// Regroup by each cell's next successor: retries walk the ring away
+	// from the failure, and cells sharing a destination share one stream.
+	regrouped := make(map[int][]*cellWork)
+	for _, cw := range unresolved {
+		nwi := c.pickWorker(cw.succ, attempt)
+		if nwi >= 0 && nwi != wi {
+			c.reroutes.Add(1)
+		}
+		regrouped[nwi] = append(regrouped[nwi], cw)
+	}
+	var wg sync.WaitGroup
+	for nwi, g := range regrouped {
+		wg.Add(1)
+		go func(nwi int, g []*cellWork) {
+			defer wg.Done()
+			c.dispatch(ctx, nwi, g, attempt+1, mg)
+		}(nwi, g)
+	}
+	wg.Wait()
+}
+
+// workerLine is one parsed NDJSON line from a worker stream.
+type workerLine struct {
+	Index   int             `json:"index"`
+	Hash    string          `json:"hash"`
+	Summary json.RawMessage `json:"summary"`
+	Error   string          `json:"error"`
+}
+
+// streamShard POSTs batch as one streaming sweep to worker wi and resolves
+// cells as their lines arrive, enforcing the per-cell deadline between
+// lines. Success lines are rebuilt around the worker's summary bytes with
+// the cell's global index and the coordinator's own hash — that rebuild is
+// what keeps the merged body byte-identical to a single daemon, no matter
+// which worker served which cell. Worker error lines are deterministic
+// (the worker ran the cell and the cell itself failed), so they resolve
+// the cell too, without a retry. Anything else — transport error, non-200,
+// protocol violation, deadline, truncation — fails the worker's breaker
+// and returns the unresolved suffix of the batch for re-routing.
+func (c *Coordinator) streamShard(ctx context.Context, wi int, batch []*cellWork, mg *merge) ([]*cellWork, error) {
+	wk := c.workers[wi]
+	body, err := json.Marshal(struct {
+		Cells []hdls.Config `json:"cells"`
+	}{Cells: cellConfigs(batch)})
+	if err != nil { // hdls.Config is plain data; cannot fail
+		return batch, err
+	}
+	reqCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, wk.name+"/v1/sweep?stream=1", bytes.NewReader(body))
+	if err != nil {
+		return batch, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// The per-cell deadline must also bound the connect/first-header phase:
+	// a stalled worker would otherwise pin the shard inside Do indefinitely.
+	connTimer := time.AfterFunc(c.opts.CellTimeout, cancel)
+	resp, err := c.opts.Client.Do(req)
+	connTimer.Stop()
+	if err != nil {
+		wk.breaker.Fail()
+		c.streamBreaks.Add(1)
+		return batch, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		wk.breaker.Fail()
+		c.streamBreaks.Add(1)
+		return batch, fmt.Errorf("worker %s answered HTTP %d", wk.name, resp.StatusCode)
+	}
+
+	// A reader goroutine feeds lines through a channel so the per-cell
+	// deadline is a select, not a blocking Read; cancel() unblocks it.
+	lines := make(chan []byte)
+	readErr := make(chan error, 1)
+	go func() {
+		// readErr (buffered) receives exactly one value before lines closes,
+		// so the !ok branch below can always collect the cause.
+		defer close(lines)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 4<<20)
+		for sc.Scan() {
+			b := append([]byte(nil), sc.Bytes()...)
+			select {
+			case lines <- b:
+			case <-reqCtx.Done():
+				readErr <- reqCtx.Err()
+				return
+			}
+		}
+		readErr <- sc.Err() // nil on clean EOF; callers decide if EOF was early
+	}()
+
+	// fail marks the worker bad and cancels the in-flight request so the
+	// reader goroutine unblocks; callers return the unresolved batch suffix.
+	fail := func(err error) error {
+		wk.breaker.Fail()
+		c.streamBreaks.Add(1)
+		cancel()
+		return err
+	}
+	timer := time.NewTimer(c.opts.CellTimeout)
+	defer timer.Stop()
+	for next := 0; next < len(batch); next++ {
+		cw := batch[next]
+		timer.Reset(c.opts.CellTimeout)
+		select {
+		case <-reqCtx.Done():
+			return batch[next:], reqCtx.Err()
+		case <-timer.C:
+			return batch[next:], fail(fmt.Errorf("worker %s: cell deadline %s exceeded", wk.name, c.opts.CellTimeout))
+		case b, ok := <-lines:
+			if !ok {
+				// Stream ended before the shard's cells did: the worker died
+				// mid-stream (SIGKILL, chaos drop/truncate, network loss).
+				err := <-readErr
+				if err == nil {
+					err = io.ErrUnexpectedEOF
+				}
+				return batch[next:], fail(fmt.Errorf("worker %s: stream truncated after %d/%d cells: %w",
+					wk.name, next, len(batch), err))
+			}
+			var wl workerLine
+			if err := json.Unmarshal(b, &wl); err != nil || wl.Index != next || wl.Hash != cw.hash {
+				return batch[next:], fail(fmt.Errorf("worker %s: protocol violation at shard cell %d", wk.name, next))
+			}
+			if wl.Error != "" {
+				// The worker ran the cell and the cell failed: that outcome
+				// is deterministic (same line a single daemon would emit),
+				// so it resolves the cell — retrying would reproduce it.
+				if mg.deliver(cw.index, serve.ErrorCellLine(cw.index, cw.hash, wl.Error)) {
+					c.cells.Add(1)
+					c.cellFailures.Add(1)
+				}
+				continue
+			}
+			if mg.deliver(cw.index, serve.CellLine(cw.index, cw.hash, wl.Summary)) {
+				c.cells.Add(1)
+			}
+		}
+	}
+	wk.breaker.Success()
+	return nil, nil
+}
+
+// cellConfigs projects a batch back to the worker wire format.
+func cellConfigs(batch []*cellWork) []hdls.Config {
+	cfgs := make([]hdls.Config, len(batch))
+	for i, cw := range batch {
+		cfgs[i] = cw.cfg
+	}
+	return cfgs
+}
+
+// handleRun validates one cell and forwards it to its ring home (or, on
+// failure, successive ring successors with backoff), relaying the worker
+// response verbatim — /v1/run bodies are already a pure function of the
+// config, so relaying preserves byte-identity and the X-Cache header.
+func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
+	var cfg hdls.Config
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid config: %v", err)
+		return
+	}
+	if err := c.opts.Limits.CheckCell(cfg); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c.runs.Add(1)
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	succ := c.ring.Successors(cfg.HashKey())
+	var lastErr error = errors.New("no fleet worker is available")
+	prev := -1
+	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.retries.Add(1)
+			if c.sleep(r.Context(), c.backoff(attempt-1)) != nil {
+				return
+			}
+		}
+		wi := c.pickWorker(succ, attempt-1)
+		if wi < 0 {
+			continue
+		}
+		if prev >= 0 && wi != prev {
+			c.reroutes.Add(1)
+		}
+		prev = wi
+		wk := c.workers[wi]
+		status, hdr, respBody, err := c.forwardRun(r.Context(), wk, body)
+		if err != nil || status >= 500 {
+			wk.breaker.Fail()
+			lastErr = err
+			if err == nil {
+				lastErr = fmt.Errorf("worker %s answered HTTP %d", wk.name, status)
+			}
+			continue
+		}
+		wk.breaker.Success()
+		for _, k := range []string{"Content-Type", "X-Cache", "X-Config-Hash"} {
+			if v := hdr.Get(k); v != "" {
+				w.Header().Set(k, v)
+			}
+		}
+		w.Header().Set("X-Fleet-Worker", wk.name)
+		w.WriteHeader(status)
+		w.Write(respBody)
+		return
+	}
+	c.shed.Add(1)
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	httpError(w, http.StatusServiceUnavailable, "cell failed after %d attempts: %v", c.opts.MaxAttempts, lastErr)
+}
+
+// forwardRun POSTs one cell to a worker under the cell deadline.
+func (c *Coordinator) forwardRun(ctx context.Context, wk *worker, body []byte) (int, http.Header, []byte, error) {
+	reqCtx, cancel := context.WithTimeout(ctx, c.opts.CellTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, wk.name+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.Client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, respBody, nil
+}
+
+// proxyDiscovery relays the static discovery endpoints (/v1/techniques,
+// /v1/workloads) from the first worker that answers: they are identical on
+// every worker, so any answer is the fleet's answer.
+func (c *Coordinator) proxyDiscovery(w http.ResponseWriter, r *http.Request) {
+	for _, wk := range c.workers {
+		if !wk.breaker.Available() {
+			continue
+		}
+		reqCtx, cancel := context.WithTimeout(r.Context(), c.opts.CellTimeout)
+		req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, wk.name+r.URL.Path, nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := c.opts.Client.Do(req)
+		if err != nil {
+			cancel()
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		if v := resp.Header.Get("Content-Type"); v != "" {
+			w.Header().Set("Content-Type", v)
+		}
+		w.Write(body)
+		return
+	}
+	httpError(w, http.StatusBadGateway, "no fleet worker answered %s", r.URL.Path)
+}
+
+// handleHealthz is the coordinator's liveness probe: 200 while the process
+// answers HTTP, regardless of worker health (that is /readyz).
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"role\":\"coordinator\",\"uptime_seconds\":%.1f}\n",
+		time.Since(c.started).Seconds())
+}
+
+// workerStatus is one /readyz row: a worker and its breaker position.
+type workerStatus struct {
+	Worker  string `json:"worker"`
+	Breaker string `json:"breaker"`
+}
+
+// handleReadyz is the coordinator's readiness probe: ready while at least
+// one worker's breaker admits traffic, 503 + Retry-After otherwise. The
+// body lists every worker's breaker state either way, so a half-degraded
+// fleet is visible before it becomes an outage.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	statuses := make([]workerStatus, len(c.workers))
+	available := 0
+	for i, wk := range c.workers {
+		statuses[i] = workerStatus{Worker: wk.name, Breaker: wk.breaker.State().String()}
+		if wk.breaker.Available() {
+			available++
+		}
+	}
+	status, code := "ready", http.StatusOK
+	if available == 0 {
+		status, code = "no-workers", http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":            status,
+		"role":              "coordinator",
+		"workers":           len(c.workers),
+		"workers_available": available,
+		"fleet":             statuses,
+	})
+}
+
+// handleMetrics exposes the coordinator's counters in the Prometheus text
+// format: routing volume, retry/re-route pressure, breaker activity, shed
+// traffic, and a per-worker breaker-state gauge.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	available := 0
+	var opens int64
+	for _, wk := range c.workers {
+		if wk.breaker.Available() {
+			available++
+		}
+		opens += wk.breaker.Opens()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	type metric struct {
+		name, help, typ string
+		value           float64
+	}
+	for _, m := range []metric{
+		{"hdlsd_fleet_workers", "Configured fleet workers.", "gauge", float64(len(c.workers))},
+		{"hdlsd_fleet_workers_available", "Workers whose breaker admits traffic.", "gauge", float64(available)},
+		{"hdlsd_fleet_uptime_seconds", "Seconds since the coordinator started.", "gauge", time.Since(c.started).Seconds()},
+		{"hdlsd_fleet_sweeps_total", "Sweep submissions coordinated.", "counter", float64(c.sweeps.Load())},
+		{"hdlsd_fleet_runs_total", "Single-cell runs forwarded.", "counter", float64(c.runs.Load())},
+		{"hdlsd_fleet_cells_total", "Cell results merged (error lines included).", "counter", float64(c.cells.Load())},
+		{"hdlsd_fleet_retries_total", "Cell attempts re-dispatched after a failure.", "counter", float64(c.retries.Load())},
+		{"hdlsd_fleet_reroutes_total", "Retries that moved to a different worker.", "counter", float64(c.reroutes.Load())},
+		{"hdlsd_fleet_cell_failures_total", "Cells resolved as in-band error lines.", "counter", float64(c.cellFailures.Load())},
+		{"hdlsd_fleet_stream_breaks_total", "Worker shard streams that failed mid-flight.", "counter", float64(c.streamBreaks.Load())},
+		{"hdlsd_fleet_shed_total", "Submissions refused with 503 + Retry-After.", "counter", float64(c.shed.Load())},
+		{"hdlsd_fleet_breaker_opens_total", "Circuit-breaker trips across the fleet.", "counter", float64(opens)},
+		{"hdlsd_fleet_probes_total", "Health probes sent.", "counter", float64(c.probes.Load())},
+		{"hdlsd_fleet_probe_failures_total", "Health probes that failed.", "counter", float64(c.probeFails.Load())},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.typ, m.name, m.value)
+	}
+	fmt.Fprintf(w, "# HELP hdlsd_fleet_breaker_state Worker breaker position (0 closed, 1 open, 2 half-open).\n# TYPE hdlsd_fleet_breaker_state gauge\n")
+	for _, wk := range c.workers {
+		fmt.Fprintf(w, "hdlsd_fleet_breaker_state{worker=%q} %d\n", wk.name, int(wk.breaker.State()))
+	}
+}

@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+)
+
+// probeLoop actively probes worker readiness at the configured interval
+// until Close. Probing does two jobs the data path can't: it detects a
+// lost worker before any sweep traffic pays for the discovery (cells owned
+// by a tripped worker re-route proactively at placement time), and it
+// recovers a healed worker by serving as the breaker's half-open trial —
+// no live cell has to gamble on an unproven worker.
+func (c *Coordinator) probeLoop(interval time.Duration) {
+	defer close(c.probeDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.probeStop:
+			return
+		case <-t.C:
+			c.ProbeOnce(context.Background())
+		}
+	}
+}
+
+// probeTimeout bounds one probe request: snappy relative to the interval,
+// never slower than the 2s ceiling.
+func (c *Coordinator) probeTimeout() time.Duration {
+	d := 2 * time.Second
+	if c.opts.ProbeInterval > 0 && c.opts.ProbeInterval < d {
+		d = c.opts.ProbeInterval
+	}
+	return d
+}
+
+// ProbeOnce probes every worker whose breaker admits traffic — for an open
+// breaker past its cooldown, the probe itself is the half-open trial — and
+// records the outcome. GET /readyz is the probe: a draining or saturated
+// worker answers 503, so it is taken out of routing before submissions
+// start bouncing off it. Exported so tests and operational tooling can
+// drive recovery deterministically, without waiting out a ticker.
+func (c *Coordinator) ProbeOnce(ctx context.Context) {
+	for _, wk := range c.workers {
+		if !wk.breaker.Allow() {
+			continue // open and cooling down, or a trial already in flight
+		}
+		c.probes.Add(1)
+		if c.probeWorker(ctx, wk) {
+			wk.breaker.Success()
+		} else {
+			wk.breaker.Fail()
+			c.probeFails.Add(1)
+		}
+	}
+}
+
+// probeWorker reports whether one worker answered its readiness probe.
+func (c *Coordinator) probeWorker(ctx context.Context, wk *worker) bool {
+	reqCtx, cancel := context.WithTimeout(ctx, c.probeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, wk.name+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.opts.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheEvictionOrderUnderTouch pins the LRU discipline precisely: a
+// Get refreshes recency, a Put of an existing key refreshes recency
+// without replacing bytes, and eviction always takes the least recently
+// used entry — the properties the serve layer's byte-replay contract
+// leans on.
+func TestCacheEvictionOrderUnderTouch(t *testing.T) {
+	c := NewCache(3)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Put("c", []byte("C"))
+	c.Get("a")              // order (MRU→LRU): a c b
+	c.Put("b", []byte("X")) // refreshes b's recency, keeps original bytes
+	c.Put("d", []byte("D")) // evicts c, the LRU
+
+	if _, ok := c.Get("c"); ok {
+		t.Fatal("c should have been evicted as LRU")
+	}
+	for key, want := range map[string]string{"a": "A", "b": "B", "d": "D"} {
+		v, ok := c.Get(key)
+		if !ok || string(v) != want {
+			t.Fatalf("Get(%s) = %q, %t; want %q", key, v, ok, want)
+		}
+	}
+}
+
+// TestCacheContention hammers the cache from many goroutines over a key
+// space larger than the capacity, so hits, misses, inserts and evictions
+// interleave constantly (run under -race in CI). It verifies the two
+// things the daemon depends on: every hit returns byte-identical content
+// for its key even while that key's neighbors are being evicted, and the
+// hit/miss accounting exactly matches what callers observed.
+func TestCacheContention(t *testing.T) {
+	const (
+		capacity   = 32
+		keySpace   = 128
+		goroutines = 8
+		opsPerG    = 4000
+	)
+	c := NewCache(capacity)
+	value := func(k int) []byte { return []byte(fmt.Sprintf("summary-of-key-%d", k)) }
+
+	var sawHits, sawMisses atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Deterministic per-goroutine walk; different strides make the
+			// goroutines collide on different keys at different times.
+			k := g
+			for i := 0; i < opsPerG; i++ {
+				k = (k + 2*g + 1) % keySpace
+				key := fmt.Sprintf("key-%d", k)
+				if body, ok := c.Get(key); ok {
+					sawHits.Add(1)
+					if !bytes.Equal(body, value(k)) {
+						errs <- fmt.Errorf("hit for %s returned %q", key, body)
+						return
+					}
+				} else {
+					sawMisses.Add(1)
+					c.Put(key, value(k))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	hits, misses, entries := c.Stats()
+	if entries > capacity {
+		t.Fatalf("cache grew past capacity: %d > %d", entries, capacity)
+	}
+	if hits != sawHits.Load() || misses != sawMisses.Load() {
+		t.Fatalf("accounting drifted: cache says %d/%d, callers saw %d/%d",
+			hits, misses, sawHits.Load(), sawMisses.Load())
+	}
+	if hits == 0 || misses == 0 {
+		t.Fatalf("degenerate run: %d hits, %d misses — contention not exercised", hits, misses)
+	}
+}
+
+// TestCacheHitByteIdentityDuringEviction holds one key's bytes across a
+// storm of evictions of everything around it: as long as the key remains
+// resident its Get must return the original bytes, and once evicted a
+// re-Put must restore byte-identical content — the cache can never serve a
+// torn or stale mixture.
+func TestCacheHitByteIdentityDuringEviction(t *testing.T) {
+	const capacity = 8
+	c := NewCache(capacity)
+	hot := []byte(`{"t_par":1.25,"cov":0.97}`)
+	c.Put("hot", hot)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Churners continuously insert fresh keys, forcing evictions.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Put(fmt.Sprintf("churn-%d-%d", g, i), []byte("x"))
+			}
+		}(g)
+	}
+	// The reader keeps the hot key alive-ish and checks every hit; when the
+	// churn wins and evicts it, the re-Put must restore identical bytes.
+	for i := 0; i < 20000; i++ {
+		body, ok := c.Get("hot")
+		if !ok {
+			c.Put("hot", hot)
+			continue
+		}
+		if !bytes.Equal(body, hot) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("hot key served corrupted bytes: %q", body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

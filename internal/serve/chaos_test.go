@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChaosSpecParsing(t *testing.T) {
+	cases := []struct {
+		spec string
+		ok   bool
+	}{
+		{"delay:d=50ms", true},
+		{"error", true},
+		{"error:code=503,after=2,times=1", true},
+		{"drop:times=3", true},
+		{"truncate:lines=2", true},
+		{"explode", false},
+		{"error:code=200", false}, // not an error status
+		{"error:code=abc", false},
+		{"delay:d=", false},
+		{"delay:d", false}, // not key=value
+		{"drop:bogus=1", false},
+	}
+	for _, tc := range cases {
+		_, err := parseChaosSpec(tc.spec)
+		if (err == nil) != tc.ok {
+			t.Errorf("parseChaosSpec(%q): err = %v, want ok=%t", tc.spec, err, tc.ok)
+		}
+	}
+	spec, err := parseChaosSpec("error:code=503,after=2,times=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.mode != "error" || spec.code != 503 || spec.after != 2 || spec.times != 1 {
+		t.Fatalf("parsed spec = %+v", spec)
+	}
+
+	// A bad -chaos flag must fail daemon construction, not a later request.
+	if _, err := NewWithError(Options{Workers: 1, Chaos: "explode"}); err == nil {
+		t.Fatal("NewWithError accepted a malformed chaos spec")
+	}
+}
+
+// TestChaosWindowCounting locks the deterministic injection window: with
+// after=1,times=2, eligible requests 2 and 3 are injected and every other
+// one passes — which is exactly what lets a test break "the second sweep
+// and nothing else".
+func TestChaosWindowCounting(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	h, err := Chaos("error:code=503,after=1,times=2", next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ""
+	for i := 0; i < 5; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/run", nil))
+		got += fmt.Sprintf("%d,", rec.Code)
+	}
+	if want := "200,503,503,200,200,"; got != want {
+		t.Fatalf("status sequence = %s, want %s", got, want)
+	}
+
+	// Probes and metrics are never eligible, whatever the rule says.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz got injected: %d", rec.Code)
+	}
+}
+
+func TestChaosHeaderOverride(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	h, err := Chaos(chaosHeaderOnly, next) // armed, no static rule
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No header: untouched.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/run", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("unarmed request: %d", rec.Code)
+	}
+
+	// Header injects this one request.
+	req := httptest.NewRequest(http.MethodPost, "/v1/run", nil)
+	req.Header.Set("X-Chaos", "error:code=502")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("X-Chaos error: %d, want 502", rec.Code)
+	}
+
+	// A malformed header is a client error, not silent pass-through.
+	req = httptest.NewRequest(http.MethodPost, "/v1/run", nil)
+	req.Header.Set("X-Chaos", "explode")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed X-Chaos: %d, want 400", rec.Code)
+	}
+}
+
+func TestChaosDelay(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	h, err := Chaos("delay:d=60ms", next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/run", nil))
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("delayed request returned after %s, want >= 60ms", elapsed)
+	}
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delay must not change the response: %d", rec.Code)
+	}
+}
+
+// TestChaosDropSeversConnection uses a real server: the client must see a
+// transport-level failure, indistinguishable from a SIGKILLed worker.
+func TestChaosDropSeversConnection(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	h, err := Chaos("drop", next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader("{}"))
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("dropped request returned a response")
+	}
+}
+
+// TestChaosTruncateMidStream locks the truncation contract: the client
+// receives exactly lines=N complete NDJSON lines, then an abrupt EOF with
+// no trailing partial line — the signature the fleet coordinator must
+// recover from.
+func TestChaosTruncateMidStream(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Mimic streamJob's write pattern: line bytes, then the newline.
+		for i := 0; i < 5; i++ {
+			fmt.Fprintf(w, `{"index":%d}`, i)
+			w.Write([]byte{'\n'})
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+		}
+	})
+	h, err := Chaos("truncate:lines=2", next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/sweep?stream=1", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []string
+	var readErr error
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	readErr = sc.Err()
+	if readErr == nil {
+		// bufio.Scanner maps some abort shapes to a clean EOF after the last
+		// full line; reading the raw body again distinguishes — but either
+		// way the line count is the contract.
+		_, readErr = io.Copy(io.Discard, resp.Body)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("client saw %d complete lines, want exactly 2: %q", len(lines), lines)
+	}
+	if lines[0] != `{"index":0}` || lines[1] != `{"index":1}` {
+		t.Fatalf("truncated prefix corrupted: %q", lines)
+	}
+	if readErr == nil {
+		t.Fatal("truncated stream ended without a transport error")
+	}
+	if errors.Is(readErr, io.EOF) {
+		t.Fatalf("expected an abrupt abort, got clean EOF")
+	}
+}

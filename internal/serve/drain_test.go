@@ -16,8 +16,9 @@ import (
 
 // TestGracefulDrain locks down the shutdown contract: Drain returns only
 // after every accepted cell has completed, later submissions are refused
-// with ErrDraining (503 over HTTP), and /healthz flips to 503 so load
-// balancers stop routing.
+// with ErrDraining (503 over HTTP), and /readyz flips to 503 with a
+// Retry-After hint so load balancers stop routing — while /healthz stays
+// 200, because a draining process is alive and must not be killed.
 func TestGracefulDrain(t *testing.T) {
 	s := New(Options{Workers: 2})
 	ts := httptest.NewServer(s.Handler())
@@ -66,13 +67,25 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatalf("sweep during drain: status %d, want 503", resp.StatusCode)
 	}
 
+	// Liveness keeps saying alive; readiness says stop routing.
 	resp, err = http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain: status %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz during drain: status %d, want 503", resp.StatusCode)
+		t.Fatalf("readyz during drain: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("readyz 503 during drain is missing the Retry-After hint")
 	}
 
 	// Completed results remain replayable after the drain.

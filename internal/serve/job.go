@@ -30,21 +30,28 @@ type Job struct {
 
 	mgr   *Manager
 	cells []hdls.Config
+	// ctx is the submitter's context: canceled when a streaming client
+	// disconnects, so queued cells are skipped and the in-flight cell's
+	// simulation aborts instead of running the sweep to completion.
+	// Async (202) submissions carry context.Background() and always finish.
+	ctx context.Context
 
 	mu        sync.Mutex
 	cond      *sync.Cond
 	lines     [][]byte // per-cell NDJSON line, newline excluded
 	completed int
 	failed    int
+	finished  time.Time // when the last cell completed (zero while running)
 }
 
 // newJob freezes the cell list and allocates completion tracking.
-func newJob(mgr *Manager, id string, cells []hdls.Config) *Job {
+func newJob(ctx context.Context, mgr *Manager, id string, cells []hdls.Config) *Job {
 	j := &Job{
 		ID:      id,
 		Created: time.Now(),
 		mgr:     mgr,
 		cells:   cells,
+		ctx:     ctx,
 		lines:   make([][]byte, len(cells)),
 	}
 	j.cond = sync.NewCond(&j.mu)
@@ -68,6 +75,13 @@ func (j *Job) Done() bool {
 	return j.completed == len(j.cells)
 }
 
+// doneSince reports completion and, if complete, when.
+func (j *Job) doneSince() (bool, time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.completed == len(j.cells), j.finished
+}
+
 // complete records cell idx's frozen line and wakes streamers.
 func (j *Job) complete(idx int, line []byte, failed bool) {
 	j.mu.Lock()
@@ -77,6 +91,9 @@ func (j *Job) complete(idx int, line []byte, failed bool) {
 		j.failed++
 	}
 	last := j.completed == len(j.cells)
+	if last {
+		j.finished = time.Now()
+	}
 	j.cond.Broadcast()
 	j.mu.Unlock()
 	if last {
@@ -121,8 +138,11 @@ func (j *Job) WaitCell(ctx context.Context, idx int) ([]byte, error) {
 // HTTP requests are in flight, so the arena pool (DESIGN.md §8) sees at
 // most Workers concurrent arenas.
 type Manager struct {
-	cache *Cache
-	queue chan cellTask
+	cache       *Cache
+	queue       chan cellTask
+	jobTTL      time.Duration // completed-job retention time
+	maxJobs     int           // completed-job retention count cap
+	janitorStop chan struct{}
 
 	mu          sync.Mutex
 	jobs        map[string]*Job
@@ -136,10 +156,12 @@ type Manager struct {
 	queueDepth atomic.Int64
 	activeJobs atomic.Int64
 
-	jobsTotal   atomic.Int64
-	cellsTotal  atomic.Int64
-	cellsCached atomic.Int64
-	cellErrors  atomic.Int64
+	jobsTotal     atomic.Int64
+	jobsEvicted   atomic.Int64
+	cellsTotal    atomic.Int64
+	cellsCached   atomic.Int64
+	cellsCanceled atomic.Int64
+	cellErrors    atomic.Int64
 }
 
 type cellTask struct {
@@ -147,33 +169,50 @@ type cellTask struct {
 	idx int
 }
 
-// maxRetainedJobs bounds the finished-job history kept for replaying
-// /v1/jobs/{id}/results; the oldest finished jobs are evicted first.
-const maxRetainedJobs = 256
-
 // NewManager starts workers goroutines serving a cell queue of the given
-// capacity (defaults: GOMAXPROCS workers, 65536 cells).
-func NewManager(workers, queueCapacity int, cache *Cache) *Manager {
+// capacity (defaults: GOMAXPROCS workers, 65536 cells). Completed jobs are
+// retained for replay until they age past jobTTL or the newest maxJobs
+// completed jobs push them out, whichever comes first (defaults: 15
+// minutes, 256 jobs).
+func NewManager(workers, queueCapacity int, jobTTL time.Duration, maxJobs int, cache *Cache) *Manager {
 	if queueCapacity <= 0 {
 		queueCapacity = 1 << 16
 	}
+	if jobTTL <= 0 {
+		jobTTL = 15 * time.Minute
+	}
+	if maxJobs <= 0 {
+		maxJobs = 256
+	}
 	m := &Manager{
-		cache: cache,
-		queue: make(chan cellTask, queueCapacity),
-		jobs:  make(map[string]*Job),
+		cache:       cache,
+		queue:       make(chan cellTask, queueCapacity),
+		jobTTL:      jobTTL,
+		maxJobs:     maxJobs,
+		janitorStop: make(chan struct{}),
+		jobs:        make(map[string]*Job),
 	}
 	for i := 0; i < workers; i++ {
 		m.workerWG.Add(1)
 		go m.worker()
 	}
+	go m.janitor()
 	return m
 }
 
-// Submit accepts a batch of cells as one job and enqueues every cell on
-// the worker pool. It fails with ErrDraining during shutdown and ErrBusy
-// when the queue cannot hold the whole batch; partial enqueues never
-// happen, so a rejected submission leaves no orphaned work.
+// Submit accepts a batch of cells as one job whose cells always run to
+// completion (context.Background). Streaming handlers use SubmitCtx instead
+// so a client disconnect cancels the work.
 func (m *Manager) Submit(cells []hdls.Config) (*Job, error) {
+	return m.SubmitCtx(context.Background(), cells)
+}
+
+// SubmitCtx accepts a batch of cells as one job and enqueues every cell on
+// the worker pool; ctx cancellation skips the job's unstarted cells and
+// aborts its in-flight simulations. It fails with ErrDraining during
+// shutdown and ErrBusy when the queue cannot hold the whole batch; partial
+// enqueues never happen, so a rejected submission leaves no orphaned work.
+func (m *Manager) SubmitCtx(ctx context.Context, cells []hdls.Config) (*Job, error) {
 	if len(cells) == 0 {
 		return nil, errors.New("serve: empty cell list")
 	}
@@ -192,10 +231,10 @@ func (m *Manager) Submit(cells []hdls.Config) (*Job, error) {
 		return nil, ErrBusy
 	}
 	id := fmt.Sprintf("job-%d", m.seq.Add(1))
-	j := newJob(m, id, cells)
+	j := newJob(ctx, m, id, cells)
 	m.jobs[id] = j
 	m.jobOrder = append(m.jobOrder, id)
-	m.evictLocked()
+	m.evictLocked(time.Now())
 	m.jobWG.Add(1)
 	m.jobsTotal.Add(1)
 	m.activeJobs.Add(1)
@@ -215,20 +254,56 @@ func (m *Manager) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// evictLocked drops the oldest finished jobs beyond the retention bound.
-func (m *Manager) evictLocked() {
-	for len(m.jobOrder) > maxRetainedJobs {
-		evicted := false
-		for i, id := range m.jobOrder {
-			if j := m.jobs[id]; j != nil && j.Done() {
-				delete(m.jobs, id)
-				m.jobOrder = append(m.jobOrder[:i], m.jobOrder[i+1:]...)
-				evicted = true
-				break
-			}
+// QueueCapacity reports the cell queue's bound (for saturation reporting).
+func (m *Manager) QueueCapacity() int { return cap(m.queue) }
+
+// evictLocked drops completed jobs that aged past the TTL, then the oldest
+// completed jobs beyond the retention count cap. Running jobs are never
+// evicted: their submitters still hold the *Job, and the worker pool still
+// feeds it.
+func (m *Manager) evictLocked(now time.Time) {
+	completed := 0
+	for _, id := range m.jobOrder {
+		if done, _ := m.jobs[id].doneSince(); done {
+			completed++
 		}
-		if !evicted {
-			return // everything retained is still running
+	}
+	kept := m.jobOrder[:0]
+	for _, id := range m.jobOrder {
+		j := m.jobs[id]
+		done, finished := j.doneSince()
+		evict := done && (now.Sub(finished) > m.jobTTL || completed > m.maxJobs)
+		if evict {
+			delete(m.jobs, id)
+			m.jobsEvicted.Add(1)
+			completed--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.jobOrder = kept
+}
+
+// janitor evicts TTL-expired jobs even when no submissions arrive. Stopped
+// by Drain.
+func (m *Manager) janitor() {
+	interval := m.jobTTL / 4
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.janitorStop:
+			return
+		case <-t.C:
+			m.mu.Lock()
+			m.evictLocked(time.Now())
+			m.mu.Unlock()
 		}
 	}
 }
@@ -243,25 +318,36 @@ func (m *Manager) worker() {
 }
 
 // runCell resolves one cell: from the result cache when the canonical
-// config hash is known, through hdls.RunSummary (the pooled-arena path)
+// config hash is known, through hdls.RunSummaryCtx (the pooled-arena path)
 // otherwise. The frozen NDJSON line embeds the cached summary bytes
-// verbatim, so identical cells produce byte-identical lines forever.
+// verbatim, so identical cells produce byte-identical lines forever. A
+// canceled job short-circuits: queued cells are skipped and the in-flight
+// simulation aborts; canceled outcomes are never cached, so a later
+// resubmission of the same cell recomputes the real result.
 func (m *Manager) runCell(task cellTask) {
 	cfg := task.job.cells[task.idx]
 	hash := cfg.Hash()
 	m.cellsTotal.Add(1)
+	if err := task.job.ctx.Err(); err != nil {
+		m.cellsCanceled.Add(1)
+		task.job.complete(task.idx, errorLine(task.idx, hash, "canceled: "+err.Error()), true)
+		return
+	}
 	if body, ok := m.cache.Get(hash); ok {
 		m.cellsCached.Add(1)
 		task.job.complete(task.idx, cellLine(task.idx, hash, body), false)
 		return
 	}
-	sum, err := hdls.RunSummary(cfg)
+	sum, err := hdls.RunSummaryCtx(task.job.ctx, cfg)
 	if err != nil {
-		// Submission validates every cell, so this is an internal failure;
-		// report it in-band so the stream stays well-formed.
-		m.cellErrors.Add(1)
-		line := fmt.Appendf(nil, `{"index":%d,"hash":%q,"error":%q}`, task.idx, hash, err.Error())
-		task.job.complete(task.idx, line, true)
+		if task.job.ctx.Err() != nil {
+			m.cellsCanceled.Add(1)
+		} else {
+			// Submission validates every cell, so this is an internal
+			// failure; report it in-band so the stream stays well-formed.
+			m.cellErrors.Add(1)
+		}
+		task.job.complete(task.idx, errorLine(task.idx, hash, err.Error()), true)
 		return
 	}
 	body := marshalSummary(sum)
@@ -271,11 +357,31 @@ func (m *Manager) runCell(task cellTask) {
 
 // cellLine composes the per-cell NDJSON line around the cached summary
 // bytes. Index and hash are deterministic, so the line is a pure function
-// of the cell config.
+// of the cell config. The fleet coordinator (internal/fleet) rebuilds
+// exactly these bytes around worker-streamed summaries, which is what makes
+// a merged fleet response byte-identical to a single daemon's.
 func cellLine(idx int, hash string, summaryJSON []byte) []byte {
 	line := fmt.Appendf(nil, `{"index":%d,"hash":%q,"summary":`, idx, hash)
 	line = append(line, summaryJSON...)
 	return append(line, '}')
+}
+
+// CellLine exposes the frozen NDJSON cell-line layout to the fleet
+// coordinator; see cellLine.
+func CellLine(idx int, hash string, summaryJSON []byte) []byte {
+	return cellLine(idx, hash, summaryJSON)
+}
+
+// errorLine composes the per-cell NDJSON error line — the failure
+// counterpart of cellLine, same frozen layout discipline.
+func errorLine(idx int, hash, msg string) []byte {
+	return fmt.Appendf(nil, `{"index":%d,"hash":%q,"error":%q}`, idx, hash, msg)
+}
+
+// ErrorCellLine exposes the frozen NDJSON error-line layout to the fleet
+// coordinator; see errorLine.
+func ErrorCellLine(idx int, hash, msg string) []byte {
+	return errorLine(idx, hash, msg)
 }
 
 // Drain stops accepting jobs, waits for every accepted cell to finish (or
@@ -302,6 +408,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 	if !m.queueClosed { // all cells consumed: jobWG is zero and Submit rejects
 		close(m.queue)
 		m.queueClosed = true
+		close(m.janitorStop)
 	}
 	m.mu.Unlock()
 	m.workerWG.Wait()
@@ -311,8 +418,33 @@ func (m *Manager) Drain(ctx context.Context) error {
 // Draining reports whether Drain has been initiated.
 func (m *Manager) Draining() bool { return m.draining.Load() }
 
-// Counters reports lifetime job/cell counters and the live queue depth.
-func (m *Manager) Counters() (jobs, active, cells, cached, errors, depth int64) {
-	return m.jobsTotal.Load(), m.activeJobs.Load(), m.cellsTotal.Load(),
-		m.cellsCached.Load(), m.cellErrors.Load(), m.queueDepth.Load()
+// ManagerStats is the manager's operational counter snapshot for /metrics.
+type ManagerStats struct {
+	Jobs          int64 // jobs accepted over the process lifetime
+	JobsEvicted   int64 // completed jobs dropped by TTL/count retention
+	JobsRetained  int   // jobs currently addressable under /v1/jobs
+	ActiveJobs    int64 // jobs with incomplete cells
+	Cells         int64 // cells processed (cache hits included)
+	CellsCached   int64 // cells served from the result cache
+	CellsCanceled int64 // cells skipped or aborted by client disconnect
+	CellErrors    int64 // cells that failed after validation
+	QueueDepth    int64 // cells queued but not yet started
+}
+
+// Stats reports lifetime job/cell counters and the live queue depth.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	retained := len(m.jobOrder)
+	m.mu.Unlock()
+	return ManagerStats{
+		Jobs:          m.jobsTotal.Load(),
+		JobsEvicted:   m.jobsEvicted.Load(),
+		JobsRetained:  retained,
+		ActiveJobs:    m.activeJobs.Load(),
+		Cells:         m.cellsTotal.Load(),
+		CellsCached:   m.cellsCached.Load(),
+		CellsCanceled: m.cellsCanceled.Load(),
+		CellErrors:    m.cellErrors.Load(),
+		QueueDepth:    m.queueDepth.Load(),
+	}
 }

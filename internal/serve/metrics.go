@@ -13,13 +13,13 @@ import (
 // lifetime), cache effectiveness, queue pressure, and the simulation
 // arena pool's reuse behavior under concurrent traffic (DESIGN.md §9).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	jobs, active, cells, cached, cellErrs, depth := s.manager.Counters()
+	st := s.manager.Stats()
 	hits, misses, entries := s.cache.Stats()
 	reuses, builds, puts := core.ArenaStats()
 	uptime := time.Since(s.started).Seconds()
 	cellsPerSec := 0.0
 	if uptime > 0 {
-		cellsPerSec = float64(cells) / uptime
+		cellsPerSec = float64(st.Cells) / uptime
 	}
 	hitRate := 0.0
 	if hits+misses > 0 {
@@ -37,13 +37,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, m := range []metric{
 		{"hdlsd_uptime_seconds", "Seconds since the daemon started.", "gauge", uptime},
-		{"hdlsd_jobs_total", "Sweep jobs accepted.", "counter", float64(jobs)},
-		{"hdlsd_jobs_active", "Jobs with incomplete cells.", "gauge", float64(active)},
-		{"hdlsd_cells_total", "Simulation cells processed (cache hits included).", "counter", float64(cells)},
-		{"hdlsd_cells_cached_total", "Cells served from the result cache.", "counter", float64(cached)},
-		{"hdlsd_cell_errors_total", "Cells that failed after validation.", "counter", float64(cellErrs)},
+		{"hdlsd_jobs_total", "Sweep jobs accepted.", "counter", float64(st.Jobs)},
+		{"hdlsd_jobs_active", "Jobs with incomplete cells.", "gauge", float64(st.ActiveJobs)},
+		{"hdlsd_jobs_retained", "Jobs currently replayable under /v1/jobs.", "gauge", float64(st.JobsRetained)},
+		{"hdlsd_jobs_evicted_total", "Completed jobs dropped by TTL/count retention.", "counter", float64(st.JobsEvicted)},
+		{"hdlsd_cells_total", "Simulation cells processed (cache hits included).", "counter", float64(st.Cells)},
+		{"hdlsd_cells_cached_total", "Cells served from the result cache.", "counter", float64(st.CellsCached)},
+		{"hdlsd_cells_canceled_total", "Cells skipped or aborted after client disconnect.", "counter", float64(st.CellsCanceled)},
+		{"hdlsd_cell_errors_total", "Cells that failed after validation.", "counter", float64(st.CellErrors)},
 		{"hdlsd_cells_per_second", "Lifetime cell throughput.", "gauge", cellsPerSec},
-		{"hdlsd_queue_depth", "Cells queued but not yet started.", "gauge", float64(depth)},
+		{"hdlsd_queue_depth", "Cells queued but not yet started.", "gauge", float64(st.QueueDepth)},
 		{"hdlsd_cache_hits_total", "Result-cache hits.", "counter", float64(hits)},
 		{"hdlsd_cache_misses_total", "Result-cache misses.", "counter", float64(misses)},
 		{"hdlsd_cache_entries", "Result-cache resident entries.", "gauge", float64(entries)},

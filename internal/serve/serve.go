@@ -13,7 +13,8 @@
 //	GET  /v1/jobs/{id}/results NDJSON stream, cells in index order
 //	GET  /v1/techniques        DLS technique discovery
 //	GET  /v1/workloads         workload spec discovery
-//	GET  /healthz              liveness (503 while draining)
+//	GET  /healthz              liveness (always 200 while the process serves)
+//	GET  /readyz               readiness (503 + Retry-After on drain/overload)
 //	GET  /metrics              Prometheus-style counters
 package serve
 
@@ -55,6 +56,19 @@ type Options struct {
 	// so this is the request's memory ceiling; checked via workload.SpecN
 	// before the profile is built.
 	MaxWorkloadN int
+	// JobTTL bounds how long a completed job stays replayable under
+	// /v1/jobs/{id} (default 15 minutes). Together with RetainedJobs it
+	// caps job-store growth; evictions are counted on /metrics.
+	JobTTL time.Duration
+	// RetainedJobs caps how many completed jobs are retained for replay
+	// (default 256); the oldest completed jobs are evicted first.
+	RetainedJobs int
+	// Chaos, when non-empty, arms the deterministic fault-injection layer:
+	// a static chaos spec (e.g. "truncate:lines=3,times=1"), or "header" to
+	// inject only per-request via the X-Chaos header. Requests may override
+	// the static spec with X-Chaos. Never enable in production; the fleet
+	// tests and chaos harness use it to exercise every failure path.
+	Chaos string
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +93,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxWorkloadN <= 0 {
 		o.MaxWorkloadN = 1 << 22
 	}
+	if o.JobTTL <= 0 {
+		o.JobTTL = 15 * time.Minute
+	}
+	if o.RetainedJobs <= 0 {
+		o.RetainedJobs = 256
+	}
 	return o
 }
 
@@ -89,6 +109,7 @@ type Server struct {
 	cache   *Cache
 	manager *Manager
 	mux     *http.ServeMux
+	handler http.Handler // mux, possibly wrapped in the chaos layer
 	started time.Time
 
 	techOnce sync.Once
@@ -97,13 +118,24 @@ type Server struct {
 
 // New builds a Server and starts its worker pool.
 func New(opt Options) *Server {
+	s, err := NewWithError(opt)
+	if err != nil { // only a malformed Options.Chaos spec can fail
+		panic(err)
+	}
+	return s
+}
+
+// NewWithError is New returning spec errors (a malformed Options.Chaos)
+// instead of panicking; cmd/hdlsd uses it to turn flag typos into a clean
+// startup failure.
+func NewWithError(opt Options) (*Server, error) {
 	o := opt.withDefaults()
 	s := &Server{
 		opts:    o,
 		cache:   NewCache(o.CacheEntries),
 		started: time.Now(),
 	}
-	s.manager = NewManager(o.Workers, o.QueueCapacity, s.cache)
+	s.manager = NewManager(o.Workers, o.QueueCapacity, o.JobTTL, o.RetainedJobs, s.cache)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -112,12 +144,21 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("GET /v1/techniques", s.handleTechniques)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	s.handler = s.mux
+	if o.Chaos != "" {
+		h, err := Chaos(o.Chaos, s.mux)
+		if err != nil {
+			return nil, err
+		}
+		s.handler = h
+	}
+	return s, nil
 }
 
 // Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Drain stops accepting work and waits for accepted jobs (bounded by ctx).
 func (s *Server) Drain(ctx context.Context) error { return s.manager.Drain(ctx) }
@@ -157,14 +198,21 @@ const maxTotalWorkers = 1 << 20
 // validation, because validation itself builds the machine model and the
 // workload profile, both sized by request fields — then runs the full
 // validator. All failures map to 400s.
-func (s *Server) checkCell(cfg hdls.Config) error {
+func (s *Server) checkCell(cfg hdls.Config) error { return s.opts.CheckCell(cfg) }
+
+// CheckCell validates one cell against these limits (zero fields take the
+// defaults), then runs the full hdls.Config validator. Exported so the
+// fleet coordinator rejects a sweep with exactly the 400s a worker would,
+// instead of discovering validation failures shard by shard mid-dispatch.
+func (o Options) CheckCell(cfg hdls.Config) error {
+	o = o.withDefaults()
 	c := cfg.Canonical()
-	if c.Nodes > s.opts.MaxNodes {
-		return fmt.Errorf("nodes %d exceeds the service limit %d", c.Nodes, s.opts.MaxNodes)
+	if c.Nodes > o.MaxNodes {
+		return fmt.Errorf("nodes %d exceeds the service limit %d", c.Nodes, o.MaxNodes)
 	}
-	if c.WorkersPerNode > s.opts.MaxWorkersPerNode {
+	if c.WorkersPerNode > o.MaxWorkersPerNode {
 		return fmt.Errorf("workers_per_node %d exceeds the service limit %d",
-			c.WorkersPerNode, s.opts.MaxWorkersPerNode)
+			c.WorkersPerNode, o.MaxWorkersPerNode)
 	}
 	if c.Nodes > 0 && c.WorkersPerNode > 0 && c.Nodes*c.WorkersPerNode > maxTotalWorkers {
 		return fmt.Errorf("nodes × workers_per_node = %d exceeds the service limit %d",
@@ -175,21 +223,29 @@ func (s *Server) checkCell(cfg hdls.Config) error {
 		if err != nil {
 			return err
 		}
-		if n > s.opts.MaxWorkloadN {
+		if n > o.MaxWorkloadN {
 			return fmt.Errorf("workload %q has %d iterations, exceeding the service limit %d",
-				c.Workload, n, s.opts.MaxWorkloadN)
+				c.Workload, n, o.MaxWorkloadN)
 		}
 	}
 	return cfg.Validate()
 }
 
-// submitOrFail maps submission errors to 503s. nil job means the response
-// has been written.
-func (s *Server) submitOrFail(w http.ResponseWriter, cells []hdls.Config) *Job {
-	job, err := s.manager.Submit(cells)
+// retryAfterSeconds is the back-pressure hint on drain/overload 503s: shed
+// requests tell clients when to come back instead of letting them hammer a
+// saturated daemon.
+const retryAfterSeconds = "2"
+
+// submitOrFail maps submission errors to 503s with a Retry-After hint. The
+// job's cells are tied to ctx: handlers pass the request context for
+// synchronous (streaming) submissions so a client disconnect cancels the
+// work, and context.Background() for async jobs that must run to
+// completion. nil job means the response has been written.
+func (s *Server) submitOrFail(ctx context.Context, w http.ResponseWriter, cells []hdls.Config) *Job {
+	job, err := s.manager.SubmitCtx(ctx, cells)
 	if err != nil {
-		status := http.StatusServiceUnavailable
-		httpError(w, status, "%v", err)
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return nil
 	}
 	return job
@@ -213,7 +269,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeRunBody(w, hash, body, "hit")
 		return
 	}
-	job := s.submitOrFail(w, []hdls.Config{cfg})
+	job := s.submitOrFail(r.Context(), w, []hdls.Config{cfg})
 	if job == nil {
 		return
 	}
@@ -282,11 +338,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	job := s.submitOrFail(w, req.Cells)
+	// Streamed sweeps live and die with their request: the submitter is the
+	// only reader, so its disconnect cancels the remaining cells. Async jobs
+	// detach (context.Background()) — their results are fetched later.
+	stream := wantStream(r)
+	ctx := context.Background()
+	if stream {
+		ctx = r.Context()
+	}
+	job := s.submitOrFail(ctx, w, req.Cells)
 	if job == nil {
 		return
 	}
-	if wantStream(r) {
+	if stream {
 		s.streamJob(w, r, job)
 		return
 	}
@@ -432,14 +496,37 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealthz is the liveness/readiness probe: 200 while serving, 503
-// once draining so load balancers stop routing before shutdown.
+// handleHealthz is the liveness probe: 200 for as long as the process can
+// answer HTTP at all, draining included. Liveness deliberately says nothing
+// about whether the daemon wants traffic — that is /readyz — so orchestrators
+// don't kill a pod that is merely draining or saturated.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if s.manager.Draining() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintf(w, "{\"status\":\"draining\"}\n")
-		return
-	}
 	fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.1f}\n", time.Since(s.started).Seconds())
+}
+
+// handleReadyz is the readiness probe: 503 with a Retry-After hint once the
+// daemon drains or its cell queue saturates, so load balancers and fleet
+// coordinators stop routing before submissions start bouncing. The body
+// reports the drain state and worker-pool saturation either way.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.manager.Stats()
+	capacity := s.manager.QueueCapacity()
+	draining := s.manager.Draining()
+	saturated := st.QueueDepth >= int64(capacity)
+	status := "ready"
+	code := http.StatusOK
+	switch {
+	case draining:
+		status, code = "draining", http.StatusServiceUnavailable
+	case saturated:
+		status, code = "saturated", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if code != http.StatusOK {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		w.WriteHeader(code)
+	}
+	fmt.Fprintf(w, "{\"status\":%q,\"draining\":%t,\"queue_depth\":%d,\"queue_capacity\":%d,\"workers\":%d,\"active_jobs\":%d}\n",
+		status, draining, st.QueueDepth, capacity, s.opts.Workers, st.ActiveJobs)
 }

@@ -17,10 +17,19 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 )
+
+// ErrInterrupted reports that a run was aborted by an external interrupt
+// flag (SetInterrupt) before the event queue drained. The engine's state is
+// undefined afterwards — parked processes have been reaped by Shutdown, but
+// events may remain queued — so an interrupted engine must be abandoned,
+// never Reset.
+var ErrInterrupted = errors.New("sim: run interrupted")
 
 // Time is virtual time in seconds.
 type Time float64
@@ -118,6 +127,28 @@ type Engine struct {
 	// curBorn is the scheduling time of the event currently being executed
 	// (see EventScheduledAt).
 	curBorn Time
+
+	// interrupt, when non-nil, is polled every interruptStride events; once
+	// it reads true the run aborts with ErrInterrupted. The flag is owned by
+	// the caller (typically set from another goroutine on request
+	// cancellation) and is the only cross-goroutine communication the engine
+	// ever performs; non-interrupted runs are unaffected because the flag is
+	// only read, never written, on the simulation path.
+	interrupt   *atomic.Bool
+	intCount    int
+	interrupted bool
+}
+
+// interruptStride is how many events fire between interrupt-flag polls: rare
+// enough that the atomic load vanishes from profiles, frequent enough that a
+// canceled cell stops within microseconds of wall-clock work.
+const interruptStride = 512
+
+// SetInterrupt installs (or, with nil, removes) the run's interrupt flag.
+// It must be called while the engine is idle, before Run.
+func (e *Engine) SetInterrupt(flag *atomic.Bool) {
+	e.interrupt = flag
+	e.intCount = 0
 }
 
 // NewEngine returns an engine with its virtual clock at zero and a
@@ -432,6 +463,18 @@ func (e *Engine) scheduleResume(p *Proc, t Time) {
 // current baton holder and must park (or finish) immediately after.
 func (e *Engine) dispatch() {
 	for e.pending() {
+		if e.interrupt != nil {
+			if e.intCount++; e.intCount >= interruptStride {
+				e.intCount = 0
+				if e.interrupt.Load() {
+					// Abort: pretend the queue drained and hand the baton
+					// back to Run, which sees the flag and shuts down.
+					e.interrupted = true
+					e.main <- struct{}{}
+					return
+				}
+			}
+		}
 		ev := e.pop()
 		pay := e.pays[ev.pay]
 		e.pays[ev.pay] = payload{}
@@ -475,6 +518,11 @@ func (e *Engine) Run() error {
 	defer func() { e.running = false }()
 	e.dispatch()
 	<-e.main
+	if e.interrupted {
+		e.interrupted = false
+		e.Shutdown()
+		return ErrInterrupted
+	}
 	if e.live > 0 {
 		d := &DeadlockError{Now: e.now}
 		for _, p := range e.procs {
@@ -536,4 +584,7 @@ func (e *Engine) Reset(seed int64) {
 	e.free = e.free[:0]
 	e.procs = e.procs[:0]
 	e.rng.Seed(seed)
+	e.interrupt = nil
+	e.intCount = 0
+	e.interrupted = false
 }

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Fleet end-to-end smoke: coordinator + 3 workers over real HTTP, with a
+# worker SIGKILLed mid-sweep. The acceptance property is byte-identity
+# under failure — the merged 64-cell NDJSON stream must equal a single
+# daemon's output for the same sweep, even though a third of the fleet
+# died while serving it — plus visible retry/re-route/breaker counters on
+# the coordinator's /metrics. CI runs it in the fleet shard; locally:
+# scripts/fleet_smoke.sh
+set -euo pipefail
+
+CPORT="${FLEET_COORD_PORT:-19080}"
+WPORT1="${FLEET_W1_PORT:-19081}"
+WPORT2="${FLEET_W2_PORT:-19082}"
+WPORT3="${FLEET_W3_PORT:-19083}"
+SPORT="${FLEET_SINGLE_PORT:-19084}"
+COORD="http://127.0.0.1:${CPORT}"
+DIR="$(mktemp -d)"
+PIDS=()
+trap 'kill "${PIDS[@]}" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+echo "== build"
+go build -o "$DIR/hdlsd" ./cmd/hdlsd
+
+wait_healthy() {
+  for i in $(seq 1 50); do
+    if curl -fsS "$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "daemon at $1 never became healthy"
+  cat "$DIR"/*.log || true
+  exit 1
+}
+
+echo "== start 3 workers + coordinator + reference single daemon"
+for p in "$WPORT1" "$WPORT2" "$WPORT3"; do
+  "$DIR/hdlsd" -addr "127.0.0.1:${p}" -workers 1 >"$DIR/worker-${p}.log" 2>&1 &
+  PIDS+=($!)
+done
+VICTIM_PID=${PIDS[1]} # the worker on WPORT2
+"$DIR/hdlsd" -role coordinator -addr "127.0.0.1:${CPORT}" \
+  -peers "http://127.0.0.1:${WPORT1},http://127.0.0.1:${WPORT2},http://127.0.0.1:${WPORT3}" \
+  -breaker-failures 1 -breaker-cooldown 60s -backoff 50ms -cell-timeout 30s \
+  -probe-interval 500ms >"$DIR/coordinator.log" 2>&1 &
+PIDS+=($!)
+COORD_PID=${PIDS[3]}
+"$DIR/hdlsd" -addr "127.0.0.1:${SPORT}" -workers 4 >"$DIR/single.log" 2>&1 &
+PIDS+=($!)
+for p in "$WPORT1" "$WPORT2" "$WPORT3" "$CPORT" "$SPORT"; do
+  wait_healthy "http://127.0.0.1:${p}"
+done
+curl -fsS "$COORD/readyz" | grep -q '"status":"ready"' || {
+  echo "coordinator not ready"; curl -s "$COORD/readyz"; exit 1; }
+
+echo "== build the 64-cell sweep"
+# Heavy enough cells (524288-iteration gaussian loops on 1-thread workers,
+# a few hundred ms each) that the sweep is demonstrably in flight when the
+# SIGKILL lands.
+python3 - "$DIR/sweep.json" <<'EOF'
+import json, sys
+inters = ["STATIC", "GSS", "TSS", "FAC2"]
+cells = [{
+    "nodes": 2, "workers_per_node": 8,
+    "inter": inters[i % 4], "intra": "STATIC", "approach": "MPI+MPI",
+    "seed": i + 1, "workload": "gaussian:n=524288,cv=0.5",
+} for i in range(64)]
+json.dump({"cells": cells}, open(sys.argv[1], "w"))
+EOF
+
+echo "== reference run on the single daemon"
+curl -fsSN -H 'Content-Type: application/json' --data-binary "@$DIR/sweep.json" \
+  "http://127.0.0.1:${SPORT}/v1/sweep?stream=1" -o "$DIR/expected.ndjson"
+[ "$(wc -l <"$DIR/expected.ndjson")" = 64 ] || { echo "reference run incomplete"; exit 1; }
+
+echo "== fleet run, SIGKILLing worker 2 mid-sweep"
+: >"$DIR/fleet.ndjson"
+curl -fsSN -H 'Content-Type: application/json' --data-binary "@$DIR/sweep.json" \
+  "$COORD/v1/sweep" -o "$DIR/fleet.ndjson" &
+CURL_PID=$!
+# Kill once the stream has demonstrably started but long before it is done.
+for i in $(seq 1 200); do
+  LINES=$(wc -l <"$DIR/fleet.ndjson")
+  if [ "$LINES" -ge 2 ]; then break; fi
+  if ! kill -0 "$CURL_PID" 2>/dev/null; then break; fi
+  sleep 0.05
+done
+if [ "$(wc -l <"$DIR/fleet.ndjson")" -lt 64 ]; then
+  echo "   killing worker pid $VICTIM_PID at $(wc -l <"$DIR/fleet.ndjson") lines"
+else
+  echo "   sweep finished before the kill; failover not exercised this run"
+fi
+kill -9 "$VICTIM_PID"
+wait "$VICTIM_PID" 2>/dev/null || true
+wait "$CURL_PID" || { echo "fleet sweep stream failed"; cat "$DIR/coordinator.log"; exit 1; }
+
+echo "== byte-identity under worker loss"
+cmp "$DIR/expected.ndjson" "$DIR/fleet.ndjson" || {
+  echo "merged fleet stream differs from the single-daemon reference"
+  exit 1
+}
+
+echo "== degraded fleet still serves, byte-identically, with 2/3 workers"
+curl -fsSN -H 'Content-Type: application/json' --data-binary "@$DIR/sweep.json" \
+  "$COORD/v1/sweep" -o "$DIR/fleet2.ndjson"
+cmp "$DIR/expected.ndjson" "$DIR/fleet2.ndjson" || {
+  echo "degraded-fleet rerun not byte-identical"; exit 1; }
+
+echo "== coordinator metrics show the failure handling"
+curl -fsS "$COORD/metrics" >"$DIR/metrics.txt"
+grep -q '^hdlsd_fleet_breaker_opens_total [1-9]' "$DIR/metrics.txt" || {
+  echo "no breaker trip recorded"; cat "$DIR/metrics.txt"; exit 1; }
+for m in hdlsd_fleet_retries_total hdlsd_fleet_reroutes_total hdlsd_fleet_shed_total \
+         hdlsd_fleet_breaker_state hdlsd_fleet_cells_total; do
+  grep -q "$m" "$DIR/metrics.txt" || { echo "metrics missing $m"; exit 1; }
+done
+grep -q 'hdlsd_fleet_workers_available 2' "$DIR/metrics.txt" || {
+  echo "dead worker still counted available"; grep workers_available "$DIR/metrics.txt"; exit 1; }
+
+echo "== /v1/run through the coordinator relays worker bytes"
+CELL='{"nodes":2,"workers_per_node":8,"inter":"GSS","intra":"STATIC","approach":"MPI+MPI","workload":"gaussian:n=2048,cv=0.5"}'
+curl -fsS -d "$CELL" "$COORD/v1/run" -o "$DIR/coord-run.json"
+curl -fsS -d "$CELL" "http://127.0.0.1:${SPORT}/v1/run" -o "$DIR/single-run.json"
+cmp "$DIR/coord-run.json" "$DIR/single-run.json" || { echo "/v1/run bodies differ"; exit 1; }
+
+echo "== readyz reflects the open breaker but the fleet stays ready"
+curl -fsS "$COORD/readyz" >"$DIR/readyz.json"
+grep -q '"status":"ready"' "$DIR/readyz.json" || { echo "fleet should still be ready"; exit 1; }
+grep -q '"open"' "$DIR/readyz.json" || { echo "dead worker's breaker not open in readyz"; cat "$DIR/readyz.json"; exit 1; }
+
+echo "== graceful coordinator shutdown"
+kill -TERM "$COORD_PID"
+for i in $(seq 1 50); do
+  if ! kill -0 "$COORD_PID" 2>/dev/null; then break; fi
+  if [ "$i" = 50 ]; then echo "coordinator never exited"; exit 1; fi
+  sleep 0.2
+done
+
+echo "fleet smoke: OK"
