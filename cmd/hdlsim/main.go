@@ -69,7 +69,7 @@ func main() {
 	fatalIf(err)
 	ap, err := parseApproach(*approach)
 	fatalIf(err)
-	nodeList, err := cliutil.ParsePositiveInts(*nodesCSV)
+	nodeList, err := cliutil.ParseNodeCounts(*nodesCSV)
 	if err != nil {
 		fatalIf(fmt.Errorf("-nodes: %w (want a positive count or comma-separated list, e.g. 2,4,8,16)", err))
 	}

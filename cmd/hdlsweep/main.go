@@ -104,7 +104,7 @@ func main() {
 	fatalIf(err)
 	defer stopProf()
 
-	nodes, err := cliutil.ParsePositiveInts(*nodesCSV)
+	nodes, err := cliutil.ParseNodeCounts(*nodesCSV)
 	if err != nil {
 		fatalIf(fmt.Errorf("-nodes: %w (want positive counts, e.g. 2,4,8,16)", err))
 	}

@@ -92,8 +92,41 @@ func ParseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
+// ParseNodeCounts parses the -nodes comma list strictly. Each element
+// names one row of the sweep axis, so sloppy input that a lenient parser
+// would paper over changes what actually runs: a duplicate ("8,8")
+// silently runs a cell twice and skews aggregate output, a trailing comma
+// ("8,8,") hides a dropped element, and embedded whitespace ("2, 4") is
+// usually a shell-quoting accident. All three are rejected with errors
+// naming the offending element instead of being normalized away.
+func ParseNodeCounts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	seen := make(map[int]bool, len(parts))
+	for i, part := range parts {
+		if part == "" {
+			return nil, fmt.Errorf("empty element at position %d in %q", i+1, s)
+		}
+		if trimmed := strings.TrimSpace(part); trimmed != part {
+			return nil, fmt.Errorf("element %q contains whitespace; write it as %q", part, trimmed)
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad node count %q", part)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("duplicate node count %d", v)
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // ParsePositiveInts parses a comma-separated list of positive integers
-// ("16,64"), rejecting zero and negatives.
+// ("16,64"), rejecting zero and negatives. Unlike ParseNodeCounts it
+// tolerates whitespace and duplicates: it backs flags like -cores where
+// repeated values are meaningful (per-node core counts).
 func ParsePositiveInts(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {

@@ -54,18 +54,61 @@ func (h *harness) runMPIMPI() error {
 	// node receives the same *Win from the collective allocation).
 	localWins := make([]*mpi.Win, c.Cluster.Nodes)
 	finished := 0
+	fin := func() { finished++ }
 
-	runErr := world.Launch(func(r *mpi.Rank) {
+	// Under lane mode (DESIGN.md §11) the setup collectives run on the
+	// main engine as always, but worker bodies of lane nodes are deferred:
+	// every barrier release fires at the same (time, born) main-engine
+	// position, so the last one — before any later-timed event can fire on
+	// any engine — schedules the deferred bodies onto their node lanes at
+	// that instant, in release order. Per-node relative order is exactly the
+	// literal release order, which is all the lane's private event stream
+	// can observe.
+	ff := h.ffLanes()
+	type laneStart struct {
+		node int
+		run  func()
+	}
+	var (
+		released int
+		deferred []laneStart
+	)
+
+	start := func(r *mpi.Rank) {
 		world.Comm().WinAllocateCont(r, "global-queue", 2, func(gw *mpi.Win) {
 			nodeComm := world.SplitTypeShared(r)
 			nodeComm.WinAllocateSharedCont(r, fmt.Sprintf("local-queue-%d", r.Node()), ringWords, func(lw *mpi.Win) {
 				localWins[r.Node()] = lw
+				w := nodeComm.RankOf(r)
 				world.Comm().BarrierCont(r, func() {
-					h.mpimpiWorker(r, gw, lw, nodeComm.RankOf(r), inter, n, func() { finished++ })
+					if !ff || r.Node() == 0 {
+						h.mpimpiWorker(r, gw, lw, w, inter, n, fin)
+					} else {
+						deferred = append(deferred, laneStart{node: r.Node(), run: func() {
+							h.mpimpiWorker(r, gw, lw, w, inter, n, fin)
+						}})
+					}
+					released++
+					if ff && released == world.Size() {
+						now := world.Engine().Now()
+						for _, d := range deferred {
+							world.EngineFor(d.node).ScheduleAsOf(now, now, d.run)
+						}
+						deferred = nil
+					}
 				})
 			})
 		})
-	})
+	}
+
+	var runErr error
+	if ff {
+		world.EnableLanes()
+		runErr = world.LaunchLanes(start)
+	} else {
+		runErr = world.Launch(start)
+	}
+	lastRunPushes.Store(uint64(world.Engine().PushStamp()))
 	if runErr != nil {
 		return runErr
 	}
@@ -121,7 +164,7 @@ func (h *harness) mpimpiWorker(r *mpi.Rank, gw, lw *mpi.Win, w int, inter interS
 		schedKnd trace.Kind
 		lockCont func()
 		fopSched func(int64)
-		eng      = h.eng
+		eng      = h.engFor(r)
 	)
 	fop := gw.NewFetchAndOpCont(r)
 
@@ -141,9 +184,9 @@ func (h *harness) mpimpiWorker(r *mpi.Rank, gw, lw *mpi.Win, w int, inter interS
 		start = release
 		if a < b {
 			d := r.ComputeCost(h.prof.Range(a, b))
-			eng.ScheduleAsOf(release+d, release, execEnd)
+			eng.AbsorbAsOf(release+d, release, execEnd)
 		} else {
-			eng.ScheduleAsOf(release, release, execEnd)
+			eng.AbsorbAsOf(release, release, execEnd)
 		}
 	}
 	// exitCont runs at the unlock release on the queue-drained path — where
@@ -216,7 +259,7 @@ func (h *harness) mpimpiWorker(r *mpi.Rank, gw, lw *mpi.Win, w int, inter interS
 		}
 		size = inter.Chunk(int(step), requester)
 		now := eng.Now()
-		eng.ScheduleAsOf(now+cc, now, fopCalc)
+		eng.AbsorbAsOf(now+cc, now, fopCalc)
 	}
 	// refill runs stage 2 holding the queue lock — two atomics on the
 	// global window — starting at the literal Sync wake position.
@@ -247,7 +290,7 @@ func (h *harness) mpimpiWorker(r *mpi.Rank, gw, lw *mpi.Win, w int, inter interS
 		// Queue empty, not done: this worker refills from the global queue,
 		// resuming at the literal Sync wake.
 		now := r.Now()
-		eng.ScheduleAsOf(now+ws, now, refill)
+		eng.AbsorbAsOf(now+ws, now, refill)
 	}
 
 	lockCont = lw.NewLockCont(r, 0, mpi.LockExclusive, granted)

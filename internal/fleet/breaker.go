@@ -128,6 +128,21 @@ func (b *Breaker) Fail() {
 	}
 }
 
+// ReadyAt returns when the breaker will next admit traffic: the half-open
+// deadline while the cooldown is still running, the zero time (ready now)
+// otherwise. The coordinator derives its Retry-After hints from the
+// earliest deadline across the fleet.
+func (b *Breaker) ReadyAt() time.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		if at := b.openedAt.Add(b.cooldown); at.After(b.now()) {
+			return at
+		}
+	}
+	return time.Time{}
+}
+
 // State returns the breaker's current position (after applying a due
 // open → half-open transition, so metrics don't report a stale "open").
 func (b *Breaker) State() BreakerState {

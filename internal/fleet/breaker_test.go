@@ -107,3 +107,49 @@ func TestBreakerLateFailuresWhileOpen(t *testing.T) {
 		t.Fatal("straggler failure extended the cooldown")
 	}
 }
+
+// TestRetryAfterFromBreakerDeadline drives the coordinator's Retry-After
+// derivation with an injected clock: a fully-open fleet hints the earliest
+// half-open deadline (rounded up, floored at 1), and the hint shrinks as
+// that deadline approaches.
+func TestRetryAfterFromBreakerDeadline(t *testing.T) {
+	c, err := New(Options{
+		Workers:         []string{"http://w1", "http://w2"},
+		BreakerFailures: 1,
+		BreakerCooldown: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	base := time.Unix(1000, 0)
+	now := base
+	clock := func() time.Time { return now }
+	c.now = clock
+	for _, wk := range c.workers {
+		wk.breaker.now = clock
+	}
+
+	if got := c.retryAfter(); got != retryAfterSeconds {
+		t.Fatalf("healthy fleet: Retry-After = %q, want the %q default", got, retryAfterSeconds)
+	}
+
+	// Trip w1 now and w2 three seconds later: the hint must follow the
+	// EARLIEST half-open deadline (w1's, 10s out), not w2's.
+	c.workers[0].breaker.Fail()
+	now = base.Add(3 * time.Second)
+	c.workers[1].breaker.Fail()
+	if got := c.retryAfter(); got != "7" {
+		t.Fatalf("both open at t=3s: Retry-After = %q, want \"7\" (w1 reopens at t=10s)", got)
+	}
+
+	// Fractional remainders round up, and the hint never drops below 1.
+	now = base.Add(9*time.Second + 100*time.Millisecond)
+	if got := c.retryAfter(); got != "1" {
+		t.Fatalf("900ms before the deadline: Retry-After = %q, want \"1\"", got)
+	}
+	now = base.Add(20 * time.Second)
+	if got := c.retryAfter(); got != retryAfterSeconds {
+		t.Fatalf("cooldown elapsed: Retry-After = %q, want the %q default (half-open admits a trial)", got, retryAfterSeconds)
+	}
+}

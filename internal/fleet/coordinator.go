@@ -8,8 +8,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -131,6 +133,8 @@ type Coordinator struct {
 	// sleep is the backoff wait, injectable so retry tests run in
 	// microseconds while still observing every requested delay.
 	sleep func(ctx context.Context, d time.Duration) error
+	// now is the clock behind Retry-After derivation, injectable for tests.
+	now func() time.Time
 
 	probeStop chan struct{}
 	probeDone chan struct{}
@@ -161,6 +165,7 @@ func New(opt Options) (*Coordinator, error) {
 		sweepSem:  make(chan struct{}, o.MaxSweeps),
 		jitter:    rand.New(rand.NewSource(o.JitterSeed)),
 		sleep:     sleepCtx,
+		now:       time.Now,
 		probeStop: make(chan struct{}),
 		probeDone: make(chan struct{}),
 	}
@@ -270,8 +275,39 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Write(append(body, '\n'))
 }
 
-// retryAfterSeconds mirrors the workers' back-pressure hint on shed 503s.
+// retryAfterSeconds mirrors the workers' back-pressure hint on capacity
+// sheds (sweep limit reached, or a worker is ready right now and the
+// failure was transient). Breaker-driven refusals derive a sharper hint
+// from the actual half-open deadlines instead — see retryAfter.
 const retryAfterSeconds = "2"
+
+// retryAfter derives the Retry-After hint for a breaker-driven refusal:
+// the earliest moment any worker's breaker re-admits traffic (its half-open
+// deadline), rounded up to whole seconds and floored at 1 so the hint never
+// tells clients to hammer immediately. When some breaker already admits
+// traffic the refusal wasn't breaker-bound, and the workers' own
+// back-pressure default applies.
+func (c *Coordinator) retryAfter() string {
+	var earliest time.Time
+	for _, wk := range c.workers {
+		at := wk.breaker.ReadyAt()
+		if at.IsZero() {
+			return retryAfterSeconds
+		}
+		if earliest.IsZero() || at.Before(earliest) {
+			earliest = at
+		}
+	}
+	secs := int64(math.Ceil(earliest.Sub(c.now()).Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// maxStreamLine bounds one worker NDJSON line (same cap the scanner-based
+// reader enforced); longer lines are a protocol violation.
+const maxStreamLine = 4 << 20
 
 // cellWork is one cell's routing state while its sweep is in flight.
 type cellWork struct {
@@ -357,7 +393,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// more sweeps than configured.
 	if !c.anyAvailable() {
 		c.shed.Add(1)
-		w.Header().Set("Retry-After", retryAfterSeconds)
+		w.Header().Set("Retry-After", c.retryAfter())
 		httpError(w, http.StatusServiceUnavailable, "no fleet worker is available")
 		return
 	}
@@ -396,13 +432,18 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		batches[wi] = append(batches[wi], cw)
 	}
 
+	// The client's X-Chaos header (if any) rides along on first-attempt
+	// shard streams, so a fault can be injected through the coordinator at
+	// armed workers while recovery still runs clean.
+	chaos := r.Header.Get("X-Chaos")
+
 	mg := newMerge(len(work))
 	var wg sync.WaitGroup
 	for wi, batch := range batches {
 		wg.Add(1)
 		go func(wi int, batch []*cellWork) {
 			defer wg.Done()
-			c.dispatch(ctx, wi, batch, 1, mg)
+			c.dispatch(ctx, wi, batch, 1, chaos, mg)
 		}(wi, batch)
 	}
 	// dispatch resolves every cell (result, worker error line, or fleet
@@ -429,14 +470,16 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 // retries whatever it leaves unresolved, with exponential backoff, against
 // each cell's next ring successor. It returns only once every cell in
 // batch is resolved in the merge. attempt counts this try (1-based);
-// wi < 0 means no worker would admit the batch this round.
-func (c *Coordinator) dispatch(ctx context.Context, wi int, batch []*cellWork, attempt int, mg *merge) {
+// wi < 0 means no worker would admit the batch this round. chaos is the
+// submission's X-Chaos header, forwarded on first attempts only (so
+// injected faults hit initial placement, never the recovery path).
+func (c *Coordinator) dispatch(ctx context.Context, wi int, batch []*cellWork, attempt int, chaos string, mg *merge) {
 	var unresolved []*cellWork
 	var cause error
 	if wi < 0 {
 		unresolved, cause = batch, errors.New("no fleet worker is available")
 	} else {
-		unresolved, cause = c.streamShard(ctx, wi, batch, mg)
+		unresolved, cause = c.streamShard(ctx, wi, batch, chaos, mg)
 	}
 	if len(unresolved) == 0 || ctx.Err() != nil {
 		return
@@ -473,7 +516,7 @@ func (c *Coordinator) dispatch(ctx context.Context, wi int, batch []*cellWork, a
 		wg.Add(1)
 		go func(nwi int, g []*cellWork) {
 			defer wg.Done()
-			c.dispatch(ctx, nwi, g, attempt+1, mg)
+			c.dispatch(ctx, nwi, g, attempt+1, "", mg)
 		}(nwi, g)
 	}
 	wg.Wait()
@@ -497,7 +540,7 @@ type workerLine struct {
 // the cell too, without a retry. Anything else — transport error, non-200,
 // protocol violation, deadline, truncation — fails the worker's breaker
 // and returns the unresolved suffix of the batch for re-routing.
-func (c *Coordinator) streamShard(ctx context.Context, wi int, batch []*cellWork, mg *merge) ([]*cellWork, error) {
+func (c *Coordinator) streamShard(ctx context.Context, wi int, batch []*cellWork, chaos string, mg *merge) ([]*cellWork, error) {
 	wk := c.workers[wi]
 	body, err := json.Marshal(struct {
 		Cells []hdls.Config `json:"cells"`
@@ -512,6 +555,9 @@ func (c *Coordinator) streamShard(ctx context.Context, wi int, batch []*cellWork
 		return batch, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if chaos != "" {
+		req.Header.Set("X-Chaos", chaos)
+	}
 	// The per-cell deadline must also bound the connect/first-header phase:
 	// a stalled worker would otherwise pin the shard inside Do indefinitely.
 	connTimer := time.AfterFunc(c.opts.CellTimeout, cancel)
@@ -536,12 +582,32 @@ func (c *Coordinator) streamShard(ctx context.Context, wi int, batch []*cellWork
 	readErr := make(chan error, 1)
 	go func() {
 		// readErr (buffered) receives exactly one value before lines closes,
-		// so the !ok branch below can always collect the cause.
+		// so the !ok branch below can always collect the cause. Lines are
+		// read by their delimiter, not scanned: NDJSON records end with a
+		// newline, so a final fragment without one is a truncation artifact
+		// (the worker died mid-line) and must never surface as a line —
+		// even when the fragment happens to parse, first-wins merging would
+		// resolve its cell from a record the worker never finished.
 		defer close(lines)
-		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 64<<10), 4<<20)
-		for sc.Scan() {
-			b := append([]byte(nil), sc.Bytes()...)
+		br := bufio.NewReaderSize(resp.Body, 64<<10)
+		for {
+			b, err := br.ReadBytes('\n')
+			if err != nil {
+				switch {
+				case err != io.EOF:
+					readErr <- err
+				case len(b) > 0:
+					readErr <- fmt.Errorf("final line missing its newline: %w", io.ErrUnexpectedEOF)
+				default:
+					readErr <- nil // clean EOF; callers decide if it was early
+				}
+				return
+			}
+			if len(b) > maxStreamLine {
+				readErr <- fmt.Errorf("stream line exceeds %d bytes", maxStreamLine)
+				return
+			}
+			b = bytes.TrimRight(b, "\r\n")
 			select {
 			case lines <- b:
 			case <-reqCtx.Done():
@@ -549,7 +615,6 @@ func (c *Coordinator) streamShard(ctx context.Context, wi int, batch []*cellWork
 				return
 			}
 		}
-		readErr <- sc.Err() // nil on clean EOF; callers decide if EOF was early
 	}()
 
 	// fail marks the worker bad and cancels the in-flight request so the
@@ -675,7 +740,7 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.shed.Add(1)
-	w.Header().Set("Retry-After", retryAfterSeconds)
+	w.Header().Set("Retry-After", c.retryAfter())
 	httpError(w, http.StatusServiceUnavailable, "cell failed after %d attempts: %v", c.opts.MaxAttempts, lastErr)
 }
 
@@ -764,7 +829,7 @@ func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	status, code := "ready", http.StatusOK
 	if available == 0 {
 		status, code = "no-workers", http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", retryAfterSeconds)
+		w.Header().Set("Retry-After", c.retryAfter())
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

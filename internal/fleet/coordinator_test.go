@@ -518,3 +518,109 @@ func TestFleetMetricsAndDiscovery(t *testing.T) {
 		t.Errorf("techniques proxy: %d %s", tresp.StatusCode, tb)
 	}
 }
+
+// TestStreamShardRejectsUnterminatedFinalLine pins the merge layer's
+// NDJSON framing rule: a record is complete only with its newline. The
+// fake worker emits cell 0 properly, then a fully parseable record for
+// cell 1 whose newline never arrives before the connection closes — the
+// signature of a worker dying mid-write. First-wins merging must not
+// resolve cell 1 from it; the shard must fail with an unexpected-EOF so
+// the cell re-routes.
+func TestStreamShardRejectsUnterminatedFinalLine(t *testing.T) {
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Cells []hdls.Config `json:"cells"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Cells) != 2 {
+			t.Errorf("fake worker: bad shard request: %v", err)
+			return
+		}
+		line := func(i int) []byte {
+			b, _ := json.Marshal(map[string]any{
+				"index": i, "hash": req.Cells[i].Hash(),
+				"summary": map[string]any{"fake": i},
+			})
+			return b
+		}
+		w.Write(line(0))
+		w.Write([]byte{'\n'})
+		w.Write(line(1)) // complete JSON, no trailing newline
+	}))
+	defer fake.Close()
+
+	c, err := New(Options{Workers: []string{fake.URL}, CellTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	batch := make([]*cellWork, 2)
+	for i := range batch {
+		cfg := fleetCell(int64(i + 1))
+		batch[i] = &cellWork{index: i, cfg: cfg, hash: cfg.Hash()}
+	}
+	mg := newMerge(2)
+	unresolved, err := c.streamShard(context.Background(), 0, batch, "", mg)
+	if len(unresolved) != 1 || unresolved[0] != batch[1] {
+		t.Fatalf("unresolved = %v, want exactly the unterminated cell", unresolved)
+	}
+	if err == nil || !strings.Contains(err.Error(), "missing its newline") {
+		t.Fatalf("shard error = %v, want the unterminated-line rejection", err)
+	}
+	mg.mu.Lock()
+	resolved0, resolved1 := mg.lines[0] != nil, mg.lines[1] != nil
+	mg.mu.Unlock()
+	if !resolved0 {
+		t.Error("the properly terminated cell 0 did not resolve")
+	}
+	if resolved1 {
+		t.Error("cell 1 resolved from a record the worker never finished")
+	}
+}
+
+// TestFleetRecoversFromUnterminatedLine wires X-Chaos through a
+// coordinator sweep: every worker is armed header-only, and the submission
+// asks first-attempt shard streams to die right before their second
+// line's newline (truncate bytes=-1). The coordinator forwards the header
+// on initial placement only, so retries run clean: the merged body must
+// stay byte-identical and the truncations must register as stream breaks.
+func TestFleetRecoversFromUnterminatedLine(t *testing.T) {
+	w1 := startWorker(t, serve.Options{Chaos: "header"})
+	w2 := startWorker(t, serve.Options{Chaos: "header"})
+	w3 := startWorker(t, serve.Options{Chaos: "header"})
+	c, ts, _ := newCoordinator(t, []string{w1.URL, w2.URL, w3.URL}, nil)
+
+	cells := mixedCells(t, c, 24, 1, 4)
+	body, err := json.Marshal(map[string]any{"cells": cells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sweep?stream=1", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Chaos", "truncate:lines=1,bytes=-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep under injected truncation: status %d: %s", resp.StatusCode, fleetBody)
+	}
+	if want := expectedStream(t, cells); !bytes.Equal(fleetBody, want) {
+		t.Fatalf("sweep under injected truncation not byte-identical:\ngot:  %.300s\nwant: %.300s",
+			fleetBody, want)
+	}
+	if got := c.streamBreaks.Load(); got == 0 {
+		t.Error("unterminated lines did not register as stream breaks")
+	}
+	if got := c.retries.Load(); got == 0 {
+		t.Error("recovery involved no retries — injection never fired")
+	}
+}

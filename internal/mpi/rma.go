@@ -38,6 +38,15 @@ type lockState struct {
 	excl    bool
 	readers int
 
+	// relsInFlight counts releases that have been issued but not yet applied
+	// to the lock word. While it is zero and the lock is held, the lock can
+	// only become *less* available before any instant a fresh attempt's first
+	// check could land — every release must first arrive at the port and its
+	// service queues behind that in-flight attempt — so the check provably
+	// fails and the analytic fast-forward parks the attempt at issue without
+	// an engine event (see NewLockCont).
+	relsInFlight int
+
 	// Wake-chain bookkeeping for coalesced polling: when the lock is in a
 	// state some parked poller could acquire, (wakeAt, wakeBorn) is the
 	// earliest pending poll decision and an engine event is scheduled at
@@ -90,6 +99,17 @@ type rmaPort struct {
 	// reg is the monotone registration counter behind the tie-break
 	// (32-bit with a wrap guard, matching pollerKey.reg).
 	reg uint32
+	// armW/armT are reconcilePort's arm-once scratch: the locks whose
+	// covering mark improved during the current walk, deduplicated.
+	armW []*Win
+	armT []int
+	// checksInFlight counts literal first-check events scheduled on this
+	// port's locks but not yet fired. The analytic fast-forward only parks an
+	// attempt at issue while it is zero: a pending literal check could
+	// register its poller between this issue and its own (later) check
+	// instant, and registration order — which the frozen wake-arming sequence
+	// depends on — must stay the literal check order.
+	checksInFlight int
 }
 
 // pollerKey is a heap entry: the poller's pending-step position plus its
@@ -127,6 +147,12 @@ func (pt *rmaPort) reset() {
 	}
 	pt.byReg = pt.byReg[:0]
 	pt.reg = 0
+	for i := range pt.armW {
+		pt.armW[i] = nil
+	}
+	pt.armW = pt.armW[:0]
+	pt.armT = pt.armT[:0]
+	pt.checksInFlight = 0
 }
 
 // pending reports whether any poll step is registered.
@@ -329,9 +355,24 @@ func (w *World) advancePort(node int, t, bornLimit sim.Time, incl bool) (advance
 			// Resume the winner at its check time, in the position the
 			// literal check event (scheduled at the attempt's arrival)
 			// would have fired, so everything it schedules next gets the
-			// same relative order as in the literal protocol.
+			// same relative order as in the literal protocol. Node-local
+			// continuations go to the node's engine (its lane when armed).
+			//
+			// Analytic fast-forward: when the grant resolves at exactly the
+			// position of the wake event this replay runs in (incl callers
+			// pass their own position), the literal grant event would fire
+			// immediately after the wake completes — nothing can interpose
+			// at the same (time, born) key, since on a homogeneous port no
+			// second wake can cover the same position (reconcilePort never
+			// re-arms an identical one). Collect the continuation instead;
+			// the wake runs it after reconciliation, where eng.Now() and
+			// EventScheduledAt() already equal the grant position.
 			if best.cont != nil {
-				w.eng.ScheduleAsOf(best.at, best.born, best.cont)
+				if incl && best.at == t && best.born == bornLimit && pt.hom && fastFwd.Load() {
+					w.inlineGrants = append(w.inlineGrants, best.cont)
+				} else {
+					w.engOf(node).ScheduleAsOf(best.at, best.born, best.cont)
+				}
 			} else {
 				best.proc.UnparkAsOf(best.at, best.born)
 			}
@@ -368,11 +409,14 @@ func (w *World) reconcilePort(node int) {
 	if pt.hom && len(pt.byReg) > 0 && pt.byReg[0].win.locks[pt.byReg[0].target].excl {
 		return
 	}
-	// Walk in registration order — the literal scan order. The sequence of
-	// armed positions (including the intermediate, immediately-superseded
-	// ones) is part of the frozen event stream, so it must be reproduced
-	// exactly; only the selection scan inside advancePort is free to use the
-	// heap view.
+	// Walk in registration order — the literal scan order — improving each
+	// lock's covering mark, then arm one wake per improved lock at its final
+	// mark. The literal protocol's intermediate, immediately-superseded
+	// wake-ups carry no observable state of their own: a stale wake only
+	// advances the port to its position, and every replayed poll step is
+	// position-exact arithmetic that yields the same timestamps and counters
+	// whichever trigger drives it, so only the earliest covering decision —
+	// where a grant can actually resolve — needs an engine event.
 	for _, pl := range pt.byReg {
 		ls := &pl.win.locks[pl.target]
 		if !pl.canSucceed(ls) {
@@ -384,8 +428,26 @@ func (w *World) reconcilePort(node int) {
 		ls.wakeAt = pl.at
 		ls.wakeBorn = pl.born
 		ls.wakeSet = true
-		w.scheduleWake(node, pl.win, pl.target, pl.at, pl.born)
+		found := false
+		for i := range pt.armW {
+			if pt.armW[i] == pl.win && pt.armT[i] == pl.target {
+				found = true
+				break
+			}
+		}
+		if !found {
+			pt.armW = append(pt.armW, pl.win)
+			pt.armT = append(pt.armT, pl.target)
+		}
 	}
+	for i := range pt.armW {
+		win, target := pt.armW[i], pt.armT[i]
+		pt.armW[i] = nil
+		ls := &win.locks[target]
+		w.scheduleWake(node, win, target, ls.wakeAt, ls.wakeBorn)
+	}
+	pt.armW = pt.armW[:0]
+	pt.armT = pt.armT[:0]
 }
 
 // wakeRec is one pooled wake-chain link; fire is the closure bound to it
@@ -420,9 +482,30 @@ func (w *World) scheduleWake(node int, win *Win, target int, at, born sim.Time) 
 			wr.win = nil
 			wr.next = w.wakeFree
 			w.wakeFree = wr
-			advanced := w.advancePort(node, w.eng.Now(), born, true)
+			advanced := w.advancePort(node, w.engOf(node).Now(), born, true)
 			if cleared || advanced {
 				w.reconcilePort(node)
+				// Grants the replay resolved at this event's own position run
+				// here — after reconciliation, exactly where their literal
+				// same-key grant events fired — in replay order, which is the
+				// order those events would have been scheduled. A grant's
+				// continuation can replay other ports or re-arm this one, but
+				// only exclusive (incl=false) replays, so the list is stable.
+				// Only the last grant is in tail position: the earlier ones
+				// (shared locks granted together) must leave their follow-up
+				// events queued so ordering against the remaining grants stays
+				// with the comparator.
+				eng := w.engOf(node)
+				for i := 0; i < len(w.inlineGrants); i++ {
+					g := w.inlineGrants[i]
+					w.inlineGrants[i] = nil
+					if i < len(w.inlineGrants)-1 {
+						eng.WithoutAbsorb(g)
+					} else {
+						g()
+					}
+				}
+				w.inlineGrants = w.inlineGrants[:0]
 				return
 			}
 			// A stale link that replayed nothing cannot have created a new
@@ -435,7 +518,7 @@ func (w *World) scheduleWake(node int, win *Win, target int, at, born sim.Time) 
 		w.wakeFree = wr.next
 	}
 	wr.win, wr.target, wr.node, wr.at, wr.born = win, target, node, at, born
-	w.eng.ScheduleAsOf(at, born, wr.fire)
+	w.engOf(node).ScheduleAsOf(at, born, wr.fire)
 }
 
 // Lock types, mirroring MPI_LOCK_EXCLUSIVE / MPI_LOCK_SHARED.
@@ -651,6 +734,7 @@ func (w *Win) Lock(r *Rank, target int, lockType int) int {
 // Unlock releases r's lock on target. The release is itself an RMA round
 // (it flushes pending operations), so it competes with poll attempts.
 func (w *Win) Unlock(r *Rank, target int, lockType int) {
+	w.locks[target].relsInFlight++
 	w.rmaRound(r, target, w.world.cfg.Mem.SharedWinOp)
 	tn := w.targetNode(target)
 	// Resolve every poll decision up to the release instant against the
@@ -672,6 +756,7 @@ func (w *Win) Unlock(r *Rank, target int, lockType int) {
 		}
 		ls.readers--
 	}
+	ls.relsInFlight--
 	// The lock may now be acquirable: arm the wake chain so the next poll
 	// decision fires at its exact virtual time.
 	w.world.reconcilePort(tn)
@@ -697,6 +782,7 @@ func (w *Win) UnlockAsOf(r *Rank, target, lockType int, arrival, born sim.Time) 
 	}
 	pt := wld.memPort[tn]
 	eng := wld.eng
+	w.locks[target].relsInFlight++
 	eng.ScheduleAsOf(arrival, born, func() {
 		if pt.pending() {
 			wld.advancePort(tn, arrival, eng.EventScheduledAt(), false)
@@ -723,6 +809,7 @@ func (w *Win) UnlockAsOf(r *Rank, target, lockType int, arrival, born sim.Time) 
 		}
 		ls.readers--
 	}
+	ls.relsInFlight--
 	wld.reconcilePort(tn)
 }
 
@@ -744,8 +831,9 @@ func (w *Win) NewLockCont(r *Rank, target, lockType int, cont func()) func() {
 	}
 	mem := &wld.cfg.Mem
 	pt := wld.memPort[tn]
-	eng := wld.eng
+	eng := wld.engOf(tn)
 	check := func() {
+		pt.checksInFlight--
 		ls := &w.locks[target]
 		if lockType == LockExclusive {
 			if !ls.excl && ls.readers == 0 {
@@ -781,7 +869,30 @@ func (w *Win) NewLockCont(r *Rank, target, lockType int, cont func()) func() {
 		}
 		now := eng.Now()
 		done := pt.srv.ServeAsync(now, mem.LockAttempt)
-		eng.ScheduleAsOf(now+(done-now), now, check) // Serve's wake arithmetic, bit for bit
+		chk := now + (done - now) // Serve's wake arithmetic, bit for bit
+		if fastFwd.Load() {
+			// Analytic fast-forward: the check at chk provably fails when the
+			// lock is held and no release is in flight — any future release
+			// must arrive at this port and its service queues behind the
+			// attempt just reserved, so the lock word cannot improve before
+			// chk. Park directly in the state the literal failed check would
+			// have left (born = check time, next arrival one back-off later,
+			// one attempt consumed) and skip the check event entirely.
+			ls := &w.locks[target]
+			if ls.relsInFlight == 0 && pt.checksInFlight == 0 &&
+				(ls.excl || (lockType == LockExclusive && ls.readers > 0)) {
+				pl := r.pooledPoller()
+				*pl = poller{
+					win: w, target: target, lockType: lockType,
+					proc: r.proc, cont: cont,
+					at: chk + mem.PollInterval, born: chk, attempts: 1,
+				}
+				pt.pushPoller(pl)
+				return
+			}
+		}
+		pt.checksInFlight++
+		eng.AbsorbAsOf(chk, now, check)
 	}
 }
 
@@ -799,7 +910,7 @@ func (w *Win) NewUnlockCont(r *Rank, target, lockType int, cont func(release sim
 		panic(fmt.Sprintf("mpi: NewUnlockCont on %s[%d] from another node", w.name, target))
 	}
 	pt := wld.memPort[tn]
-	eng := wld.eng
+	eng := wld.engOf(tn)
 	var arrival, release sim.Time
 	releaseFn := func() {
 		if pt.pending() {
@@ -817,6 +928,7 @@ func (w *Win) NewUnlockCont(r *Rank, target, lockType int, cont func(release sim
 			}
 			ls.readers--
 		}
+		ls.relsInFlight--
 		wld.reconcilePort(tn)
 		cont(release)
 	}
@@ -826,11 +938,12 @@ func (w *Win) NewUnlockCont(r *Rank, target, lockType int, cont func(release sim
 		}
 		done := pt.srv.ServeAsync(arrival, wld.cfg.Mem.SharedWinOp)
 		release = arrival + (done - arrival)
-		eng.ScheduleAsOf(release, arrival, releaseFn)
+		eng.AbsorbAsOf(release, arrival, releaseFn)
 	}
 	return func(arr, born sim.Time) {
 		arrival = arr
-		eng.ScheduleAsOf(arr, born, arriveFn)
+		w.locks[target].relsInFlight++
+		eng.AbsorbAsOf(arr, born, arriveFn)
 	}
 }
 
@@ -848,12 +961,21 @@ func (w *Win) NewUnlockCont(r *Rank, target, lockType int, cont func(release sim
 // EventScheduledAt as the literal call site.
 func (w *Win) NewFetchAndOpCont(r *Rank) func(target, offset int, delta int64, cont func(old int64)) {
 	wld := w.world
-	eng := wld.eng
+	// Under fast-forward lanes the issuer spans two engines: the issue, the
+	// final latency hop and cont run on the requester's engine (its node's
+	// lane), while the target port's arrival and service run on the engine
+	// owning the target node — the main engine for the globally shared
+	// window on node 0 — so port service order stays the global virtual-time
+	// order. Cross-engine schedules always land in the receiving engine's
+	// future (see World.LaunchLanes). Without lanes both are wld.eng and the
+	// event stream is unchanged.
+	engR := wld.engOf(r.node)
 	net := &wld.cfg.Net
 	var (
 		target, offset int
 		delta          int64
 		cont           func(int64)
+		engT           *sim.Engine
 	)
 	finish := func() {
 		old := w.data[target][offset]
@@ -861,34 +983,35 @@ func (w *Win) NewFetchAndOpCont(r *Rank) func(target, offset int, delta int64, c
 		cont(old)
 	}
 	servedRemote := func() {
-		now := eng.Now()
-		eng.ScheduleAsOf(now+net.Latency, now, finish)
+		now := engT.Now()
+		engR.AbsorbAsOf(now+net.Latency, now, finish)
 	}
 	arriveRemote := func() {
 		tn := w.targetNode(target)
 		pt := wld.memPort[tn]
 		if pt.pending() {
-			wld.advancePort(tn, eng.Now(), eng.EventScheduledAt(), false)
+			wld.advancePort(tn, engT.Now(), engT.EventScheduledAt(), false)
 		}
-		now := eng.Now()
+		now := engT.Now()
 		done := pt.srv.ServeAsync(now, wld.cfg.Mem.SharedWinOp+net.PortService)
-		eng.ScheduleAsOf(now+(done-now), now, servedRemote)
+		engT.AbsorbAsOf(now+(done-now), now, servedRemote)
 	}
 	return func(t, off int, d int64, c func(int64)) {
 		target, offset, delta, cont = t, off, d, c
 		w.AtomicOps++
 		tn := w.targetNode(target)
-		now := eng.Now()
+		now := engR.Now()
 		if tn != r.node {
-			eng.ScheduleAsOf(now+net.Latency, now, arriveRemote)
+			engT = wld.engOf(tn)
+			engT.AbsorbAsOf(now+net.Latency, now, arriveRemote)
 			return
 		}
 		pt := wld.memPort[tn]
 		if pt.pending() {
-			wld.advancePort(tn, now, eng.EventScheduledAt(), false)
+			wld.advancePort(tn, now, engR.EventScheduledAt(), false)
 		}
 		done := pt.srv.ServeAsync(now, wld.cfg.Mem.SharedWinOp)
-		eng.ScheduleAsOf(now+(done-now), now, finish)
+		engR.AbsorbAsOf(now+(done-now), now, finish)
 	}
 }
 

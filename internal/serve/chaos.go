@@ -22,7 +22,10 @@ import (
 //	delay     sleep d (e.g. delay:d=200ms) before handling the request
 //	error     reply with an HTTP error (code=500 by default)
 //	drop      abort the connection before writing anything
-//	truncate  stream the first lines=N NDJSON lines, then abort mid-body
+//	truncate  stream the first lines=N NDJSON lines, then abort mid-body;
+//	          bytes=M additionally leaks M bytes of the next line first
+//	          (M=-1: the whole next line except its newline — the
+//	          unterminated-final-line artifact merge layers must reject)
 //
 // and common keys times=N (inject on the first N eligible requests only;
 // default unlimited) and after=M (let the first M eligible requests pass
@@ -41,6 +44,7 @@ type chaosSpec struct {
 	delay time.Duration
 	code  int   // error mode: status code
 	lines int   // truncate mode: NDJSON lines to let through
+	cut   int   // truncate mode: bytes of the next line to leak (-1: all but its newline)
 	after int64 // eligible requests to let pass first
 	times int64 // injections to perform (<0 = unlimited)
 
@@ -76,6 +80,11 @@ func parseChaosSpec(s string) (*chaosSpec, error) {
 			spec.code, err = strconv.Atoi(v)
 		case "lines":
 			spec.lines, err = strconv.Atoi(v)
+		case "bytes":
+			spec.cut, err = strconv.Atoi(v)
+			if err == nil && spec.cut < -1 {
+				return nil, fmt.Errorf("serve: chaos bytes %d out of -1..", spec.cut)
+			}
 		case "after":
 			spec.after, err = strconv.ParseInt(v, 10, 64)
 		case "times":
@@ -163,7 +172,7 @@ func (h *chaosHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// SIGKILLed worker.
 		panic(http.ErrAbortHandler)
 	case "truncate":
-		tw := &truncatingWriter{ResponseWriter: w, remaining: rule.lines}
+		tw := &truncatingWriter{ResponseWriter: w, remaining: rule.lines, cut: rule.cut}
 		h.next.ServeHTTP(tw, r)
 		if tw.tripped {
 			panic(http.ErrAbortHandler)
@@ -171,45 +180,66 @@ func (h *chaosHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// truncatingWriter lets rule.lines NDJSON lines through, then swallows all
-// further output and marks itself tripped so the handler aborts the
-// connection — the client observes a well-formed prefix followed by an
-// unexpected EOF, the signature of a worker dying mid-stream.
+// truncatingWriter lets rule.lines NDJSON lines through — plus, when cut
+// is set, a leading fragment of the following line (cut = -1 leaks that
+// whole line but withholds its newline) — then swallows all further output
+// and marks itself tripped so the handler aborts the connection. The
+// client observes a well-formed prefix (possibly ending in an unterminated
+// line) followed by an unexpected EOF, the signature of a worker dying
+// mid-stream.
 type truncatingWriter struct {
 	http.ResponseWriter
 	remaining int
+	cut       int
 	tripped   bool
 }
 
 func (t *truncatingWriter) Write(p []byte) (int, error) {
-	if t.tripped || t.remaining <= 0 {
-		t.tripped = true
-		return len(p), nil // swallow; the connection is about to abort
-	}
-	written := 0
-	for len(p) > 0 {
-		nl := bytes.IndexByte(p, '\n')
-		if nl < 0 {
-			n, err := t.ResponseWriter.Write(p)
-			return written + n, err
+	total := len(p)
+	for len(p) > 0 && !t.tripped {
+		if t.remaining > 0 {
+			nl := bytes.IndexByte(p, '\n')
+			if nl < 0 {
+				_, err := t.ResponseWriter.Write(p)
+				return total, err
+			}
+			if _, err := t.ResponseWriter.Write(p[:nl+1]); err != nil {
+				return total, err
+			}
+			p = p[nl+1:]
+			t.remaining--
+			continue
 		}
-		n, err := t.ResponseWriter.Write(p[:nl+1])
-		written += n
-		if err != nil {
-			return written, err
+		// Line budget spent: leak the configured fragment of what follows,
+		// then flush and trip so the abort leaves the fragment visible.
+		frag := p
+		done := false
+		if t.cut < 0 {
+			if nl := bytes.IndexByte(p, '\n'); nl >= 0 {
+				frag = p[:nl]
+				done = true
+			}
+		} else if len(frag) >= t.cut {
+			frag = frag[:t.cut]
+			t.cut = 0
+			done = true
+		} else {
+			t.cut -= len(frag)
 		}
-		p = p[nl+1:]
-		if t.remaining--; t.remaining <= 0 {
-			// Exactly the allowed lines made it out; flush them so the
-			// client sees a well-formed prefix before the abort.
+		if len(frag) > 0 {
+			if _, err := t.ResponseWriter.Write(frag); err != nil {
+				return total, err
+			}
+		}
+		p = p[len(frag):]
+		if done {
 			t.tripped = true
 			if f, ok := t.ResponseWriter.(http.Flusher); ok {
 				f.Flush()
 			}
-			return written + len(p), nil
 		}
 	}
-	return written, nil
+	return total, nil
 }
 
 // Flush forwards flushes while the writer is still passing data through.

@@ -42,6 +42,11 @@ type Job struct {
 	completed int
 	failed    int
 	finished  time.Time // when the last cell completed (zero while running)
+
+	// pins counts in-flight readers (results replays) holding the job.
+	// Guarded by the MANAGER's mu, not j.mu: pin/unpin and the eviction
+	// decision in evictLocked must be atomic with respect to each other.
+	pins int
 }
 
 // newJob freezes the cell list and allocates completion tracking.
@@ -254,13 +259,43 @@ func (m *Manager) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
+// Acquire looks up a retained job and pins it against retention eviction
+// until the returned release is called (release is idempotent). Handlers
+// that replay a job's results hold the pin for the life of the stream:
+// without it, a TTL or count-cap eviction racing the replay drops the job
+// from the store while a reader is still consuming it, so the job 404s
+// for status polls and resume attempts mid-stream even though its results
+// are actively being served. A pinned job is simply skipped by
+// evictLocked; the janitor collects it on its next tick once the last
+// pin drops.
+func (m *Manager) Acquire(id string) (*Job, func(), bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, false
+	}
+	j.pins++
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			m.mu.Lock()
+			j.pins--
+			m.mu.Unlock()
+		})
+	}
+	return j, release, true
+}
+
 // QueueCapacity reports the cell queue's bound (for saturation reporting).
 func (m *Manager) QueueCapacity() int { return cap(m.queue) }
 
 // evictLocked drops completed jobs that aged past the TTL, then the oldest
 // completed jobs beyond the retention count cap. Running jobs are never
 // evicted: their submitters still hold the *Job, and the worker pool still
-// feeds it.
+// feeds it. Pinned jobs (in-flight results replays, see Acquire) are never
+// evicted either — eviction is deferred to the janitor tick after the last
+// reader releases.
 func (m *Manager) evictLocked(now time.Time) {
 	completed := 0
 	for _, id := range m.jobOrder {
@@ -272,7 +307,8 @@ func (m *Manager) evictLocked(now time.Time) {
 	for _, id := range m.jobOrder {
 		j := m.jobs[id]
 		done, finished := j.doneSince()
-		evict := done && (now.Sub(finished) > m.jobTTL || completed > m.maxJobs)
+		evict := done && j.pins == 0 &&
+			(now.Sub(finished) > m.jobTTL || completed > m.maxJobs)
 		if evict {
 			delete(m.jobs, id)
 			m.jobsEvicted.Add(1)

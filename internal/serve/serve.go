@@ -407,12 +407,16 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJobResults streams (or replays) a job's per-cell NDJSON lines.
+// The Acquire pin is held for the life of the stream so TTL/count-cap
+// eviction cannot drop the job from the store while this replay is still
+// consuming it (Manager.Acquire).
 func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.manager.Job(r.PathValue("id"))
+	job, release, ok := s.manager.Acquire(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
+	defer release()
 	s.streamJob(w, r, job)
 }
 

@@ -472,3 +472,76 @@ func TestCacheLRUEviction(t *testing.T) {
 		t.Errorf("stats = %d hits %d misses %d entries", hits, misses, entries)
 	}
 }
+
+// TestEvictionDefersForInFlightReplay pins the retention rule behind
+// Manager.Acquire: a completed job being replayed must survive TTL and
+// count-cap eviction until its last reader releases, then get collected
+// on a later janitor tick. Concurrent replay readers hammer WaitCell
+// while the janitor ticks past the TTL, so the race detector covers the
+// pin/evict interaction too (run under -race in CI's fast-forward shard).
+func TestEvictionDefersForInFlightReplay(t *testing.T) {
+	m := NewManager(2, 64, 25*time.Millisecond, 2, NewCache(16))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := m.Drain(ctx); err != nil {
+			t.Errorf("cleanup drain: %v", err)
+		}
+	})
+	job, err := m.Submit([]hdls.Config{cheapCell(1, dls.GSS)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.WaitCell(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	j, release, ok := m.Acquire(job.ID)
+	if !ok {
+		t.Fatal("completed job not addressable")
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				if _, err := j.WaitCell(context.Background(), 0); err != nil {
+					t.Errorf("replay read: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Count-cap pressure: with maxJobs=2, these completions push the
+	// pinned job past the cap on every evictLocked run.
+	for i := 0; i < 4; i++ {
+		other, err := m.Submit([]hdls.Config{cheapCell(int64(i+10), dls.GSS)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := other.WaitCell(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// TTL pressure: several 10ms janitor ticks past the 25ms TTL.
+	time.Sleep(120 * time.Millisecond)
+	if _, ok := m.Job(job.ID); !ok {
+		t.Fatal("pinned job evicted while a replay was in flight")
+	}
+	wg.Wait()
+	release()
+	release() // idempotent: a double release must not underflow the pin
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := m.Job(job.ID); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("released job never evicted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -90,6 +90,13 @@ func eventLess(a, b *event) bool {
 type Engine struct {
 	now Time
 	seq uint32
+	// seqSrc, when non-nil, points at the sequence counter of the engine
+	// group this engine is merged into (see ShareSeq).
+	seqSrc *uint32
+	// pushes counts queue insertions. Merged drive loops compare it against
+	// a cached value to skip re-reading the head key of an engine whose
+	// queue nobody touched (see PushStamp).
+	pushes uint32
 	// heap holds the queued events in one of two layouts: while at most
 	// arrayModeMax entries (arrayMode), a descending-sorted gap buffer —
 	// the live window is heap[lo:], pops take the last element with zero
@@ -127,6 +134,12 @@ type Engine struct {
 	// curBorn is the scheduling time of the event currently being executed
 	// (see EventScheduledAt).
 	curBorn Time
+
+	// absorbDepth is the current nesting depth of inline event absorption
+	// (see AbsorbAsOf); absorbOff suppresses absorption entirely (merged
+	// engine groups, literal A/B runs).
+	absorbDepth int
+	absorbOff   bool
 
 	// interrupt, when non-nil, is polled every interruptStride events; once
 	// it reads true the run aborts with ErrInterrupted. The flag is owned by
@@ -166,11 +179,44 @@ func (e *Engine) Now() Time { return e.now }
 
 // nextSeq returns the next event sequence number. seq is 32-bit (see event);
 // a single run issuing more than 4.29 billion events would wrap it and
-// corrupt same-instant tie-breaks, so wrap-around panics instead.
+// corrupt same-instant tie-breaks, so wrap-around panics instead. Engines
+// driven as a merged group (ShareSeq) draw from the group leader's counter
+// so sequence numbers order events across all member engines exactly as a
+// single shared engine would have.
 func (e *Engine) nextSeq() uint32 {
-	e.seq++
-	if e.seq == 0 {
+	c := &e.seq
+	if e.seqSrc != nil {
+		c = e.seqSrc
+	}
+	*c++
+	if *c == 0 {
 		panic("sim: event sequence counter overflow")
+	}
+	return *c
+}
+
+// ShareSeq makes e draw event sequence numbers from src's counter instead
+// of its own. Merged drive loops (mpi.World.LaunchLanes) use it so that a
+// (t, born, seq) comparison across member engines reproduces the exact
+// firing order one shared engine would have used: scheduling order — which
+// seq records — is then a property of the group, not the member. Reset
+// reverts e to its own counter.
+func (e *Engine) ShareSeq(src *Engine) { e.seqSrc = &src.seq }
+
+// PushStamp reports a counter of queue insertions into e. A merged drive
+// loop caches it alongside the head key: while the stamp is unchanged and
+// the engine has not been stepped, the cached key is still current.
+func (e *Engine) PushStamp() uint32 { return e.pushes }
+
+// GroupSeq reports the current value of the engine's sequence counter —
+// the group leader's when ShareSeq is in effect. Because every schedule
+// call on any group member advances it by exactly one, a merged drive loop
+// stepping a single engine can detect cross-engine scheduling in O(1):
+// the step pushed onto another member iff the group counter advanced more
+// than the stepped engine's own PushStamp.
+func (e *Engine) GroupSeq() uint32 {
+	if e.seqSrc != nil {
+		return *e.seqSrc
 	}
 	return e.seq
 }
@@ -198,6 +244,7 @@ func (e *Engine) alloc(p *Proc, fn func()) int32 {
 // on pop. Ordering is decided by the same (t, born, seq) comparator either
 // way, so the firing sequence is untouched.
 func (e *Engine) push(ev event) {
+	e.pushes++
 	if e.nextSet {
 		if eventLess(&ev, &e.nextEv) {
 			e.pushHeap(e.nextEv)
@@ -222,13 +269,13 @@ func (e *Engine) push(ev event) {
 // array layout, where pops are free and inserts are short tail memmoves.
 // Genuinely huge queues (the opt-in 64-node stress cells and beyond) spill
 // into the heap, whose O(log n) costs are the safe asymptotic fallback.
-const arrayModeMax = 1024
+const arrayModeMax = 128
 
 // arrayModeLowWater is the size at which a heap-mode queue converts back to
 // the sorted-array layout (see pop): once a queue that spiked past
 // arrayModeMax has drained this far, array-mode pops win again and the
 // one-off re-sort is cheap.
-const arrayModeLowWater = 128
+const arrayModeLowWater = 16
 
 // peekMin returns the earliest queued event (the queue must be non-empty;
 // the front buffer is checked by callers).
@@ -414,6 +461,98 @@ func (e *Engine) ScheduleAsOf(t, born Time, fn func()) {
 // After schedules fn to run d after the current virtual time.
 func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
 
+// absorbDepthMax bounds the nesting depth of inline absorption. Each
+// absorbed event runs in the host stack frame of the event that scheduled
+// it, so an unbounded contention-free chain would recurse without limit;
+// past the bound AbsorbAsOf falls back to the queue, the whole absorbed
+// stack unwinds (every absorption site is in tail position), and the chain
+// resumes from the dispatch loop. The bound also caps how many events can
+// fire between interrupt-flag polls inside one absorbed chain.
+const absorbDepthMax = 64
+
+// headAfter reports whether every queued event fires strictly after a
+// hypothetical event scheduled now at (t, born): the queue's minimum —
+// which, being already queued, carries an earlier sequence number and so
+// wins any full-key tie — orders after (t, born) in (time, scheduling-time)
+// order.
+func (e *Engine) headAfter(t, born Time) bool {
+	var h *event
+	if e.nextSet {
+		h = &e.nextEv
+	} else if len(e.heap) > e.lo {
+		h = e.peekMin()
+	} else {
+		return true
+	}
+	return h.t > t || (h.t == t && h.born > born)
+}
+
+// AbsorbAsOf behaves exactly like ScheduleAsOf — fn fires at time t in the
+// position of an event scheduled at born — but when that event would be the
+// engine's very next (every queued event orders strictly after it), fn runs
+// inline instead of taking a queue round-trip. The skipped push/pop pair is
+// the one dispatch would have performed immediately anyway: the clock and
+// EventScheduledAt are set exactly as dispatch would have set them, and no
+// other event can interleave, so the simulated event order — and with it
+// every timestamp, RNG draw and trace record — is byte-identical to the
+// scheduled execution. Sequence numbers refine scheduling order only
+// relatively (see sleepInPlace), so the absorbed event not drawing one
+// cannot reorder anything.
+//
+// Caller contract: the call must be in tail position of the current event —
+// nothing with observable effect may run after AbsorbAsOf returns — because
+// fn (and transitively the chain it absorbs) executes before the caller's
+// remaining statements. Callers firing several deferred continuations in a
+// row must suppress absorption for all but the last (see WithoutAbsorb).
+func (e *Engine) AbsorbAsOf(t, born Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	if e.absorbOff || e.absorbDepth >= absorbDepthMax || !e.headAfter(t, born) {
+		e.push(event{t: t, seq: e.nextSeq(), born: born, pay: e.alloc(nil, fn)})
+		return
+	}
+	if e.interrupt != nil {
+		if e.intCount++; e.intCount >= interruptStride {
+			e.intCount = 0
+			if e.interrupt.Load() {
+				// Unwind through the queue; dispatch will see the flag.
+				e.push(event{t: t, seq: e.nextSeq(), born: born, pay: e.alloc(nil, fn)})
+				return
+			}
+		}
+	}
+	if t > e.now {
+		e.now = t
+	}
+	e.curBorn = born
+	e.absorbDepth++
+	fn()
+	e.absorbDepth--
+}
+
+// WithoutAbsorb runs f with inline absorption suppressed: every AbsorbAsOf
+// call inside f degrades to ScheduleAsOf. Callers that fire several
+// collected same-key continuations in a row use it for all but the last —
+// only the last is in tail position, and the earlier ones must leave their
+// follow-up events queued so the ordering against the remaining
+// continuations is decided by the comparator, not by call order.
+func (e *Engine) WithoutAbsorb(f func()) {
+	if e.absorbOff {
+		f()
+		return
+	}
+	e.absorbOff = true
+	f()
+	e.absorbOff = false
+}
+
+// SetAbsorb enables or disables inline absorption. Disabling forces every
+// AbsorbAsOf through the queue — required for engines driven as a merged
+// group (a member's queue head says nothing about the group's next event)
+// and used by the literal A/B runs of the fast-forward differential tests.
+func (e *Engine) SetAbsorb(on bool) { e.absorbOff = !on }
+
 // EventScheduledAt reports the virtual time at which the currently
 // executing event was scheduled. Together with the (time, seq) firing order
 // it lets runtime models reconstruct how a hypothetical event scheduled at
@@ -495,6 +634,63 @@ func (e *Engine) dispatch() {
 	e.main <- struct{}{}
 }
 
+// Step fires the single earliest pending event and reports whether one was
+// pending. It is the fast-forward hook beneath World-level merged drive
+// loops: a caller that owns several engines (a main engine plus node-local
+// fast-forward lanes) interleaves them one event at a time instead of
+// handing the baton to Run. Step is only legal on engines whose queued
+// events are all generic callbacks — machine-rank simulations that spawn no
+// processes — because there is no baton holder to hand a process resume to;
+// hitting a process-resume event panics. Clock, curBorn and payload
+// recycling behave exactly as in dispatch, so the observable event order is
+// the same total (t, born, seq) order Run would have produced.
+func (e *Engine) Step() bool {
+	if !e.pending() {
+		return false
+	}
+	ev := e.pop()
+	pay := e.pays[ev.pay]
+	e.pays[ev.pay] = payload{}
+	e.free = append(e.free, ev.pay)
+	if ev.t > e.now {
+		e.now = ev.t
+	}
+	e.curBorn = ev.born
+	if pay.p != nil {
+		panic("sim: Step on an engine with process-resume events")
+	}
+	pay.fn()
+	return true
+}
+
+// NextKey reports the earliest pending event's full (firing time,
+// scheduling time, schedule sequence) ordering key. Merged drive loops over
+// a ShareSeq engine group compare the heads of all member engines and fire
+// the smallest key: because the group draws sequence numbers from one
+// counter, that comparison reproduces the exact total order a single
+// shared engine would have used. A cross-engine schedule always lands at or
+// after the issuing event's own key, so the engine with the smallest head
+// is always safe to step.
+func (e *Engine) NextKey() (t, born Time, seq uint32, ok bool) {
+	if e.nextSet {
+		return e.nextEv.t, e.nextEv.born, e.nextEv.seq, true
+	}
+	if len(e.heap) > e.lo {
+		ev := e.peekMin()
+		return ev.t, ev.born, ev.seq, true
+	}
+	return 0, 0, 0, false
+}
+
+// Pending reports whether any event is queued (fast-forward drive loops use
+// it to decide termination).
+func (e *Engine) Pending() bool { return e.pending() }
+
+// Interrupted polls the installed interrupt flag (nil-safe). Drive loops
+// built on Step/Drain poll it themselves, since they bypass dispatch's
+// stride polling.
+func (e *Engine) Interrupted() bool { return e.interrupt != nil && e.interrupt.Load() }
+
 // DeadlockError reports that the simulation stopped with live processes but
 // no pending events: every remaining process is parked forever.
 type DeadlockError struct {
@@ -575,7 +771,11 @@ func (e *Engine) Reset(seed int64) {
 	}
 	e.now = 0
 	e.seq = 0
+	e.seqSrc = nil
+	e.pushes = 0
 	e.curBorn = 0
+	e.absorbDepth = 0
+	e.absorbOff = false
 	e.heap = e.heap[:0]
 	e.lo = 0
 	e.arrayMode = true
