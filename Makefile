@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date -u +%Y-%m-%d)
 
-.PHONY: test bench sweep vet fmt doclint serve smoke fleet-smoke
+.PHONY: test bench sweep vet fmt doclint serve smoke fleet-smoke castore-smoke
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -33,8 +33,17 @@ smoke:
 fleet-smoke:
 	scripts/fleet_smoke.sh
 
+# castore-smoke drives the result-store acceptance scenario (DESIGN.md
+# §12): a daemon with a disk tier is SIGTERMed and restarted on the same
+# directory (warm replay must be byte-identical, served as hit-disk), then
+# a two-worker fleet exercises peer-fill (hit-peer without recompute).
+castore-smoke:
+	scripts/castore_smoke.sh
+
 # bench writes the BENCH_<date>$(SUFFIX).json perf snapshot: the figure
-# sweep at the benchmark scale plus the kernel microbenchmarks to stderr.
+# sweep at the benchmark scale, the result-store cold/warm/disk-warm rows
+# (cmd/cachebench merges them under "serve_cache"), plus the kernel
+# microbenchmarks to stderr.
 # The node axis spans 2..16 (the paper's full system-size sweep): the 8n/16n
 # cells are the large-P rows — 128/256 ranks per cell — and make up most of
 # the sweep's wall time, so bench-check's 25% gate catches large-P
@@ -44,6 +53,7 @@ fleet-smoke:
 SUFFIX ?=
 bench:
 	$(GO) run ./cmd/hdlsweep -scale 64 -nodes 2,4,8,16 -q -json BENCH_$(DATE)$(SUFFIX).json
+	$(GO) run ./cmd/cachebench -scale 64 -nodes 2,4,8,16 -json BENCH_$(DATE)$(SUFFIX).json
 	$(GO) test ./internal/sim -bench Kernel -benchmem -run '^$$' | tee -a /dev/stderr >/dev/null
 
 # bench-stress times the opt-in 64-node cells (1024 ranks each) — the

@@ -5,7 +5,9 @@
 // large-P rows dominate its wall time, so large-P regressions trip the
 // gate through the aggregate. Wall-clock comparisons are only meaningful
 // on a quiet machine, so the test is opt-in: set BENCH_TREND=1 (the CI
-// perf job does).
+// perf job does). Snapshots are subset-unmarshaled, so extra keys merged
+// by other tools — e.g. cmd/cachebench's "serve_cache" cold/warm/disk
+// rows — are tolerated and ignored by the trend gate.
 package repro_test
 
 import (

@@ -1,0 +1,207 @@
+// Command cachebench measures what the tiered content-addressed result
+// store (internal/castore) buys the sweep service: it drives the full
+// figure grid (figures 4–7, both applications — the same 256 cells `make
+// bench` times through hdlsweep) through an in-process hdlsd three times
+// and reports cells/second per pass:
+//
+//	cold  — fresh store, every cell simulated
+//	warm  — same daemon, every cell a memory-tier hit
+//	disk  — daemon drained and restarted on the same -dir, every cell a
+//	        disk-tier hit (the warm-restart story)
+//
+// All three passes must stream byte-identical NDJSON — the store's core
+// invariant (DESIGN.md §12) — and the warm pass must beat the cold pass
+// by at least -min-speedup (default 5×), or the process exits 1. With
+// -json FILE the three rates are merged into an existing BENCH snapshot
+// under a "serve_cache" key, preserving every other field.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro/dls"
+	"repro/hdls"
+	"repro/internal/cliutil"
+	"repro/internal/serve"
+)
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachebench:", err)
+		os.Exit(1)
+	}
+}
+
+// gridCells enumerates the figure sweep exactly as hdls.RunFigure does,
+// skipping the MPI+OpenMP TSS/FAC2 cells the stock runtime cannot run.
+func gridCells(figures []int, nodes []int, scale int, seed int64) []hdls.Config {
+	var cells []hdls.Config
+	for _, fig := range figures {
+		inter := hdls.FigureInter[fig]
+		for _, app := range []hdls.App{hdls.Mandelbrot, hdls.PSIA} {
+			for _, intra := range hdls.FigureIntras {
+				for _, n := range nodes {
+					for _, ap := range []hdls.Approach{hdls.MPIMPI, hdls.MPIOpenMP} {
+						if ap == hdls.MPIOpenMP && (intra == dls.TSS || intra == dls.FAC2) {
+							continue // Intel runtime limitation (§5)
+						}
+						cells = append(cells, hdls.Config{
+							App: app, Nodes: n, Inter: inter, Intra: intra,
+							Approach: ap, Scale: scale, Seed: seed,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// sweep streams one full sweep and returns the NDJSON body and wall time.
+func sweep(baseURL string, body []byte) ([]byte, time.Duration, error) {
+	start := time.Now()
+	resp, err := http.Post(baseURL+"/v1/sweep?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("sweep: status %d: %s", resp.StatusCode, out)
+	}
+	return out, time.Since(start), nil
+}
+
+// passResult is one timed pass, as merged into the BENCH snapshot.
+type passResult struct {
+	Seconds     float64 `json:"seconds"`
+	CellsPerSec float64 `json:"cells_per_second"`
+}
+
+func timed(cells int, d time.Duration) passResult {
+	s := d.Seconds()
+	return passResult{Seconds: s, CellsPerSec: float64(cells) / s}
+}
+
+func main() {
+	var (
+		scale    = flag.Int("scale", 64, "workload scale divisor (larger = cheaper cells)")
+		nodesCSV = flag.String("nodes", "2,4,8,16", "comma-separated node counts")
+		seed     = flag.Int64("seed", 1, "engine seed for every cell")
+		workers  = flag.Int("workers", 0, "daemon worker pool (0 = GOMAXPROCS)")
+		dir      = flag.String("dir", "", "disk-tier directory (empty = fresh temp dir)")
+		jsonOut  = flag.String("json", "", "merge results into this BENCH snapshot under \"serve_cache\"")
+		minSpeed = flag.Float64("min-speedup", 5.0, "fail unless warm/cold cells-per-second ratio reaches this")
+		quiet    = flag.Bool("q", false, "suppress the per-pass table")
+	)
+	flag.Parse()
+
+	nodes, err := cliutil.ParseNodeCounts(*nodesCSV)
+	fatalIf(err)
+	cacheDir := *dir
+	if cacheDir == "" {
+		cacheDir, err = os.MkdirTemp("", "cachebench-*")
+		fatalIf(err)
+		defer os.RemoveAll(cacheDir)
+	}
+
+	cells := gridCells([]int{4, 5, 6, 7}, nodes, *scale, *seed)
+	req, err := json.Marshal(map[string]any{"cells": cells})
+	fatalIf(err)
+
+	opts := serve.Options{Workers: *workers, CacheDir: cacheDir, MaxCells: len(cells)}
+	s1, err := serve.NewWithError(opts)
+	fatalIf(err)
+	ts1 := httptest.NewServer(s1.Handler())
+
+	coldBody, coldWall, err := sweep(ts1.URL, req)
+	fatalIf(err)
+	warmBody, warmWall, err := sweep(ts1.URL, req)
+	fatalIf(err)
+
+	// Drain flushes the pending disk writes; the restarted daemon must
+	// serve the whole grid from the disk tier without simulating.
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	fatalIf(s1.Drain(drainCtx))
+	ts1.Close()
+	s2, err := serve.NewWithError(opts)
+	fatalIf(err)
+	ts2 := httptest.NewServer(s2.Handler())
+	diskBody, diskWall, err := sweep(ts2.URL, req)
+	fatalIf(err)
+	st := s2.Store().Stats()
+	fatalIf(s2.Drain(drainCtx))
+	ts2.Close()
+
+	if !bytes.Equal(coldBody, warmBody) {
+		fatalIf(fmt.Errorf("warm pass bytes differ from cold pass"))
+	}
+	if !bytes.Equal(coldBody, diskBody) {
+		fatalIf(fmt.Errorf("disk-warm pass bytes differ from cold pass"))
+	}
+	if st.DiskHits != int64(len(cells)) {
+		fatalIf(fmt.Errorf("restarted daemon served %d disk hits, want %d", st.DiskHits, len(cells)))
+	}
+
+	cold := timed(len(cells), coldWall)
+	warm := timed(len(cells), warmWall)
+	disk := timed(len(cells), diskWall)
+	warmX := warm.CellsPerSec / cold.CellsPerSec
+	diskX := disk.CellsPerSec / cold.CellsPerSec
+
+	if !*quiet {
+		fmt.Printf("cachebench: %d cells, scale %d, dir %s\n", len(cells), *scale, cacheDir)
+		fmt.Printf("  %-9s %10s %14s %9s\n", "pass", "seconds", "cells/s", "speedup")
+		fmt.Printf("  %-9s %10.3f %14.1f %9s\n", "cold", cold.Seconds, cold.CellsPerSec, "1.0x")
+		fmt.Printf("  %-9s %10.3f %14.1f %8.1fx\n", "warm", warm.Seconds, warm.CellsPerSec, warmX)
+		fmt.Printf("  %-9s %10.3f %14.1f %8.1fx\n", "disk-warm", disk.Seconds, disk.CellsPerSec, diskX)
+	}
+
+	if *jsonOut != "" {
+		fatalIf(mergeSnapshot(*jsonOut, map[string]any{
+			"cells":        len(cells),
+			"cold":         cold,
+			"warm":         warm,
+			"disk_warm":    disk,
+			"warm_speedup": warmX,
+			"disk_speedup": diskX,
+		}))
+	}
+
+	if warmX < *minSpeed {
+		fatalIf(fmt.Errorf("warm pass only %.1fx cold (want >= %.1fx)", warmX, *minSpeed))
+	}
+}
+
+// mergeSnapshot sets snapshot["serve_cache"] = result in an existing BENCH
+// json file (or creates the file with just that key), leaving every other
+// field byte-compatible with what hdlsweep wrote.
+func mergeSnapshot(path string, result map[string]any) error {
+	snapshot := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &snapshot); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	snapshot["serve_cache"] = result
+	out, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,8 +1,17 @@
 // Command hdlsd serves hierarchical DLS simulation sweeps over HTTP: the
 // sweep-as-a-service daemon over the same hdls API the CLIs use. Cells run
 // on a bounded worker pool drawing pooled simulation arenas, results are
-// cached by canonical config hash (deterministic sims make them perfectly
-// cacheable), and sweeps stream per-cell NDJSON as cells complete.
+// resolved through a tiered content-addressed store keyed by canonical
+// config hash (deterministic sims make them perfectly cacheable), and
+// sweeps stream per-cell NDJSON as cells complete.
+//
+// The store's tiers: an in-memory LRU, an optional checksummed disk tier
+// (-cache-dir, capped by -cache-disk-max) that makes restarts warm, and an
+// optional fleet peer-fill hook (-cache-peers) that pulls a missing cell
+// from the ring peer that already computed it (GET /v1/cache/{hash})
+// before simulating. Concurrent identical requests collapse onto a single
+// engine execution; every tier replays byte-identical results. The
+// graceful drain flushes pending disk-tier writes before exit.
 //
 //	hdlsd -addr :8080
 //
@@ -58,7 +67,12 @@ func main() {
 		role     = flag.String("role", "serve", "daemon role: serve (run cells) or coordinator (shard sweeps across -peers)")
 		addr     = flag.String("addr", ":8080", "listen address")
 		workers  = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
-		cacheN   = flag.Int("cache", 4096, "result-cache entries (LRU)")
+		cacheN   = flag.Int("cache", 4096, "result-store memory-tier entries (LRU)")
+		cacheDir = flag.String("cache-dir", "", "result-store disk tier directory (empty disables; restarts are warm)")
+		cacheMax = flag.Int64("cache-disk-max", 256<<20, "disk-tier size cap in bytes (LRU-evicted)")
+		cachePrs = flag.String("cache-peers", "", "comma-separated peer base URLs to fill misses from (GET /v1/cache/{hash})")
+		cacheHop = flag.Int("cache-peer-probes", 2, "ring successors probed per miss before simulating")
+		cachePT  = flag.Duration("cache-peer-timeout", 500*time.Millisecond, "per-probe peer-fill deadline")
 		maxCells = flag.Int("max-cells", 4096, "maximum cells per sweep submission")
 		queueCap = flag.Int("queue", 1<<16, "queued-cell capacity across all jobs")
 		maxNodes = flag.Int("max-nodes", 4096, "per-cell simulated node limit")
@@ -83,6 +97,8 @@ func main() {
 	limits := serve.Options{
 		Workers:           *workers,
 		CacheEntries:      *cacheN,
+		CacheDir:          *cacheDir,
+		CacheDiskMax:      *cacheMax,
 		MaxCells:          *maxCells,
 		QueueCapacity:     *queueCap,
 		MaxNodes:          *maxNodes,
@@ -97,6 +113,13 @@ func main() {
 	var drain func(context.Context) error
 	switch *role {
 	case "serve":
+		if *cachePrs != "" {
+			limits.PeerFetch = fleet.PeerFill(fleet.PeerFillOptions{
+				Peers:   strings.Split(*cachePrs, ","),
+				Probes:  *cacheHop,
+				Timeout: *cachePT,
+			})
+		}
 		srv, err := serve.NewWithError(limits)
 		if err != nil {
 			log.Fatalf("hdlsd: %v", err)

@@ -1,4 +1,4 @@
-package serve
+package castore
 
 import (
 	"container/list"
@@ -7,10 +7,11 @@ import (
 )
 
 // Cache is a bounded LRU of marshaled cell results keyed by canonical
-// config hash (hdls.Config.Hash). Simulations are bit-deterministic
-// functions of their canonical config, so a hit can skip the engine
-// entirely and replay stored bytes — responses are byte-identical to the
-// run that populated the entry. Safe for concurrent use.
+// config hash (hdls.Config.Hash) — the store's memory tier. Simulations
+// are bit-deterministic functions of their canonical config, so a hit can
+// skip the engine entirely and replay stored bytes — responses are
+// byte-identical to the run that populated the entry. Safe for concurrent
+// use.
 type Cache struct {
 	mu    sync.Mutex
 	max   int

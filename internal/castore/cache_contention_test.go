@@ -1,4 +1,4 @@
-package serve
+package castore
 
 import (
 	"bytes"
@@ -138,4 +138,27 @@ func TestCacheHitByteIdentityDuringEviction(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestCacheLRUEviction pins the basic LRU bound: full caches evict the
+// least recently used entry, a Get refreshes recency, and the counters
+// match the observed traffic.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	c.Put("c", []byte("C")) // evicts b (least recently used)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Fatalf("a lost: %q %v", v, ok)
+	}
+	hits, misses, entries := c.Stats()
+	if entries != 2 || hits != 2 || misses != 1 {
+		t.Errorf("stats = %d hits %d misses %d entries", hits, misses, entries)
+	}
 }

@@ -1,0 +1,256 @@
+package castore
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Disk-tier file format: a fixed 16-byte header followed by the frozen
+// summary bytes. The header carries a magic, the payload length, and a
+// CRC-32C of the payload, so a torn write (crash mid-rename never produces
+// one — see writeEntry — but a corrupted sector can) is detected on read
+// and treated as a miss instead of ever surfacing altered bytes. DESIGN.md
+// §12 has the full crash/corruption story.
+const (
+	diskMagic      = "HDLSCAS1"
+	diskHeaderSize = len(diskMagic) + 4 + 4 // magic + u32 length + u32 crc
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// diskEntry is the in-memory index record of one on-disk result file.
+type diskEntry struct {
+	hash string
+	size int64
+}
+
+// diskTier is the persistent tier: one checksummed file per canonical
+// config hash under dir, with an in-memory LRU index (rebuilt from file
+// mtimes at startup) enforcing the byte cap. All mutation goes through mu;
+// reads copy the file into a fresh slice, so returned bytes are immune to
+// later eviction.
+type diskTier struct {
+	dir string
+	max int64
+
+	mu    sync.Mutex
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+	total int64
+
+	corruptions atomic.Int64
+	evictions   atomic.Int64
+	writeErrors atomic.Int64
+}
+
+// openDiskTier scans dir (creating it if needed), removes stale temp
+// files, and rebuilds the LRU index ordered by file modification time so
+// recency survives restarts approximately. Unreadable entries are skipped;
+// corruption is detected lazily on read.
+func openDiskTier(dir string, max int64) (*diskTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("castore: cache dir: %w", err)
+	}
+	d := &diskTier{
+		dir:   dir,
+		max:   max,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("castore: scan cache dir: %w", err)
+	}
+	type scanned struct {
+		hash  string
+		size  int64
+		mtime time.Time
+	}
+	var found []scanned
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			os.Remove(filepath.Join(dir, name)) // abandoned by a crash mid-write
+			continue
+		}
+		if !isHexHash(name) || e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, scanned{hash: name, size: info.Size(), mtime: info.ModTime()})
+	}
+	// Oldest first, so pushing each to the front leaves the newest as MRU.
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime.Before(found[j].mtime) })
+	d.mu.Lock()
+	for _, f := range found {
+		d.items[f.hash] = d.order.PushFront(&diskEntry{hash: f.hash, size: f.size})
+		d.total += f.size
+	}
+	d.evictOverCapLocked()
+	d.mu.Unlock()
+	return d, nil
+}
+
+// tmpPrefix marks in-progress writes; scanned and skipped at startup.
+const tmpPrefix = ".tmp-"
+
+// isHexHash reports whether name looks like a canonical config hash
+// (lower-case hex SHA-256). Anything else in the cache dir is ignored.
+func isHexHash(name string) bool {
+	if len(name) != 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// get reads and verifies the entry for hash, refreshing its LRU position.
+// A checksum or framing mismatch deletes the file and reports a miss: a
+// corrupt entry must never replay altered bytes, and deterministic
+// recomputation restores it for free.
+func (d *diskTier) get(hash string) ([]byte, bool) {
+	d.mu.Lock()
+	el, ok := d.items[hash]
+	if !ok {
+		d.mu.Unlock()
+		return nil, false
+	}
+	d.order.MoveToFront(el)
+	d.mu.Unlock()
+
+	path := filepath.Join(d.dir, hash)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		// The file vanished under us (concurrent eviction); a plain miss.
+		d.drop(hash)
+		return nil, false
+	}
+	body, ok := decodeEntry(raw)
+	if !ok {
+		d.corruptions.Add(1)
+		os.Remove(path)
+		d.drop(hash)
+		return nil, false
+	}
+	// Persist the recency refresh so LRU order survives restarts;
+	// best-effort, the in-memory index is authoritative while we live.
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	return body, true
+}
+
+// decodeEntry verifies the header framing and payload checksum.
+func decodeEntry(raw []byte) ([]byte, bool) {
+	if len(raw) < diskHeaderSize || string(raw[:len(diskMagic)]) != diskMagic {
+		return nil, false
+	}
+	length := binary.LittleEndian.Uint32(raw[len(diskMagic):])
+	crc := binary.LittleEndian.Uint32(raw[len(diskMagic)+4:])
+	body := raw[diskHeaderSize:]
+	if uint32(len(body)) != length || crc32.Checksum(body, crcTable) != crc {
+		return nil, false
+	}
+	return body, true
+}
+
+// encodeEntry frames body with the checksummed header.
+func encodeEntry(body []byte) []byte {
+	out := make([]byte, diskHeaderSize+len(body))
+	copy(out, diskMagic)
+	binary.LittleEndian.PutUint32(out[len(diskMagic):], uint32(len(body)))
+	binary.LittleEndian.PutUint32(out[len(diskMagic)+4:], crc32.Checksum(body, crcTable))
+	copy(out[diskHeaderSize:], body)
+	return out
+}
+
+// put persists body under hash: write to a temp file in the same
+// directory, fsync, then rename over the final name. Rename is atomic on
+// POSIX filesystems, so a reader (or a crash) sees either no entry or the
+// complete checksummed entry — never a partial write. Evicts LRU entries
+// past the byte cap afterwards.
+func (d *diskTier) put(hash string, body []byte) {
+	d.mu.Lock()
+	_, exists := d.items[hash]
+	d.mu.Unlock()
+	if exists {
+		return // deterministic results: the stored bytes are already identical
+	}
+	framed := encodeEntry(body)
+	tmp, err := os.CreateTemp(d.dir, tmpPrefix+hash+"-")
+	if err != nil {
+		d.writeErrors.Add(1)
+		return
+	}
+	_, werr := tmp.Write(framed)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), filepath.Join(d.dir, hash))
+	}
+	if werr != nil {
+		d.writeErrors.Add(1)
+		os.Remove(tmp.Name())
+		return
+	}
+	d.mu.Lock()
+	if _, dup := d.items[hash]; !dup {
+		d.items[hash] = d.order.PushFront(&diskEntry{hash: hash, size: int64(len(framed))})
+		d.total += int64(len(framed))
+		d.evictOverCapLocked()
+	}
+	d.mu.Unlock()
+}
+
+// drop removes hash from the index (the file is already gone or doomed).
+func (d *diskTier) drop(hash string) {
+	d.mu.Lock()
+	if el, ok := d.items[hash]; ok {
+		d.total -= el.Value.(*diskEntry).size
+		d.order.Remove(el)
+		delete(d.items, hash)
+	}
+	d.mu.Unlock()
+}
+
+// evictOverCapLocked removes least-recently-used entries until the tier
+// fits its byte cap again, keeping at least the newest entry so a single
+// oversized result cannot empty the tier. Caller holds d.mu.
+func (d *diskTier) evictOverCapLocked() {
+	for d.total > d.max && d.order.Len() > 1 {
+		oldest := d.order.Back()
+		e := oldest.Value.(*diskEntry)
+		d.order.Remove(oldest)
+		delete(d.items, e.hash)
+		d.total -= e.size
+		os.Remove(filepath.Join(d.dir, e.hash))
+		d.evictions.Add(1)
+	}
+}
+
+// stats reports resident entries and bytes.
+func (d *diskTier) stats() (entries int, bytes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.order.Len(), d.total
+}

@@ -1,0 +1,110 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/hdls"
+	"repro/internal/castore"
+)
+
+// PeerFillOptions configures a worker's peer-fill hook.
+type PeerFillOptions struct {
+	// Peers lists the other workers' base URLs (e.g.
+	// "http://host:9140"), excluding this worker itself. Order matters
+	// only as ring identity: every worker must list a peer under the same
+	// URL string for the ring arcs to agree.
+	Peers []string
+	// Replicas is the ring's virtual points per peer (default 64 —
+	// matching the coordinator's default, so a worker probes exactly the
+	// workers the coordinator routes the cell's hash to).
+	Replicas int
+	// Probes caps how many ring successors are asked per miss (default 2).
+	// Probing is serial and stops at the first hit; deterministic results
+	// make any copy as good as any other.
+	Probes int
+	// Timeout bounds each individual probe (default 500ms). Peer-fill is
+	// an optimization: a slow peer must never cost more than a recompute.
+	Timeout time.Duration
+	// Client overrides the HTTP client used for probes (tests).
+	Client *http.Client
+}
+
+// maxPeerBody caps a peer cache response; summaries are a few hundred
+// bytes, so anything near this size is a broken or hostile peer.
+const maxPeerBody = 4 << 20
+
+// PeerFill builds a castore.PeerFetch that resolves misses from fleet
+// peers: the cell hash's ring successors are probed via GET
+// /v1/cache/{hash} until one returns the stored bytes. The ring is the
+// same consistent-hash structure the coordinator shards by, so the first
+// probe usually lands on the worker the coordinator would have routed the
+// cell to — the one most likely to hold it.
+//
+// Peer-fill cannot violate byte reproducibility: results are pure
+// functions of the canonical hash, a peer serves only bytes its own store
+// verified (memory, or disk behind a checksum), and the endpoint is
+// local-only on the peer side, so probes never chain. Any failure —
+// timeout, non-200, oversized body — just falls through to the next
+// successor and finally to local computation. Returns nil when Peers is
+// empty (no hook, no probe cost).
+func PeerFill(opt PeerFillOptions) castore.PeerFetch {
+	if len(opt.Peers) == 0 {
+		return nil
+	}
+	if opt.Replicas <= 0 {
+		opt.Replicas = 64
+	}
+	if opt.Probes <= 0 {
+		opt.Probes = 2
+	}
+	if opt.Probes > len(opt.Peers) {
+		opt.Probes = len(opt.Peers)
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 500 * time.Millisecond
+	}
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	ring := NewRing(opt.Peers, opt.Replicas)
+	return func(ctx context.Context, hash string) ([]byte, bool) {
+		order := ring.Successors(hdls.HashKeyOf(hash))
+		for _, wi := range order[:opt.Probes] {
+			if body, ok := probePeer(ctx, client, opt.Peers[wi], hash, opt.Timeout); ok {
+				return body, true
+			}
+			if ctx.Err() != nil {
+				return nil, false
+			}
+		}
+		return nil, false
+	}
+}
+
+// probePeer asks one peer for one hash, bounded by timeout.
+func probePeer(ctx context.Context, client *http.Client, base, hash string, timeout time.Duration) ([]byte, bool) {
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, base+"/v1/cache/"+hash, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxPeerBody))
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody+1))
+	if err != nil || len(body) == 0 || len(body) > maxPeerBody {
+		return nil, false
+	}
+	return body, true
+}

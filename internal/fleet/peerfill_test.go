@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/dls"
+	"repro/hdls"
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// peerCell is a fast cell for the peer-fill tests.
+func peerCell(seed int64) hdls.Config {
+	return hdls.Config{
+		Nodes: 2, WorkersPerNode: 4, Inter: dls.GSS, Intra: dls.STATIC,
+		Approach: hdls.MPIMPI, Seed: seed, Workload: "constant:n=256",
+	}
+}
+
+func drainServer(t *testing.T, s *serve.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+}
+
+// TestPeerFillServesByteIdenticalWithoutRecompute is the fresh-vs-peer
+// reproducibility gate: worker A computes a cell; worker B, wired with a
+// peer-fill hook pointing at A, serves the identical bytes as a peer hit
+// without running the engine again.
+func TestPeerFillServesByteIdenticalWithoutRecompute(t *testing.T) {
+	sA := serve.New(serve.Options{Workers: 2})
+	tsA := httptest.NewServer(sA.Handler())
+	t.Cleanup(func() { tsA.Close(); drainServer(t, sA) })
+
+	cfg := peerCell(901)
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respA, err := http.Post(tsA.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyA, err := io.ReadAll(respA.Body)
+	respA.Body.Close()
+	if err != nil || respA.StatusCode != http.StatusOK {
+		t.Fatalf("worker A run: %v status %d %s", err, respA.StatusCode, bodyA)
+	}
+
+	sB := serve.New(serve.Options{
+		Workers:   2,
+		PeerFetch: PeerFill(PeerFillOptions{Peers: []string{tsA.URL}}),
+	})
+	tsB := httptest.NewServer(sB.Handler())
+	t.Cleanup(func() { tsB.Close(); drainServer(t, sB) })
+
+	reuses, builds, _ := core.ArenaStats()
+	before := reuses + builds
+	respB, err := http.Post(tsB.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyB, err := io.ReadAll(respB.Body)
+	respB.Body.Close()
+	if err != nil || respB.StatusCode != http.StatusOK {
+		t.Fatalf("worker B run: %v status %d %s", err, respB.StatusCode, bodyB)
+	}
+	if got := respB.Header.Get("X-Cache"); got != "hit-peer" {
+		t.Fatalf("worker B X-Cache = %q, want hit-peer", got)
+	}
+	if !bytes.Equal(bodyA, bodyB) {
+		t.Fatalf("peer-filled body differs from the computing worker's:\n%s\n%s", bodyA, bodyB)
+	}
+	reuses, builds, _ = core.ArenaStats()
+	if delta := reuses + builds - before; delta != 0 {
+		t.Fatalf("worker B ran the engine %d times despite the peer having the cell", delta)
+	}
+	if st := sB.Store().Stats(); st.PeerHits != 1 {
+		t.Fatalf("worker B store stats = %+v, want PeerHits=1", st)
+	}
+
+	// The peer fill cached locally: a repeat on B is a mem hit, same bytes.
+	respB2, err := http.Post(tsB.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyB2, _ := io.ReadAll(respB2.Body)
+	respB2.Body.Close()
+	if got := respB2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("repeat X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(bodyA, bodyB2) {
+		t.Fatal("repeat body differs")
+	}
+}
+
+// TestPeerFillMissFallsThroughToCompute: peers that lack the cell (404)
+// or are unreachable must not fail the request — the worker simulates
+// locally, exactly as if it had no peers.
+func TestPeerFillMissFallsThroughToCompute(t *testing.T) {
+	sA := serve.New(serve.Options{Workers: 2}) // empty store: every probe 404s
+	tsA := httptest.NewServer(sA.Handler())
+	t.Cleanup(func() { tsA.Close(); drainServer(t, sA) })
+
+	dead := "http://127.0.0.1:1" // nothing listens here
+	sB := serve.New(serve.Options{
+		Workers: 2,
+		PeerFetch: PeerFill(PeerFillOptions{
+			Peers:   []string{tsA.URL, dead},
+			Probes:  2,
+			Timeout: 200 * time.Millisecond,
+		}),
+	})
+	tsB := httptest.NewServer(sB.Handler())
+	t.Cleanup(func() { tsB.Close(); drainServer(t, sB) })
+
+	body, err := json.Marshal(peerCell(902))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(tsB.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("X-Cache = %q, want miss (local compute)", got)
+	}
+	if st := sB.Store().Stats(); st.PeerHits != 0 || st.Misses == 0 {
+		t.Fatalf("store stats = %+v, want a plain miss", st)
+	}
+}
+
+// TestPeerFillNilWithoutPeers: no peers means no hook at all.
+func TestPeerFillNilWithoutPeers(t *testing.T) {
+	if PeerFill(PeerFillOptions{}) != nil {
+		t.Fatal("PeerFill with no peers should return nil")
+	}
+}
+
+// TestPeerFillProbesRingSuccessorsFirst: the probe order for a hash must
+// start at the ring owner, mirroring the coordinator's routing, so the
+// first probe lands on the worker most likely to hold the cell.
+func TestPeerFillProbesRingSuccessorsFirst(t *testing.T) {
+	var got []string
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cache/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	})
+	// Three fake peers that record the order they are probed in.
+	var peers []string
+	for i := 0; i < 3; i++ {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			got = append(got, r.Host)
+			http.NotFound(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		peers = append(peers, ts.URL)
+	}
+
+	hash := peerCell(903).Hash()
+	fetch := PeerFill(PeerFillOptions{Peers: peers, Probes: 3})
+	if _, ok := fetch(context.Background(), hash); ok {
+		t.Fatal("all peers 404ed; fetch must miss")
+	}
+
+	ring := NewRing(peers, 64)
+	want := ring.Successors(hdls.HashKeyOf(hash))
+	if len(got) != 3 {
+		t.Fatalf("probed %d peers, want 3", len(got))
+	}
+	for i, wi := range want {
+		if "http://"+got[i] != peers[wi] {
+			t.Fatalf("probe %d hit %s, want ring successor %s", i, got[i], peers[wi])
+		}
+	}
+}

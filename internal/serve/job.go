@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/hdls"
+	"repro/internal/castore"
 )
 
 // Submission errors surfaced as HTTP statuses by the handlers.
@@ -38,7 +39,8 @@ type Job struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	lines     [][]byte // per-cell NDJSON line, newline excluded
+	lines     [][]byte          // per-cell NDJSON line, newline excluded
+	outcomes  []castore.Outcome // how the store resolved each completed cell
 	completed int
 	failed    int
 	finished  time.Time // when the last cell completed (zero while running)
@@ -52,12 +54,13 @@ type Job struct {
 // newJob freezes the cell list and allocates completion tracking.
 func newJob(ctx context.Context, mgr *Manager, id string, cells []hdls.Config) *Job {
 	j := &Job{
-		ID:      id,
-		Created: time.Now(),
-		mgr:     mgr,
-		cells:   cells,
-		ctx:     ctx,
-		lines:   make([][]byte, len(cells)),
+		ID:       id,
+		Created:  time.Now(),
+		mgr:      mgr,
+		cells:    cells,
+		ctx:      ctx,
+		lines:    make([][]byte, len(cells)),
+		outcomes: make([]castore.Outcome, len(cells)),
 	}
 	j.cond = sync.NewCond(&j.mu)
 	return j
@@ -87,10 +90,12 @@ func (j *Job) doneSince() (bool, time.Time) {
 	return j.completed == len(j.cells), j.finished
 }
 
-// complete records cell idx's frozen line and wakes streamers.
-func (j *Job) complete(idx int, line []byte, failed bool) {
+// complete records cell idx's frozen line and store outcome, and wakes
+// streamers.
+func (j *Job) complete(idx int, line []byte, failed bool, outcome castore.Outcome) {
 	j.mu.Lock()
 	j.lines[idx] = line
+	j.outcomes[idx] = outcome
 	j.completed++
 	if failed {
 		j.failed++
@@ -105,6 +110,53 @@ func (j *Job) complete(idx int, line []byte, failed bool) {
 		j.mgr.jobWG.Done()
 		j.mgr.activeJobs.Add(-1)
 	}
+}
+
+// Outcome reports how the store resolved cell idx; meaningful only after
+// the cell completed (WaitCell returned its line).
+func (j *Job) Outcome(idx int) castore.Outcome {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if idx < 0 || idx >= len(j.outcomes) {
+		return castore.Computed
+	}
+	return j.outcomes[idx]
+}
+
+// CacheCounts tallies the job's completed cells by store outcome — the
+// per-tier breakdown the job-status JSON reports.
+type CacheCounts struct {
+	Computed  int `json:"computed"`  // cells that ran the engine
+	Collapsed int `json:"collapsed"` // cells that joined a concurrent identical flight
+	MemHits   int `json:"mem_hits"`  // cells served by the memory tier
+	DiskHits  int `json:"disk_hits"` // cells served by the disk tier
+	PeerHits  int `json:"peer_hits"` // cells filled from a fleet peer
+}
+
+// CacheCounts reports the per-tier resolution breakdown of the job's
+// completed cells.
+func (j *Job) CacheCounts() CacheCounts {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var c CacheCounts
+	for idx, line := range j.lines {
+		if line == nil {
+			continue
+		}
+		switch j.outcomes[idx] {
+		case castore.Collapsed:
+			c.Collapsed++
+		case castore.HitMem:
+			c.MemHits++
+		case castore.HitDisk:
+			c.DiskHits++
+		case castore.HitPeer:
+			c.PeerHits++
+		default:
+			c.Computed++
+		}
+	}
+	return c
 }
 
 // WaitCell blocks until cell idx's line is available or ctx is canceled.
@@ -138,12 +190,12 @@ func (j *Job) WaitCell(ctx context.Context, idx int) ([]byte, error) {
 }
 
 // Manager owns the bounded worker pool that executes cells, the job
-// registry, and the result cache. One manager serves the whole daemon; its
-// worker count bounds simultaneous simulations regardless of how many
-// HTTP requests are in flight, so the arena pool (DESIGN.md §8) sees at
-// most Workers concurrent arenas.
+// registry, and the tiered result store. One manager serves the whole
+// daemon; its worker count bounds simultaneous simulations regardless of
+// how many HTTP requests are in flight, so the arena pool (DESIGN.md §8)
+// sees at most Workers concurrent arenas.
 type Manager struct {
-	cache       *Cache
+	store       *castore.Store
 	queue       chan cellTask
 	jobTTL      time.Duration // completed-job retention time
 	maxJobs     int           // completed-job retention count cap
@@ -161,12 +213,13 @@ type Manager struct {
 	queueDepth atomic.Int64
 	activeJobs atomic.Int64
 
-	jobsTotal     atomic.Int64
-	jobsEvicted   atomic.Int64
-	cellsTotal    atomic.Int64
-	cellsCached   atomic.Int64
-	cellsCanceled atomic.Int64
-	cellErrors    atomic.Int64
+	jobsTotal      atomic.Int64
+	jobsEvicted    atomic.Int64
+	cellsTotal     atomic.Int64
+	cellsCached    atomic.Int64
+	cellsCollapsed atomic.Int64
+	cellsCanceled  atomic.Int64
+	cellErrors     atomic.Int64
 }
 
 type cellTask struct {
@@ -179,7 +232,7 @@ type cellTask struct {
 // retained for replay until they age past jobTTL or the newest maxJobs
 // completed jobs push them out, whichever comes first (defaults: 15
 // minutes, 256 jobs).
-func NewManager(workers, queueCapacity int, jobTTL time.Duration, maxJobs int, cache *Cache) *Manager {
+func NewManager(workers, queueCapacity int, jobTTL time.Duration, maxJobs int, store *castore.Store) *Manager {
 	if queueCapacity <= 0 {
 		queueCapacity = 1 << 16
 	}
@@ -190,7 +243,7 @@ func NewManager(workers, queueCapacity int, jobTTL time.Duration, maxJobs int, c
 		maxJobs = 256
 	}
 	m := &Manager{
-		cache:       cache,
+		store:       store,
 		queue:       make(chan cellTask, queueCapacity),
 		jobTTL:      jobTTL,
 		maxJobs:     maxJobs,
@@ -353,28 +406,31 @@ func (m *Manager) worker() {
 	}
 }
 
-// runCell resolves one cell: from the result cache when the canonical
-// config hash is known, through hdls.RunSummaryCtx (the pooled-arena path)
-// otherwise. The frozen NDJSON line embeds the cached summary bytes
-// verbatim, so identical cells produce byte-identical lines forever. A
-// canceled job short-circuits: queued cells are skipped and the in-flight
-// simulation aborts; canceled outcomes are never cached, so a later
-// resubmission of the same cell recomputes the real result.
+// runCell resolves one cell through the tiered store: memory, disk, a
+// fleet peer, or hdls.RunSummaryCtx (the pooled-arena path) — with
+// concurrent identical cells collapsed onto a single engine execution by
+// the store's singleflight. The frozen NDJSON line embeds the stored
+// summary bytes verbatim, so identical cells produce byte-identical lines
+// regardless of which tier served them. A canceled job short-circuits:
+// queued cells are skipped and the in-flight simulation aborts; canceled
+// outcomes are never cached, so a later resubmission of the same cell
+// recomputes the real result.
 func (m *Manager) runCell(task cellTask) {
 	cfg := task.job.cells[task.idx]
 	hash := cfg.Hash()
 	m.cellsTotal.Add(1)
 	if err := task.job.ctx.Err(); err != nil {
 		m.cellsCanceled.Add(1)
-		task.job.complete(task.idx, errorLine(task.idx, hash, "canceled: "+err.Error()), true)
+		task.job.complete(task.idx, errorLine(task.idx, hash, "canceled: "+err.Error()), true, castore.Computed)
 		return
 	}
-	if body, ok := m.cache.Get(hash); ok {
-		m.cellsCached.Add(1)
-		task.job.complete(task.idx, cellLine(task.idx, hash, body), false)
-		return
-	}
-	sum, err := hdls.RunSummaryCtx(task.job.ctx, cfg)
+	body, outcome, err := m.store.Do(task.job.ctx, hash, func(ctx context.Context) ([]byte, error) {
+		sum, err := hdls.RunSummaryCtx(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return marshalSummary(sum), nil
+	})
 	if err != nil {
 		if task.job.ctx.Err() != nil {
 			m.cellsCanceled.Add(1)
@@ -383,12 +439,18 @@ func (m *Manager) runCell(task cellTask) {
 			// failure; report it in-band so the stream stays well-formed.
 			m.cellErrors.Add(1)
 		}
-		task.job.complete(task.idx, errorLine(task.idx, hash, err.Error()), true)
+		task.job.complete(task.idx, errorLine(task.idx, hash, err.Error()), true, outcome)
 		return
 	}
-	body := marshalSummary(sum)
-	m.cache.Put(hash, body)
-	task.job.complete(task.idx, cellLine(task.idx, hash, body), false)
+	switch outcome {
+	case castore.Computed:
+		// The one caller that paid the engine cost.
+	case castore.Collapsed:
+		m.cellsCollapsed.Add(1)
+	default: // HitMem, HitDisk, HitPeer
+		m.cellsCached.Add(1)
+	}
+	task.job.complete(task.idx, cellLine(task.idx, hash, body), false, outcome)
 }
 
 // cellLine composes the per-cell NDJSON line around the cached summary
@@ -456,15 +518,16 @@ func (m *Manager) Draining() bool { return m.draining.Load() }
 
 // ManagerStats is the manager's operational counter snapshot for /metrics.
 type ManagerStats struct {
-	Jobs          int64 // jobs accepted over the process lifetime
-	JobsEvicted   int64 // completed jobs dropped by TTL/count retention
-	JobsRetained  int   // jobs currently addressable under /v1/jobs
-	ActiveJobs    int64 // jobs with incomplete cells
-	Cells         int64 // cells processed (cache hits included)
-	CellsCached   int64 // cells served from the result cache
-	CellsCanceled int64 // cells skipped or aborted by client disconnect
-	CellErrors    int64 // cells that failed after validation
-	QueueDepth    int64 // cells queued but not yet started
+	Jobs           int64 // jobs accepted over the process lifetime
+	JobsEvicted    int64 // completed jobs dropped by TTL/count retention
+	JobsRetained   int   // jobs currently addressable under /v1/jobs
+	ActiveJobs     int64 // jobs with incomplete cells
+	Cells          int64 // cells processed (cache hits included)
+	CellsCached    int64 // cells served from a store tier (mem/disk/peer)
+	CellsCollapsed int64 // cells that joined a concurrent identical flight
+	CellsCanceled  int64 // cells skipped or aborted by client disconnect
+	CellErrors     int64 // cells that failed after validation
+	QueueDepth     int64 // cells queued but not yet started
 }
 
 // Stats reports lifetime job/cell counters and the live queue depth.
@@ -473,14 +536,15 @@ func (m *Manager) Stats() ManagerStats {
 	retained := len(m.jobOrder)
 	m.mu.Unlock()
 	return ManagerStats{
-		Jobs:          m.jobsTotal.Load(),
-		JobsEvicted:   m.jobsEvicted.Load(),
-		JobsRetained:  retained,
-		ActiveJobs:    m.activeJobs.Load(),
-		Cells:         m.cellsTotal.Load(),
-		CellsCached:   m.cellsCached.Load(),
-		CellsCanceled: m.cellsCanceled.Load(),
-		CellErrors:    m.cellErrors.Load(),
-		QueueDepth:    m.queueDepth.Load(),
+		Jobs:           m.jobsTotal.Load(),
+		JobsEvicted:    m.jobsEvicted.Load(),
+		JobsRetained:   retained,
+		ActiveJobs:     m.activeJobs.Load(),
+		Cells:          m.cellsTotal.Load(),
+		CellsCached:    m.cellsCached.Load(),
+		CellsCollapsed: m.cellsCollapsed.Load(),
+		CellsCanceled:  m.cellsCanceled.Load(),
+		CellErrors:     m.cellErrors.Load(),
+		QueueDepth:     m.queueDepth.Load(),
 	}
 }

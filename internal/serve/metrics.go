@@ -10,20 +10,31 @@ import (
 
 // handleMetrics exposes the daemon's operational counters in the
 // Prometheus text format: throughput (cells/sec over the process
-// lifetime), cache effectiveness, queue pressure, and the simulation
-// arena pool's reuse behavior under concurrent traffic (DESIGN.md §9).
+// lifetime), tiered-store effectiveness (per-tier hits, singleflight
+// collapses, disk-tier health), queue pressure, and the simulation arena
+// pool's reuse behavior under concurrent traffic (DESIGN.md §9, §12).
+//
+// The pre-tiered daemon exposed a single hdlsd_cache_hit_rate gauge; that
+// conflates tiers now that disk and peer hits exist (a cold-restart disk
+// hit and a hot mem hit have very different costs), so the rate is split
+// per tier — each gauge is that tier's share of all lookups — and the
+// legacy names (hdlsd_cache_hits_total, hdlsd_cache_hit_rate) remain as
+// the cross-tier aggregates.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.manager.Stats()
-	hits, misses, entries := s.cache.Stats()
+	cs := s.store.Stats()
 	reuses, builds, puts := core.ArenaStats()
 	uptime := time.Since(s.started).Seconds()
 	cellsPerSec := 0.0
 	if uptime > 0 {
 		cellsPerSec = float64(st.Cells) / uptime
 	}
-	hitRate := 0.0
-	if hits+misses > 0 {
-		hitRate = float64(hits) / float64(hits+misses)
+	lookups := cs.Hits() + cs.Misses
+	rate := func(hits int64) float64 {
+		if lookups == 0 {
+			return 0
+		}
+		return float64(hits) / float64(lookups)
 	}
 	draining := 0
 	if s.manager.Draining() {
@@ -42,15 +53,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"hdlsd_jobs_retained", "Jobs currently replayable under /v1/jobs.", "gauge", float64(st.JobsRetained)},
 		{"hdlsd_jobs_evicted_total", "Completed jobs dropped by TTL/count retention.", "counter", float64(st.JobsEvicted)},
 		{"hdlsd_cells_total", "Simulation cells processed (cache hits included).", "counter", float64(st.Cells)},
-		{"hdlsd_cells_cached_total", "Cells served from the result cache.", "counter", float64(st.CellsCached)},
+		{"hdlsd_cells_cached_total", "Cells served from a result-store tier.", "counter", float64(st.CellsCached)},
+		{"hdlsd_cells_collapsed_total", "Cells that joined a concurrent identical in-flight cell.", "counter", float64(st.CellsCollapsed)},
 		{"hdlsd_cells_canceled_total", "Cells skipped or aborted after client disconnect.", "counter", float64(st.CellsCanceled)},
 		{"hdlsd_cell_errors_total", "Cells that failed after validation.", "counter", float64(st.CellErrors)},
 		{"hdlsd_cells_per_second", "Lifetime cell throughput.", "gauge", cellsPerSec},
 		{"hdlsd_queue_depth", "Cells queued but not yet started.", "gauge", float64(st.QueueDepth)},
-		{"hdlsd_cache_hits_total", "Result-cache hits.", "counter", float64(hits)},
-		{"hdlsd_cache_misses_total", "Result-cache misses.", "counter", float64(misses)},
-		{"hdlsd_cache_entries", "Result-cache resident entries.", "gauge", float64(entries)},
-		{"hdlsd_cache_hit_rate", "Lifetime hit fraction of cache lookups.", "gauge", hitRate},
+		{"hdlsd_cache_hits_total", "Result-store hits across all tiers.", "counter", float64(cs.Hits())},
+		{"hdlsd_cache_mem_hits_total", "Result-store memory-tier hits.", "counter", float64(cs.MemHits)},
+		{"hdlsd_cache_disk_hits_total", "Result-store disk-tier hits.", "counter", float64(cs.DiskHits)},
+		{"hdlsd_cache_peer_hits_total", "Misses filled from a fleet peer's store.", "counter", float64(cs.PeerHits)},
+		{"hdlsd_cache_misses_total", "Result-store lookups no tier could serve.", "counter", float64(cs.Misses)},
+		{"hdlsd_cache_inflight_collapsed_total", "Lookups collapsed onto an in-flight identical computation.", "counter", float64(cs.Collapsed)},
+		{"hdlsd_cache_entries", "Memory-tier resident entries.", "gauge", float64(cs.MemEntries)},
+		{"hdlsd_cache_disk_entries", "Disk-tier resident entries.", "gauge", float64(cs.DiskEntries)},
+		{"hdlsd_cache_disk_bytes", "Disk-tier resident bytes.", "gauge", float64(cs.DiskBytes)},
+		{"hdlsd_cache_disk_evictions_total", "Disk-tier entries removed by the byte cap.", "counter", float64(cs.DiskEvictions)},
+		{"hdlsd_cache_disk_corruptions_total", "Disk-tier entries rejected by checksum/framing and deleted.", "counter", float64(cs.DiskCorruptions)},
+		{"hdlsd_cache_disk_write_errors_total", "Disk-tier writes that failed.", "counter", float64(cs.DiskWriteErrors)},
+		{"hdlsd_cache_disk_write_drops_total", "Disk-tier writes dropped by a full queue.", "counter", float64(cs.DiskWriteDrops)},
+		{"hdlsd_cache_disk_writes_pending", "Disk-tier writes queued but not yet persisted.", "gauge", float64(cs.PendingWrites)},
+		{"hdlsd_cache_hit_rate", "Lifetime hit fraction of store lookups, all tiers.", "gauge", rate(cs.Hits())},
+		{"hdlsd_cache_mem_hit_rate", "Fraction of store lookups served by the memory tier.", "gauge", rate(cs.MemHits)},
+		{"hdlsd_cache_disk_hit_rate", "Fraction of store lookups served by the disk tier.", "gauge", rate(cs.DiskHits)},
+		{"hdlsd_cache_peer_hit_rate", "Fraction of store lookups filled from a fleet peer.", "gauge", rate(cs.PeerHits)},
 		{"hdlsd_arena_reuses_total", "Cells served by a recycled simulation arena.", "counter", float64(reuses)},
 		{"hdlsd_arena_builds_total", "Cells that built a fresh simulation arena.", "counter", float64(builds)},
 		{"hdlsd_arena_returns_total", "Arenas returned to the pool after clean runs.", "counter", float64(puts)},

@@ -64,8 +64,7 @@ func TestReadyzReady(t *testing.T) {
 // submissions needed) and are capped by count, evictions are counted, and
 // running jobs are never evicted.
 func TestJobStoreEviction(t *testing.T) {
-	cache := NewCache(64)
-	m := NewManager(2, 64, 80*time.Millisecond, 2, cache)
+	m := NewManager(2, 64, 80*time.Millisecond, 2, newMemStore(t, 64))
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()

@@ -1,9 +1,12 @@
 // Package serve implements hdlsd's sweep-as-a-service layer: HTTP handlers
 // that run hierarchical DLS simulation cells on a bounded worker pool,
-// stream per-cell results as NDJSON, and cache results by canonical config
-// hash — deterministic simulations make a cell's summary a pure function
-// of its canonical hdls.Config, so a cache hit replays byte-identical
-// bytes without touching the engine (DESIGN.md §9).
+// stream per-cell results as NDJSON, and resolve results through the
+// tiered content-addressed store (internal/castore) keyed by canonical
+// config hash — deterministic simulations make a cell's summary a pure
+// function of its canonical hdls.Config, so a hit at any tier (memory,
+// disk, fleet peer) replays byte-identical bytes without touching the
+// engine, and concurrent identical requests collapse onto one execution
+// (DESIGN.md §9, §12).
 //
 // Endpoints:
 //
@@ -11,6 +14,7 @@
 //	POST /v1/sweep             batched cells; ?stream=1 for inline NDJSON
 //	GET  /v1/jobs/{id}         job status
 //	GET  /v1/jobs/{id}/results NDJSON stream, cells in index order
+//	GET  /v1/cache/{hash}      raw stored summary bytes (fleet peer-fill)
 //	GET  /v1/techniques        DLS technique discovery
 //	GET  /v1/workloads         workload spec discovery
 //	GET  /healthz              liveness (always 200 while the process serves)
@@ -31,6 +35,7 @@ import (
 
 	"repro/dls"
 	"repro/hdls"
+	"repro/internal/castore"
 	"repro/internal/workload"
 )
 
@@ -38,8 +43,21 @@ import (
 type Options struct {
 	// Workers bounds concurrent cell simulations (default GOMAXPROCS).
 	Workers int
-	// CacheEntries bounds the LRU result cache (default 4096 entries).
+	// CacheEntries bounds the store's in-memory LRU tier (default 4096
+	// entries).
 	CacheEntries int
+	// CacheDir enables the store's checksummed on-disk tier at this
+	// directory, so restarts are warm (default off). Entries are written
+	// atomically (temp + fsync + rename) and verified on read; corruption
+	// is counted and treated as a miss.
+	CacheDir string
+	// CacheDiskMax caps the disk tier's total bytes, LRU-evicted
+	// (default 256 MiB; ignored without CacheDir).
+	CacheDiskMax int64
+	// PeerFetch, when non-nil, is probed on a local store miss before the
+	// engine runs — fleet workers use it to pull a cell a ring peer
+	// already computed (fleet.PeerFill builds the hook).
+	PeerFetch castore.PeerFetch
 	// MaxCells bounds the cell count of one sweep submission (default 4096).
 	MaxCells int
 	// QueueCapacity bounds queued-but-unstarted cells across all jobs;
@@ -102,11 +120,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server wires the manager, cache and HTTP handlers. Create with New,
-// mount Handler on an http.Server, and call Drain on shutdown.
+// Server wires the manager, tiered result store and HTTP handlers. Create
+// with New, mount Handler on an http.Server, and call Drain on shutdown.
 type Server struct {
 	opts    Options
-	cache   *Cache
+	store   *castore.Store
 	manager *Manager
 	mux     *http.ServeMux
 	handler http.Handler // mux, possibly wrapped in the chaos layer
@@ -125,22 +143,32 @@ func New(opt Options) *Server {
 	return s
 }
 
-// NewWithError is New returning spec errors (a malformed Options.Chaos)
-// instead of panicking; cmd/hdlsd uses it to turn flag typos into a clean
-// startup failure.
+// NewWithError is New returning construction errors (a malformed
+// Options.Chaos spec, an unusable Options.CacheDir) instead of panicking;
+// cmd/hdlsd uses it to turn flag typos into a clean startup failure.
 func NewWithError(opt Options) (*Server, error) {
 	o := opt.withDefaults()
+	store, err := castore.Open(castore.Options{
+		MemEntries:   o.CacheEntries,
+		Dir:          o.CacheDir,
+		DiskMaxBytes: o.CacheDiskMax,
+		Peers:        o.PeerFetch,
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		opts:    o,
-		cache:   NewCache(o.CacheEntries),
+		store:   store,
 		started: time.Now(),
 	}
-	s.manager = NewManager(o.Workers, o.QueueCapacity, o.JobTTL, o.RetainedJobs, s.cache)
+	s.manager = NewManager(o.Workers, o.QueueCapacity, o.JobTTL, o.RetainedJobs, s.store)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	s.mux.HandleFunc("GET /v1/cache/{hash}", s.handleCacheLookup)
 	s.mux.HandleFunc("GET /v1/techniques", s.handleTechniques)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -160,8 +188,22 @@ func NewWithError(opt Options) (*Server, error) {
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Drain stops accepting work and waits for accepted jobs (bounded by ctx).
-func (s *Server) Drain(ctx context.Context) error { return s.manager.Drain(ctx) }
+// Drain stops accepting work, waits for accepted jobs (bounded by ctx),
+// then flushes the store's pending disk writes. An aborted drain leaves
+// the store open — cells may still be running and must be able to publish
+// their results; a later successful Drain (or repeated calls — Close is
+// idempotent) finishes the flush.
+func (s *Server) Drain(ctx context.Context) error {
+	if err := s.manager.Drain(ctx); err != nil {
+		return err
+	}
+	s.store.Close()
+	return nil
+}
+
+// Store exposes the server's tiered result store (the fleet worker wiring
+// and tests read its per-tier counters).
+func (s *Server) Store() *castore.Store { return s.store }
 
 // marshalSummary freezes a summary as compact JSON. Field order is fixed
 // by the struct, so equal summaries marshal to equal bytes.
@@ -253,7 +295,9 @@ func (s *Server) submitOrFail(ctx context.Context, w http.ResponseWriter, cells 
 
 // handleRun runs a single cell synchronously through the worker pool and
 // returns {"hash":…,"summary":…}. Identical configs are served from the
-// result cache with byte-identical bodies (X-Cache: hit).
+// tiered store with byte-identical bodies; X-Cache reports how the cell
+// resolved ("hit", "hit-disk", "hit-peer", "collapsed", or "miss" for the
+// one request that actually ran the engine).
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var cfg hdls.Config
 	if err := decodeConfig(json.NewDecoder(r.Body), &cfg); err != nil {
@@ -265,8 +309,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hash := cfg.Hash()
-	if body, ok := s.cache.Get(hash); ok {
-		writeRunBody(w, hash, body, "hit")
+	if body, tier, ok := s.store.LookupLocal(hash); ok {
+		label := "hit"
+		if tier == castore.TierDisk {
+			label = "hit-disk"
+		}
+		writeRunBody(w, hash, body, label)
 		return
 	}
 	job := s.submitOrFail(r.Context(), w, []hdls.Config{cfg})
@@ -279,7 +327,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Slice the summary back out of the frozen cell line instead of
-	// re-querying the cache, so the hit/miss counters see only client
+	// re-querying the store, so the hit/miss counters see only client
 	// lookups. An error line (no summary prefix) means the cell failed
 	// after validation — an internal fault.
 	prefix := fmt.Appendf(nil, `{"index":0,"hash":%q,"summary":`, hash)
@@ -289,7 +337,34 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		w.Write(append(bytes.Clone(line), '\n'))
 		return
 	}
-	writeRunBody(w, hash, line[len(prefix):len(line)-1], "miss")
+	writeRunBody(w, hash, line[len(prefix):len(line)-1], job.Outcome(0).String())
+}
+
+// handleCacheLookup serves the raw stored summary bytes for a canonical
+// config hash — the fleet peer-fill endpoint. Deliberately local-only
+// (memory and disk tiers; never this daemon's own peer hook), so probe
+// chains terminate after one hop and a cache miss can never cascade into
+// a fleet-wide probe storm. 404 means "I don't have it; simulate it
+// yourself".
+func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if len(hash) != 64 {
+		httpError(w, http.StatusBadRequest, "malformed config hash %q", hash)
+		return
+	}
+	body, tier, ok := s.store.LookupLocal(hash)
+	if !ok {
+		httpError(w, http.StatusNotFound, "hash %s not cached", hash)
+		return
+	}
+	label := "hit"
+	if tier == castore.TierDisk {
+		label = "hit-disk"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", label)
+	w.Header().Set("X-Config-Hash", hash)
+	w.Write(body)
 }
 
 // writeRunBody writes the /v1/run response. The bytes around the cached
@@ -402,6 +477,7 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		"cells":     job.Cells(),
 		"completed": completed,
 		"failed":    failed,
+		"cache":     job.CacheCounts(),
 		"created":   job.Created.UTC().Format(time.RFC3339Nano),
 	})
 }

@@ -15,7 +15,19 @@ import (
 
 	"repro/dls"
 	"repro/hdls"
+	"repro/internal/castore"
 )
+
+// newMemStore opens a memory-only tiered store for manager-level tests.
+func newMemStore(t *testing.T, entries int) *castore.Store {
+	t.Helper()
+	st, err := castore.Open(castore.Options{MemEntries: entries})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	t.Cleanup(st.Close)
+	return st
+}
 
 // newTestServer starts a real HTTP server (flushing works through the
 // network stack) and registers cleanup for both it and the worker pool.
@@ -453,26 +465,6 @@ func TestDiscoveryAndHealth(t *testing.T) {
 	}
 }
 
-func TestCacheLRUEviction(t *testing.T) {
-	c := NewCache(2)
-	c.Put("a", []byte("A"))
-	c.Put("b", []byte("B"))
-	if _, ok := c.Get("a"); !ok {
-		t.Fatal("a evicted too early")
-	}
-	c.Put("c", []byte("C")) // evicts b (least recently used)
-	if _, ok := c.Get("b"); ok {
-		t.Fatal("b should have been evicted")
-	}
-	if v, ok := c.Get("a"); !ok || string(v) != "A" {
-		t.Fatalf("a lost: %q %v", v, ok)
-	}
-	hits, misses, entries := c.Stats()
-	if entries != 2 || hits != 2 || misses != 1 {
-		t.Errorf("stats = %d hits %d misses %d entries", hits, misses, entries)
-	}
-}
-
 // TestEvictionDefersForInFlightReplay pins the retention rule behind
 // Manager.Acquire: a completed job being replayed must survive TTL and
 // count-cap eviction until its last reader releases, then get collected
@@ -480,7 +472,7 @@ func TestCacheLRUEviction(t *testing.T) {
 // while the janitor ticks past the TTL, so the race detector covers the
 // pin/evict interaction too (run under -race in CI's fast-forward shard).
 func TestEvictionDefersForInFlightReplay(t *testing.T) {
-	m := NewManager(2, 64, 25*time.Millisecond, 2, NewCache(16))
+	m := NewManager(2, 64, 25*time.Millisecond, 2, newMemStore(t, 16))
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()

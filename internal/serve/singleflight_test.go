@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/dls"
+	"repro/internal/core"
+)
+
+// engineExecutions reads the cumulative engine-execution count: every
+// simulation acquires exactly one arena (recycled or built), so the
+// reuses+builds sum is the number of times the engine actually ran.
+func engineExecutions() int64 {
+	reuses, builds, _ := core.ArenaStats()
+	return reuses + builds
+}
+
+// TestSingleflightRunCollapses is the PR's regression gate (run under
+// -race in CI): 32 concurrent identical POST /v1/run must execute the
+// engine exactly once — every other request collapses onto the in-flight
+// cell or replays the stored bytes — and all 32 bodies must be
+// byte-identical with a coherent X-Cache label on each.
+func TestSingleflightRunCollapses(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 8})
+	cfg := cheapCell(4242, dls.FAC2)
+	req, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 32
+	before := engineExecutions()
+	bodies := make([][]byte, clients)
+	labels := make([]string, clients)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(req))
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %v", c, err)
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs <- fmt.Errorf("client %d read: %v", c, err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d: %s", c, resp.StatusCode, body)
+				return
+			}
+			bodies[c] = body
+			labels[c] = resp.Header.Get("X-Cache")
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if delta := engineExecutions() - before; delta != 1 {
+		t.Fatalf("engine ran %d times for 32 identical requests, want exactly 1", delta)
+	}
+	var misses int
+	for c := 0; c < clients; c++ {
+		if !bytes.Equal(bodies[0], bodies[c]) {
+			t.Fatalf("client %d body differs:\n%s\n%s", c, bodies[0], bodies[c])
+		}
+		switch labels[c] {
+		case "miss":
+			misses++
+		case "hit", "hit-disk", "collapsed":
+		default:
+			t.Fatalf("client %d has unexpected X-Cache %q", c, labels[c])
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d clients saw X-Cache miss, want exactly the 1 that computed", misses)
+	}
+}
+
+// TestSingleflightSweepHammer is the acceptance criterion's identical
+// concurrent-sweep hammer: 16 clients submit the same 8-cell sweep at
+// once; across all 128 cell executions the engine must run exactly 8
+// times — once per distinct hash — and every response stream must be
+// byte-identical.
+func TestSingleflightSweepHammer(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 8})
+	const (
+		clients = 16
+		cells   = 8
+	)
+	req, err := json.Marshal(sweepBody(cells))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := engineExecutions()
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/sweep?stream=1", "application/json", bytes.NewReader(req))
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %v", c, err)
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs <- fmt.Errorf("client %d read: %v", c, err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d: %s", c, resp.StatusCode, body)
+				return
+			}
+			bodies[c] = body
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if delta := engineExecutions() - before; delta != cells {
+		t.Fatalf("engine ran %d times for %d identical %d-cell sweeps, want exactly %d",
+			delta, clients, cells, cells)
+	}
+	for c := 1; c < clients; c++ {
+		if !bytes.Equal(bodies[0], bodies[c]) {
+			t.Fatalf("client %d stream differs from client 0", c)
+		}
+	}
+	if got := len(parseNDJSON(t, bodies[0])); got != cells {
+		t.Fatalf("stream has %d lines, want %d", got, cells)
+	}
+}
+
+// TestMetricsTierCounterNames pins the per-tier metric names the
+// dashboards and smoke scripts scrape — renaming any of these is a
+// breaking change.
+func TestMetricsTierCounterNames(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, CacheDir: t.TempDir()})
+	// Touch the store so counters are live, not just declared.
+	resp := postJSON(t, ts.URL+"/v1/run", cheapCell(31, dls.GSS))
+	readBody(t, resp)
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(readBody(t, mresp))
+	for _, want := range []string{
+		// Satellite-pinned tier counters.
+		"hdlsd_cache_mem_hits_total",
+		"hdlsd_cache_disk_hits_total",
+		"hdlsd_cache_peer_hits_total",
+		"hdlsd_cache_inflight_collapsed_total",
+		// Legacy aggregates must survive the tier split.
+		"hdlsd_cache_hits_total",
+		"hdlsd_cache_misses_total",
+		"hdlsd_cache_hit_rate",
+		// Per-tier rate split of the legacy gauge.
+		"hdlsd_cache_mem_hit_rate",
+		"hdlsd_cache_disk_hit_rate",
+		"hdlsd_cache_peer_hit_rate",
+		// Disk-tier health.
+		"hdlsd_cache_disk_entries",
+		"hdlsd_cache_disk_bytes",
+		"hdlsd_cache_disk_evictions_total",
+		"hdlsd_cache_disk_corruptions_total",
+		"hdlsd_cache_disk_write_errors_total",
+		"hdlsd_cache_disk_write_drops_total",
+		"hdlsd_cache_disk_writes_pending",
+		// Manager-level collapse counter.
+		"hdlsd_cells_collapsed_total",
+	} {
+		if !strings.Contains(metrics, "\n"+want+" ") {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+// TestWarmRestartServesDiskHits is the serve-level warm-restart contract:
+// a daemon with a cache dir computes a cell, drains (flushing the disk
+// write), and a fresh daemon on the same dir serves the identical bytes
+// from the disk tier without touching the engine.
+func TestWarmRestartServesDiskHits(t *testing.T) {
+	dir := t.TempDir()
+	cfg := cheapCell(77, dls.TSS)
+
+	s1 := New(Options{Workers: 2, CacheDir: dir})
+	ts1 := newHTTPServer(t, s1)
+	resp1 := postJSON(t, ts1.URL+"/v1/run", cfg)
+	body1 := readBody(t, resp1)
+	if resp1.StatusCode != http.StatusOK || resp1.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first run: status %d X-Cache %q", resp1.StatusCode, resp1.Header.Get("X-Cache"))
+	}
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	s2 := New(Options{Workers: 2, CacheDir: dir})
+	ts2 := newHTTPServer(t, s2)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s2.Drain(ctx); err != nil {
+			t.Errorf("cleanup drain: %v", err)
+		}
+	})
+
+	before := engineExecutions()
+	resp2 := postJSON(t, ts2.URL+"/v1/run", cfg)
+	body2 := readBody(t, resp2)
+	if got := resp2.Header.Get("X-Cache"); got != "hit-disk" {
+		t.Fatalf("restart X-Cache = %q, want hit-disk", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("warm-restart body differs:\n%s\n%s", body1, body2)
+	}
+	if delta := engineExecutions() - before; delta != 0 {
+		t.Fatalf("restart re-ran the engine %d times", delta)
+	}
+
+	// The disk hit promoted into memory: the next request is a mem hit.
+	resp3 := postJSON(t, ts2.URL+"/v1/run", cfg)
+	body3 := readBody(t, resp3)
+	if got := resp3.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("post-promotion X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body3) {
+		t.Fatal("post-promotion body differs")
+	}
+}
+
+// TestCacheLookupEndpoint covers the fleet peer-fill endpoint: stored
+// hashes serve their raw summary bytes, unknown hashes 404, malformed
+// hashes 400.
+func TestCacheLookupEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2})
+	cfg := cheapCell(55, dls.STATIC)
+	resp := postJSON(t, ts.URL+"/v1/run", cfg)
+	runBody := readBody(t, resp)
+	hash := cfg.Hash()
+
+	lresp, err := http.Get(ts.URL + "/v1/cache/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readBody(t, lresp)
+	if lresp.StatusCode != http.StatusOK {
+		t.Fatalf("cache lookup status %d: %s", lresp.StatusCode, got)
+	}
+	if lresp.Header.Get("X-Config-Hash") != hash {
+		t.Errorf("X-Config-Hash = %q", lresp.Header.Get("X-Config-Hash"))
+	}
+	// The endpoint serves the raw summary bytes — exactly what the store
+	// holds, and exactly what /v1/run wraps into its response body.
+	want := fmt.Appendf(nil, `{"hash":%q,"summary":`, hash)
+	want = append(want, got...)
+	want = append(want, '}', '\n')
+	if !bytes.Equal(runBody, want) {
+		t.Fatalf("lookup bytes do not reassemble the run body:\nrun:    %slookup: %s", runBody, got)
+	}
+	if body, _, ok := s.Store().LookupLocal(hash); !ok || !bytes.Equal(body, got) {
+		t.Fatal("endpoint bytes differ from the store's")
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/cache/" + strings.Repeat("0", 64)); err != nil {
+		t.Fatal(err)
+	} else if readBody(t, resp); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown hash status = %d, want 404", resp.StatusCode)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/cache/nothex"); err != nil {
+		t.Fatal(err)
+	} else if readBody(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed hash status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestJobStatusCacheCounts checks the job-status JSON's per-tier
+// breakdown: a first sweep computes every cell, an identical second sweep
+// is served entirely by the store.
+func TestJobStatusCacheCounts(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	statusCounts := func(n int) CacheCounts {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/v1/sweep?stream=0", sweepBody(n))
+		var acc struct {
+			JobID      string `json:"job_id"`
+			ResultsURL string `json:"results_url"`
+			StatusURL  string `json:"status_url"`
+		}
+		if err := json.Unmarshal(readBody(t, resp), &acc); err != nil {
+			t.Fatal(err)
+		}
+		rresp, err := http.Get(ts.URL + acc.ResultsURL) // blocks until done
+		if err != nil {
+			t.Fatal(err)
+		}
+		readBody(t, rresp)
+		sresp, err := http.Get(ts.URL + acc.StatusURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Cache CacheCounts `json:"cache"`
+		}
+		if err := json.Unmarshal(readBody(t, sresp), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st.Cache
+	}
+
+	first := statusCounts(8)
+	if first.Computed != 8 || first.MemHits != 0 {
+		t.Fatalf("cold sweep cache counts = %+v, want 8 computed", first)
+	}
+	second := statusCounts(8)
+	if second.Computed != 0 || second.MemHits != 8 {
+		t.Fatalf("warm sweep cache counts = %+v, want 8 mem hits", second)
+	}
+}
+
+// newHTTPServer mounts an already-built Server without registering drain
+// cleanup — for tests that manage the server lifecycle themselves.
+func newHTTPServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(s.Handler())
+}

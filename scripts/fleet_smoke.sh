@@ -4,7 +4,10 @@
 # under failure — the merged 64-cell NDJSON stream must equal a single
 # daemon's output for the same sweep, even though a third of the fleet
 # died while serving it — plus visible retry/re-route/breaker counters on
-# the coordinator's /metrics. CI runs it in the fleet shard; locally:
+# the coordinator's /metrics. Workers run with the full tiered result
+# store (disk tier + peer-fill, DESIGN.md §12), and the tail sections
+# assert peer-fill (hit-peer without recompute) and a warm worker restart
+# (hit-disk, byte-identical). CI runs it in the fleet shard; locally:
 # scripts/fleet_smoke.sh
 set -euo pipefail
 
@@ -32,8 +35,18 @@ wait_healthy() {
 }
 
 echo "== start 3 workers + coordinator + reference single daemon"
+peers_except() { # every worker URL except the port in $1
+  local out=()
+  for q in "$WPORT1" "$WPORT2" "$WPORT3"; do
+    [ "$q" = "$1" ] || out+=("http://127.0.0.1:${q}")
+  done
+  local IFS=,
+  echo "${out[*]}"
+}
 for p in "$WPORT1" "$WPORT2" "$WPORT3"; do
-  "$DIR/hdlsd" -addr "127.0.0.1:${p}" -workers 1 >"$DIR/worker-${p}.log" 2>&1 &
+  "$DIR/hdlsd" -addr "127.0.0.1:${p}" -workers 1 \
+    -cache-dir "$DIR/cas-${p}" -cache-peers "$(peers_except "$p")" \
+    -cache-peer-timeout 300ms >"$DIR/worker-${p}.log" 2>&1 &
   PIDS+=($!)
 done
 VICTIM_PID=${PIDS[1]} # the worker on WPORT2
@@ -125,6 +138,35 @@ echo "== readyz reflects the open breaker but the fleet stays ready"
 curl -fsS "$COORD/readyz" >"$DIR/readyz.json"
 grep -q '"status":"ready"' "$DIR/readyz.json" || { echo "fleet should still be ready"; exit 1; }
 grep -q '"open"' "$DIR/readyz.json" || { echo "dead worker's breaker not open in readyz"; cat "$DIR/readyz.json"; exit 1; }
+
+echo "== peer-fill: a worker that never computed a cell serves it as hit-peer"
+PCELL='{"nodes":2,"workers_per_node":8,"inter":"TSS","intra":"STATIC","approach":"MPI+MPI","seed":4242,"workload":"gaussian:n=2048,cv=0.5"}'
+curl -fsS -d "$PCELL" "http://127.0.0.1:${WPORT1}/v1/run" -o "$DIR/pf-w1.json"
+curl -fsS -D "$DIR/pf-h3" -d "$PCELL" "http://127.0.0.1:${WPORT3}/v1/run" -o "$DIR/pf-w3.json"
+grep -qi '^x-cache: hit-peer' "$DIR/pf-h3" || {
+  echo "worker 3 should peer-fill from worker 1"; cat "$DIR/pf-h3"; exit 1; }
+cmp "$DIR/pf-w1.json" "$DIR/pf-w3.json" || { echo "peer fill not byte-identical"; exit 1; }
+curl -fsS "http://127.0.0.1:${WPORT3}/metrics" >"$DIR/metrics-w3.txt"
+grep -q '^hdlsd_cache_peer_hits_total [1-9]' "$DIR/metrics-w3.txt" || {
+  echo "peer-hit counter missing on worker 3"; grep cache "$DIR/metrics-w3.txt"; exit 1; }
+
+echo "== warm restart: worker 1 replays its store from disk as hit-disk"
+W1_PID=${PIDS[0]}
+kill -TERM "$W1_PID"
+for i in $(seq 1 50); do
+  kill -0 "$W1_PID" 2>/dev/null || break
+  if [ "$i" = 50 ]; then echo "worker 1 did not drain"; exit 1; fi
+  sleep 0.2
+done
+wait "$W1_PID" 2>/dev/null || true
+"$DIR/hdlsd" -addr "127.0.0.1:${WPORT1}" -workers 1 \
+  -cache-dir "$DIR/cas-${WPORT1}" >"$DIR/worker-${WPORT1}-restart.log" 2>&1 &
+PIDS+=($!)
+wait_healthy "http://127.0.0.1:${WPORT1}"
+curl -fsS -D "$DIR/pf-h1b" -d "$PCELL" "http://127.0.0.1:${WPORT1}/v1/run" -o "$DIR/pf-w1b.json"
+grep -qi '^x-cache: hit-disk' "$DIR/pf-h1b" || {
+  echo "restarted worker 1 should serve from its disk tier"; cat "$DIR/pf-h1b"; exit 1; }
+cmp "$DIR/pf-w1.json" "$DIR/pf-w1b.json" || { echo "warm restart not byte-identical"; exit 1; }
 
 echo "== graceful coordinator shutdown"
 kill -TERM "$COORD_PID"
