@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date -u +%Y-%m-%d)
 
-.PHONY: test bench sweep vet fmt doclint serve smoke fleet-smoke castore-smoke
+.PHONY: test bench sweep vet fmt doclint serve smoke fleet-smoke castore-smoke soak
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -39,6 +39,14 @@ fleet-smoke:
 # a two-worker fleet exercises peer-fill (hit-peer without recompute).
 castore-smoke:
 	scripts/castore_smoke.sh
+
+# soak drives the durability acceptance scenario (DESIGN.md §13): a
+# 3-worker journaled fleet under concurrent loadgen traffic with a worker
+# and the coordinator SIGKILLed and restarted mid-run — zero lost jobs,
+# byte-identical post-crash merge, 429 + Retry-After under overload,
+# in-band deadline expiry.
+soak:
+	scripts/fleet_soak.sh
 
 # bench writes the BENCH_<date>$(SUFFIX).json perf snapshot: the figure
 # sweep at the benchmark scale, the result-store cold/warm/disk-warm rows

@@ -80,6 +80,9 @@ func main() {
 		maxWN    = flag.Int("max-workload-n", 1<<22, "per-cell workload iteration limit")
 		jobTTL   = flag.Duration("job-ttl", 15*time.Minute, "completed-job retention time")
 		jobKeep  = flag.Int("job-keep", 256, "completed-job retention count")
+		jrnlDir  = flag.String("journal-dir", "", "job-journal directory: async sweeps survive crashes and are replayed at startup (empty disables)")
+		maxJobs  = flag.Int("max-active-jobs", 1024, "admission bound on incomplete jobs; excess submissions get 429 + Retry-After")
+		maxCJobs = flag.Int("max-client-jobs", 64, "admission bound on one client's incomplete jobs (X-Client header or remote host)")
 		chaos    = flag.String("chaos", "", "arm deterministic fault injection (spec, or 'header' for X-Chaos only)")
 		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM")
 
@@ -91,6 +94,7 @@ func main() {
 		brkFails   = flag.Int("breaker-failures", 3, "coordinator: consecutive failures that trip a worker's breaker")
 		brkCool    = flag.Duration("breaker-cooldown", 2*time.Second, "coordinator: breaker cooldown before a half-open trial")
 		probeEvery = flag.Duration("probe-interval", time.Second, "coordinator: worker health-probe period (0 disables)")
+		dlMargin   = flag.Duration("deadline-margin", 250*time.Millisecond, "coordinator: network margin subtracted from forwarded X-Deadline")
 	)
 	flag.Parse()
 
@@ -106,6 +110,9 @@ func main() {
 		MaxWorkloadN:      *maxWN,
 		JobTTL:            *jobTTL,
 		RetainedJobs:      *jobKeep,
+		JournalDir:        *jrnlDir,
+		MaxActiveJobs:     *maxJobs,
+		MaxJobsPerClient:  *maxCJobs,
 		Chaos:             *chaos,
 	}
 
@@ -139,6 +146,7 @@ func main() {
 			BreakerCooldown: *brkCool,
 			ProbeInterval:   *probeEvery,
 			MaxCells:        *maxCells,
+			DeadlineMargin:  *dlMargin,
 			Limits:          limits,
 		})
 		if err != nil {

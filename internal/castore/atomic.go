@@ -1,0 +1,45 @@
+package castore
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic persists data at path with the store's crash-safe write
+// discipline: write to a temp file in the destination directory, fsync it,
+// then rename over the final name. Rename is atomic on POSIX filesystems,
+// so a concurrent reader — or a crash at any instant — observes either no
+// file or the complete bytes, never a torn write. The temp file carries
+// the ".tmp-" prefix shared with the disk tier, so crash leftovers are
+// recognizable and swept by the same startup cleanup. Exported because the
+// serve layer's job journal (DESIGN.md §13) needs exactly this guarantee
+// for its acceptance records.
+func WriteFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	tmp, err := os.CreateTemp(dir, tmpPrefix+base+"-")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return nil
+}
+
+// TempFilePrefix is the prefix marking in-progress atomic writes
+// (WriteFileAtomic temp files). Directories that persist atomic-write
+// artifacts — the disk tier, the serve journal — skip and remove files
+// with this prefix when scanning at startup: they are abandoned partials
+// from a crash mid-write.
+const TempFilePrefix = tmpPrefix

@@ -42,6 +42,11 @@ type diskTier struct {
 	dir string
 	max int64
 
+	// writeFile persists framed bytes with the atomic temp+fsync+rename
+	// discipline. A seam (defaults to WriteFileAtomic) so fault tests can
+	// inject ENOSPC-style failures without filling a real filesystem.
+	writeFile func(path string, data []byte) error
+
 	mu    sync.Mutex
 	order *list.List // front = most recently used
 	items map[string]*list.Element
@@ -50,7 +55,21 @@ type diskTier struct {
 	corruptions atomic.Int64
 	evictions   atomic.Int64
 	writeErrors atomic.Int64
+
+	// consecFails counts consecutive put failures; at diskWriteFailureLimit
+	// the tier flips disabled and stays off for the process lifetime. Disk
+	// is an accelerator, never a dependency: a dying disk (ENOSPC, pulled
+	// mount, permissions) must cost bounded error handling, not an error
+	// per cell forever. Reads keep working — entries already persisted stay
+	// servable. disabledDrops counts the writes skipped while disabled.
+	consecFails   atomic.Int64
+	disabled      atomic.Bool
+	disabledDrops atomic.Int64
 }
+
+// diskWriteFailureLimit is the consecutive-failure budget before the tier
+// stops attempting writes (see diskTier.disabled).
+const diskWriteFailureLimit = 5
 
 // openDiskTier scans dir (creating it if needed), removes stale temp
 // files, and rebuilds the LRU index ordered by file modification time so
@@ -61,10 +80,11 @@ func openDiskTier(dir string, max int64) (*diskTier, error) {
 		return nil, fmt.Errorf("castore: cache dir: %w", err)
 	}
 	d := &diskTier{
-		dir:   dir,
-		max:   max,
-		order: list.New(),
-		items: make(map[string]*list.Element),
+		dir:       dir,
+		max:       max,
+		writeFile: WriteFileAtomic,
+		order:     list.New(),
+		items:     make(map[string]*list.Element),
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -180,12 +200,18 @@ func encodeEntry(body []byte) []byte {
 	return out
 }
 
-// put persists body under hash: write to a temp file in the same
-// directory, fsync, then rename over the final name. Rename is atomic on
-// POSIX filesystems, so a reader (or a crash) sees either no entry or the
-// complete checksummed entry — never a partial write. Evicts LRU entries
-// past the byte cap afterwards.
+// put persists body under hash via WriteFileAtomic (temp + fsync +
+// rename), so a reader (or a crash) sees either no entry or the complete
+// checksummed entry — never a partial write. Evicts LRU entries past the
+// byte cap afterwards. Write failures other than queue overflow (ENOSPC,
+// permissions, a dead mount) are counted, and diskWriteFailureLimit
+// consecutive failures disable further writes for the process lifetime —
+// the tier degrades to read-only instead of paying an I/O error per cell.
 func (d *diskTier) put(hash string, body []byte) {
+	if d.disabled.Load() {
+		d.disabledDrops.Add(1)
+		return
+	}
 	d.mu.Lock()
 	_, exists := d.items[hash]
 	d.mu.Unlock()
@@ -193,26 +219,14 @@ func (d *diskTier) put(hash string, body []byte) {
 		return // deterministic results: the stored bytes are already identical
 	}
 	framed := encodeEntry(body)
-	tmp, err := os.CreateTemp(d.dir, tmpPrefix+hash+"-")
-	if err != nil {
+	if err := d.writeFile(filepath.Join(d.dir, hash), framed); err != nil {
 		d.writeErrors.Add(1)
+		if d.consecFails.Add(1) >= diskWriteFailureLimit {
+			d.disabled.Store(true)
+		}
 		return
 	}
-	_, werr := tmp.Write(framed)
-	if werr == nil {
-		werr = tmp.Sync()
-	}
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(tmp.Name(), filepath.Join(d.dir, hash))
-	}
-	if werr != nil {
-		d.writeErrors.Add(1)
-		os.Remove(tmp.Name())
-		return
-	}
+	d.consecFails.Store(0)
 	d.mu.Lock()
 	if _, dup := d.items[hash]; !dup {
 		d.items[hash] = d.order.PushFront(&diskEntry{hash: hash, size: int64(len(framed))})

@@ -319,8 +319,9 @@ type Stats struct {
 	DiskEvictions   int64 // disk entries removed by the byte cap
 	DiskCorruptions int64 // disk entries rejected by checksum/framing
 	DiskWriteErrors int64 // disk writes that failed (I/O)
-	DiskWriteDrops  int64 // disk writes dropped by a full queue
+	DiskWriteDrops  int64 // disk writes dropped (full queue, or tier disabled)
 	PendingWrites   int64 // disk writes queued but not yet persisted
+	DiskDisabled    bool  // disk writes shut off after consecutive failures
 }
 
 // Hits returns the aggregate across tiers — the legacy single-cache
@@ -344,6 +345,8 @@ func (s *Store) Stats() Stats {
 		st.DiskEvictions = s.disk.evictions.Load()
 		st.DiskCorruptions = s.disk.corruptions.Load()
 		st.DiskWriteErrors = s.disk.writeErrors.Load()
+		st.DiskWriteDrops += s.disk.disabledDrops.Load()
+		st.DiskDisabled = s.disk.disabled.Load()
 	}
 	return st
 }

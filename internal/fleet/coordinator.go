@@ -57,6 +57,12 @@ type Options struct {
 	ProbeInterval time.Duration
 	// MaxCells bounds one sweep submission (default 4096).
 	MaxCells int
+	// DeadlineMargin is subtracted from a client's end-to-end deadline when
+	// it is forwarded to workers (default 250ms): the worker must stop this
+	// much earlier so its final lines still cross the network and merge
+	// before the client's own deadline fires. Workers past the tightened
+	// deadline resolve cells as frozen in-band "deadline exceeded" lines.
+	DeadlineMargin time.Duration
 	// MaxSweeps bounds concurrently coordinated sweeps; excess submissions
 	// are shed with 503 + Retry-After (default 16).
 	MaxSweeps int
@@ -95,6 +101,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxCells <= 0 {
 		o.MaxCells = 4096
+	}
+	if o.DeadlineMargin <= 0 {
+		o.DeadlineMargin = 250 * time.Millisecond
 	}
 	if o.MaxSweeps <= 0 {
 		o.MaxSweeps = 16
@@ -148,6 +157,7 @@ type Coordinator struct {
 	cellFailures atomic.Int64 // cells resolved as error lines by the fleet
 	shed         atomic.Int64 // submissions refused with 503
 	streamBreaks atomic.Int64 // worker shard streams that failed mid-flight
+	hintsHonored atomic.Int64 // retries whose backoff was floored by a worker Retry-After
 	probes       atomic.Int64 // health probes sent
 	probeFails   atomic.Int64 // health probes that failed
 }
@@ -309,6 +319,41 @@ func (c *Coordinator) retryAfter() string {
 // reader enforced); longer lines are a protocol violation.
 const maxStreamLine = 4 << 20
 
+// maxRetryAfterFloor caps how long a worker's Retry-After hint can stretch
+// a retry's backoff: the hint is honored as a floor (hammering a worker
+// that told us when to come back wastes both ends), but a confused or
+// hostile worker must not be able to park a sweep for minutes.
+const maxRetryAfterFloor = 30 * time.Second
+
+// parseRetryAfter extracts a delta-seconds Retry-After hint (the only form
+// hdlsd emits); absent or malformed headers yield zero.
+func parseRetryAfter(h http.Header) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(h.Get("Retry-After")))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// shardMeta carries a sweep's cross-cutting request attributes through
+// dispatch and retries. Unlike chaos (first attempt only), these ride on
+// every attempt: the deadline is the client's end-to-end bound and the
+// client key is what the workers' per-client admission budget charges.
+type shardMeta struct {
+	client   string
+	deadline time.Time // already tightened by DeadlineMargin; zero = none
+}
+
+// apply stamps the metadata onto an outgoing worker request.
+func (sm shardMeta) apply(req *http.Request) {
+	if sm.client != "" {
+		req.Header.Set("X-Client", sm.client)
+	}
+	if !sm.deadline.IsZero() {
+		req.Header.Set("X-Deadline", sm.deadline.UTC().Format(time.RFC3339Nano))
+	}
+}
+
 // cellWork is one cell's routing state while its sweep is in flight.
 type cellWork struct {
 	index int         // global index in the sweep
@@ -388,6 +433,11 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	deadline, err := serve.ParseDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	// Graceful degradation: refuse up front — with a Retry-After hint —
 	// rather than queueing unboundedly against a dead fleet or coordinating
 	// more sweeps than configured.
@@ -434,8 +484,13 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	// The client's X-Chaos header (if any) rides along on first-attempt
 	// shard streams, so a fault can be injected through the coordinator at
-	// armed workers while recovery still runs clean.
+	// armed workers while recovery still runs clean. The client key and the
+	// margin-tightened deadline ride on every attempt (shardMeta).
 	chaos := r.Header.Get("X-Chaos")
+	meta := shardMeta{client: serve.ClientKey(r)}
+	if !deadline.IsZero() {
+		meta.deadline = deadline.Add(-c.opts.DeadlineMargin)
+	}
 
 	mg := newMerge(len(work))
 	var wg sync.WaitGroup
@@ -443,7 +498,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(wi int, batch []*cellWork) {
 			defer wg.Done()
-			c.dispatch(ctx, wi, batch, 1, chaos, mg)
+			c.dispatch(ctx, wi, batch, 1, chaos, meta, mg)
 		}(wi, batch)
 	}
 	// dispatch resolves every cell (result, worker error line, or fleet
@@ -473,13 +528,14 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 // wi < 0 means no worker would admit the batch this round. chaos is the
 // submission's X-Chaos header, forwarded on first attempts only (so
 // injected faults hit initial placement, never the recovery path).
-func (c *Coordinator) dispatch(ctx context.Context, wi int, batch []*cellWork, attempt int, chaos string, mg *merge) {
+func (c *Coordinator) dispatch(ctx context.Context, wi int, batch []*cellWork, attempt int, chaos string, meta shardMeta, mg *merge) {
 	var unresolved []*cellWork
+	var hint time.Duration
 	var cause error
 	if wi < 0 {
 		unresolved, cause = batch, errors.New("no fleet worker is available")
 	} else {
-		unresolved, cause = c.streamShard(ctx, wi, batch, chaos, mg)
+		unresolved, hint, cause = c.streamShard(ctx, wi, batch, chaos, meta, mg)
 	}
 	if len(unresolved) == 0 || ctx.Err() != nil {
 		return
@@ -498,7 +554,21 @@ func (c *Coordinator) dispatch(ctx context.Context, wi int, batch []*cellWork, a
 		return
 	}
 	c.retries.Add(int64(len(unresolved)))
-	if err := c.sleep(ctx, c.backoff(attempt)); err != nil {
+	// A worker's Retry-After is the floor for this attempt's backoff: the
+	// worker told us exactly when it expects to have capacity, and coming
+	// back earlier just buys another shed. Capped, so a bad hint cannot
+	// park the sweep (maxRetryAfterFloor).
+	delay := c.backoff(attempt)
+	if hint > delay {
+		if hint > maxRetryAfterFloor {
+			hint = maxRetryAfterFloor
+		}
+		if hint > delay {
+			delay = hint
+			c.hintsHonored.Add(int64(len(unresolved)))
+		}
+	}
+	if err := c.sleep(ctx, delay); err != nil {
 		return
 	}
 	// Regroup by each cell's next successor: retries walk the ring away
@@ -516,7 +586,7 @@ func (c *Coordinator) dispatch(ctx context.Context, wi int, batch []*cellWork, a
 		wg.Add(1)
 		go func(nwi int, g []*cellWork) {
 			defer wg.Done()
-			c.dispatch(ctx, nwi, g, attempt+1, "", mg)
+			c.dispatch(ctx, nwi, g, attempt+1, "", meta, mg)
 		}(nwi, g)
 	}
 	wg.Wait()
@@ -539,25 +609,30 @@ type workerLine struct {
 // (the worker ran the cell and the cell itself failed), so they resolve
 // the cell too, without a retry. Anything else — transport error, non-200,
 // protocol violation, deadline, truncation — fails the worker's breaker
-// and returns the unresolved suffix of the batch for re-routing.
-func (c *Coordinator) streamShard(ctx context.Context, wi int, batch []*cellWork, chaos string, mg *merge) ([]*cellWork, error) {
+// and returns the unresolved suffix of the batch for re-routing, except a
+// 429: admission shedding means the worker is healthy but full, so it
+// keeps its breaker closed and instead surfaces the worker's Retry-After
+// as the returned backoff hint (503s carry their hint too, alongside the
+// breaker failure).
+func (c *Coordinator) streamShard(ctx context.Context, wi int, batch []*cellWork, chaos string, meta shardMeta, mg *merge) ([]*cellWork, time.Duration, error) {
 	wk := c.workers[wi]
 	body, err := json.Marshal(struct {
 		Cells []hdls.Config `json:"cells"`
 	}{Cells: cellConfigs(batch)})
 	if err != nil { // hdls.Config is plain data; cannot fail
-		return batch, err
+		return batch, 0, err
 	}
 	reqCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, wk.name+"/v1/sweep?stream=1", bytes.NewReader(body))
 	if err != nil {
-		return batch, err
+		return batch, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if chaos != "" {
 		req.Header.Set("X-Chaos", chaos)
 	}
+	meta.apply(req)
 	// The per-cell deadline must also bound the connect/first-header phase:
 	// a stalled worker would otherwise pin the shard inside Do indefinitely.
 	connTimer := time.AfterFunc(c.opts.CellTimeout, cancel)
@@ -566,14 +641,21 @@ func (c *Coordinator) streamShard(ctx context.Context, wi int, batch []*cellWork
 	if err != nil {
 		wk.breaker.Fail()
 		c.streamBreaks.Add(1)
-		return batch, err
+		return batch, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		hint := parseRetryAfter(resp.Header)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Shed by admission policy: the worker is alive and telling us
+			// when to come back. Tripping its breaker would amplify the
+			// overload into a routing outage.
+			return batch, hint, fmt.Errorf("worker %s shed the shard (HTTP 429)", wk.name)
+		}
 		wk.breaker.Fail()
 		c.streamBreaks.Add(1)
-		return batch, fmt.Errorf("worker %s answered HTTP %d", wk.name, resp.StatusCode)
+		return batch, hint, fmt.Errorf("worker %s answered HTTP %d", wk.name, resp.StatusCode)
 	}
 
 	// A reader goroutine feeds lines through a channel so the per-cell
@@ -632,9 +714,9 @@ func (c *Coordinator) streamShard(ctx context.Context, wi int, batch []*cellWork
 		timer.Reset(c.opts.CellTimeout)
 		select {
 		case <-reqCtx.Done():
-			return batch[next:], reqCtx.Err()
+			return batch[next:], 0, reqCtx.Err()
 		case <-timer.C:
-			return batch[next:], fail(fmt.Errorf("worker %s: cell deadline %s exceeded", wk.name, c.opts.CellTimeout))
+			return batch[next:], 0, fail(fmt.Errorf("worker %s: cell deadline %s exceeded", wk.name, c.opts.CellTimeout))
 		case b, ok := <-lines:
 			if !ok {
 				// Stream ended before the shard's cells did: the worker died
@@ -643,12 +725,12 @@ func (c *Coordinator) streamShard(ctx context.Context, wi int, batch []*cellWork
 				if err == nil {
 					err = io.ErrUnexpectedEOF
 				}
-				return batch[next:], fail(fmt.Errorf("worker %s: stream truncated after %d/%d cells: %w",
+				return batch[next:], 0, fail(fmt.Errorf("worker %s: stream truncated after %d/%d cells: %w",
 					wk.name, next, len(batch), err))
 			}
 			var wl workerLine
 			if err := json.Unmarshal(b, &wl); err != nil || wl.Index != next || wl.Hash != cw.hash {
-				return batch[next:], fail(fmt.Errorf("worker %s: protocol violation at shard cell %d", wk.name, next))
+				return batch[next:], 0, fail(fmt.Errorf("worker %s: protocol violation at shard cell %d", wk.name, next))
 			}
 			if wl.Error != "" {
 				// The worker ran the cell and the cell failed: that outcome
@@ -666,7 +748,7 @@ func (c *Coordinator) streamShard(ctx context.Context, wi int, batch []*cellWork
 		}
 	}
 	wk.breaker.Success()
-	return nil, nil
+	return nil, 0, nil
 }
 
 // cellConfigs projects a batch back to the worker wire format.
@@ -694,19 +776,51 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	deadline, derr := serve.ParseDeadline(r)
+	if derr != nil {
+		httpError(w, http.StatusBadRequest, "%v", derr)
+		return
+	}
+	meta := shardMeta{client: serve.ClientKey(r)}
+	if !deadline.IsZero() {
+		meta.deadline = deadline.Add(-c.opts.DeadlineMargin)
+	}
 	c.runs.Add(1)
 	body, err := json.Marshal(cfg)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	relay := func(wk *worker, status int, hdr http.Header, respBody []byte) {
+		for _, k := range []string{"Content-Type", "X-Cache", "X-Config-Hash", "Retry-After"} {
+			if v := hdr.Get(k); v != "" {
+				w.Header().Set(k, v)
+			}
+		}
+		w.Header().Set("X-Fleet-Worker", wk.name)
+		w.WriteHeader(status)
+		w.Write(respBody)
+	}
 	succ := c.ring.Successors(cfg.HashKey())
 	var lastErr error = errors.New("no fleet worker is available")
+	var hint time.Duration
 	prev := -1
 	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			c.retries.Add(1)
-			if c.sleep(r.Context(), c.backoff(attempt-1)) != nil {
+			// As in dispatch: a worker's Retry-After floors the backoff.
+			delay := c.backoff(attempt - 1)
+			if hint > delay {
+				if hint > maxRetryAfterFloor {
+					hint = maxRetryAfterFloor
+				}
+				if hint > delay {
+					delay = hint
+					c.hintsHonored.Add(1)
+				}
+			}
+			hint = 0
+			if c.sleep(r.Context(), delay) != nil {
 				return
 			}
 		}
@@ -719,9 +833,25 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		prev = wi
 		wk := c.workers[wi]
-		status, hdr, respBody, err := c.forwardRun(r.Context(), wk, body)
-		if err != nil || status >= 500 {
+		status, hdr, respBody, err := c.forwardRun(r.Context(), wk, body, meta)
+		switch {
+		case err == nil && status == http.StatusTooManyRequests:
+			// Shed by admission policy: the worker is healthy, so its
+			// breaker stays closed; its Retry-After floors the next backoff
+			// and a ring successor may have capacity right now.
+			hint = parseRetryAfter(hdr)
+			lastErr = fmt.Errorf("worker %s shed the run (HTTP 429)", wk.name)
+			continue
+		case err != nil || status >= 500:
+			if err == nil && status == http.StatusGatewayTimeout {
+				// The cell's deadline expired at the worker. Retrying with
+				// an even-staler deadline cannot succeed; relay it.
+				wk.breaker.Success()
+				relay(wk, status, hdr, respBody)
+				return
+			}
 			wk.breaker.Fail()
+			hint = parseRetryAfter(hdr)
 			lastErr = err
 			if err == nil {
 				lastErr = fmt.Errorf("worker %s answered HTTP %d", wk.name, status)
@@ -729,14 +859,7 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		wk.breaker.Success()
-		for _, k := range []string{"Content-Type", "X-Cache", "X-Config-Hash"} {
-			if v := hdr.Get(k); v != "" {
-				w.Header().Set(k, v)
-			}
-		}
-		w.Header().Set("X-Fleet-Worker", wk.name)
-		w.WriteHeader(status)
-		w.Write(respBody)
+		relay(wk, status, hdr, respBody)
 		return
 	}
 	c.shed.Add(1)
@@ -744,8 +867,9 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 	httpError(w, http.StatusServiceUnavailable, "cell failed after %d attempts: %v", c.opts.MaxAttempts, lastErr)
 }
 
-// forwardRun POSTs one cell to a worker under the cell deadline.
-func (c *Coordinator) forwardRun(ctx context.Context, wk *worker, body []byte) (int, http.Header, []byte, error) {
+// forwardRun POSTs one cell to a worker under the cell deadline, stamping
+// the client key and margin-tightened end-to-end deadline.
+func (c *Coordinator) forwardRun(ctx context.Context, wk *worker, body []byte, meta shardMeta) (int, http.Header, []byte, error) {
 	reqCtx, cancel := context.WithTimeout(ctx, c.opts.CellTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, wk.name+"/v1/run", bytes.NewReader(body))
@@ -753,6 +877,7 @@ func (c *Coordinator) forwardRun(ctx context.Context, wk *worker, body []byte) (
 		return 0, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	meta.apply(req)
 	resp, err := c.opts.Client.Do(req)
 	if err != nil {
 		return 0, nil, nil, err
@@ -871,6 +996,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"hdlsd_fleet_cell_failures_total", "Cells resolved as in-band error lines.", "counter", float64(c.cellFailures.Load())},
 		{"hdlsd_fleet_stream_breaks_total", "Worker shard streams that failed mid-flight.", "counter", float64(c.streamBreaks.Load())},
 		{"hdlsd_fleet_shed_total", "Submissions refused with 503 + Retry-After.", "counter", float64(c.shed.Load())},
+		{"hdlsd_fleet_retry_after_honored_total", "Retries whose backoff was floored by a worker Retry-After hint.", "counter", float64(c.hintsHonored.Load())},
 		{"hdlsd_fleet_breaker_opens_total", "Circuit-breaker trips across the fleet.", "counter", float64(opens)},
 		{"hdlsd_fleet_probes_total", "Health probes sent.", "counter", float64(c.probes.Load())},
 		{"hdlsd_fleet_probe_failures_total", "Health probes that failed.", "counter", float64(c.probeFails.Load())},

@@ -560,7 +560,7 @@ func TestStreamShardRejectsUnterminatedFinalLine(t *testing.T) {
 		batch[i] = &cellWork{index: i, cfg: cfg, hash: cfg.Hash()}
 	}
 	mg := newMerge(2)
-	unresolved, err := c.streamShard(context.Background(), 0, batch, "", mg)
+	unresolved, _, err := c.streamShard(context.Background(), 0, batch, "", shardMeta{}, mg)
 	if len(unresolved) != 1 || unresolved[0] != batch[1] {
 		t.Fatalf("unresolved = %v, want exactly the unterminated cell", unresolved)
 	}

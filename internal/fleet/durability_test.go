@@ -1,0 +1,241 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/hdls"
+	"repro/internal/serve"
+)
+
+// shardServer builds a fake worker whose /v1/sweep handler is supplied by
+// the test; every other path answers 200 so health probes stay quiet.
+func shardServer(t *testing.T, handle func(w http.ResponseWriter, cells []hdls.Config, r *http.Request)) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/sweep" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		var req struct {
+			Cells []hdls.Config `json:"cells"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("fake worker: bad shard request: %v", err)
+			return
+		}
+		handle(w, req.Cells, r)
+	}))
+}
+
+// serveShard writes a well-formed NDJSON line for every cell.
+func serveShard(w http.ResponseWriter, cells []hdls.Config) {
+	for i, c := range cells {
+		summary, _ := json.Marshal(map[string]any{"fake": i})
+		w.Write(serve.CellLine(i, c.Hash(), summary))
+		w.Write([]byte{'\n'})
+	}
+}
+
+// TestWorkerRetryAfterFloorsBackoff pins satellite behavior for overload
+// coupling between the fleet layers: when a worker sheds a shard with 429
+// + Retry-After, the hint becomes the floor for that attempt's backoff —
+// the worker said exactly when it expects capacity, and retrying sooner
+// just buys another shed. A shed is capacity signaling, not failure, so
+// it must not trip the worker's breaker or count as a stream break.
+func TestWorkerRetryAfterFloorsBackoff(t *testing.T) {
+	var calls atomic.Int64
+	fake := shardServer(t, func(w http.ResponseWriter, cells []hdls.Config, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"shedding load: active-job limit reached"}`)
+			return
+		}
+		serveShard(w, cells)
+	})
+	defer fake.Close()
+
+	_, ts, slept := newCoordinator(t, []string{fake.URL}, func(o *Options) {
+		o.BackoffBase = time.Millisecond
+		o.BackoffMax = 4 * time.Millisecond
+	})
+	resp, err := http.Post(ts.URL+"/v1/sweep?stream=1", "application/json",
+		bytes.NewReader(sweepJSON(t, []hdls.Config{fleetCell(1), fleetCell(2)})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || bytes.Count(body, []byte{'\n'}) != 2 {
+		t.Fatalf("sweep through a shedding worker: HTTP %d %s", resp.StatusCode, body)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("worker saw %d shard attempts, want 2 (shed, then success)", got)
+	}
+	floored := false
+	for _, d := range *slept {
+		if d == 7*time.Second {
+			floored = true
+		}
+	}
+	if !floored {
+		t.Errorf("backoff sleeps %v never hit the 7s Retry-After floor", *slept)
+	}
+	metrics := getMetrics(t, ts.URL)
+	if !strings.Contains(metrics, "\nhdlsd_fleet_retry_after_honored_total 2\n") {
+		t.Error("metrics missing hdlsd_fleet_retry_after_honored_total 2")
+	}
+	if !strings.Contains(metrics, "\nhdlsd_fleet_stream_breaks_total 0\n") {
+		t.Error("a shed counted as a stream break")
+	}
+	if !strings.Contains(metrics, "\nhdlsd_fleet_breaker_opens_total 0\n") {
+		t.Error("a shed tripped the worker's breaker")
+	}
+}
+
+// TestDeadlineAndClientForwarded pins the propagation contract: the
+// coordinator stamps every shard with the submitter's identity (X-Client,
+// so per-client admission on workers sees the real client and not the
+// coordinator) and with the end-to-end deadline minus the configured
+// network margin, serialized UTC RFC3339Nano.
+func TestDeadlineAndClientForwarded(t *testing.T) {
+	var gotClient, gotDeadline atomic.Value
+	fake := shardServer(t, func(w http.ResponseWriter, cells []hdls.Config, r *http.Request) {
+		gotClient.Store(r.Header.Get("X-Client"))
+		gotDeadline.Store(r.Header.Get("X-Deadline"))
+		serveShard(w, cells)
+	})
+	defer fake.Close()
+
+	_, ts, _ := newCoordinator(t, []string{fake.URL}, func(o *Options) {
+		o.DeadlineMargin = 250 * time.Millisecond
+	})
+	deadline := time.Now().Add(time.Hour).UTC().Truncate(time.Millisecond)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sweep?stream=1",
+		bytes.NewReader(sweepJSON(t, []hdls.Config{fleetCell(1)})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Client", "tester")
+	req.Header.Set("X-Deadline", deadline.Format(time.RFC3339Nano))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: HTTP %d", resp.StatusCode)
+	}
+	if got := gotClient.Load(); got != "tester" {
+		t.Errorf("worker saw X-Client %q, want tester", got)
+	}
+	want := deadline.Add(-250 * time.Millisecond).Format(time.RFC3339Nano)
+	if got := gotDeadline.Load(); got != want {
+		t.Errorf("worker saw X-Deadline %q, want %q (deadline minus margin)", got, want)
+	}
+}
+
+// TestFleetExpiredDeadlineByteIdentity pins fleet/single-daemon parity
+// for deadline expiry: a sweep submitted to the coordinator with an
+// already-passed deadline merges to exactly the bytes a single daemon
+// would emit — one frozen in-band error line per cell, in order — and the
+// workers' 504-class refusals are resolutions, not retryable failures.
+func TestFleetExpiredDeadlineByteIdentity(t *testing.T) {
+	workers := []string{startWorker(t, serve.Options{Workers: 2}).URL, startWorker(t, serve.Options{Workers: 2}).URL}
+	_, ts, slept := newCoordinator(t, workers, nil)
+
+	cells := []hdls.Config{fleetCell(1), fleetCell(2), fleetCell(3)}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sweep?stream=1",
+		bytes.NewReader(sweepJSON(t, cells)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Deadline", "2020-01-01T00:00:00Z")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("expired fleet sweep: HTTP %d %s", resp.StatusCode, got)
+	}
+	var want []byte
+	for i, c := range cells {
+		want = append(want, serve.ErrorCellLine(i, c.Hash(), "deadline exceeded")...)
+		want = append(want, '\n')
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged expired stream:\n got: %s\nwant: %s", got, want)
+	}
+	if len(*slept) != 0 {
+		t.Errorf("expired cells were retried (sleeps %v); expiry is a resolution", *slept)
+	}
+}
+
+// TestRunRelays504WithoutRetry pins single-cell deadline relaying: a
+// worker's 504 (deadline expired before compute) goes back to the client
+// verbatim on the first attempt — a deadline will not un-expire, so
+// retrying against another worker only burns fleet capacity.
+func TestRunRelays504WithoutRetry(t *testing.T) {
+	worker := startWorker(t, serve.Options{Workers: 2})
+	_, ts, slept := newCoordinator(t, []string{worker.URL}, nil)
+
+	buf, err := json.Marshal(fleetCell(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Deadline", "2020-01-01T00:00:00Z")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout || !bytes.Contains(body, []byte("deadline exceeded")) {
+		t.Fatalf("expired run: HTTP %d %s, want a relayed 504", resp.StatusCode, body)
+	}
+	if len(*slept) != 0 {
+		t.Errorf("the 504 was retried (sleeps %v)", *slept)
+	}
+}
+
+// sweepJSON marshals a sweep request body.
+func sweepJSON(t *testing.T, cells []hdls.Config) []byte {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"cells": cells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// getMetrics fetches the coordinator's metrics page.
+func getMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}

@@ -4,6 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,7 +22,21 @@ var (
 	ErrDraining = errors.New("serve: draining, not accepting new jobs")
 	// ErrBusy rejects work that does not fit the bounded cell queue (503).
 	ErrBusy = errors.New("serve: cell queue full")
+	// ErrOverloaded rejects a submission that would exceed the bounded
+	// pending-jobs limit (429 + Retry-After): accepted work is never
+	// silently queued beyond what the daemon admits it can serve.
+	ErrOverloaded = errors.New("serve: active-job limit reached")
+	// ErrClientBusy rejects a submission whose client already has its full
+	// allowance of in-flight jobs (429 + Retry-After), so one aggressive
+	// client cannot monopolize the admission budget.
+	ErrClientBusy = errors.New("serve: per-client in-flight job limit reached")
 )
+
+// deadlineExceededMsg is the frozen in-band error for a cell refused (or
+// aborted) because its end-to-end deadline passed. Deterministic — no
+// timestamps — so a deadline-expired cell line from a fleet worker is
+// byte-identical to a single daemon's.
+const deadlineExceededMsg = "deadline exceeded"
 
 // Job is one accepted sweep: a batch of cells running on the manager's
 // worker pool. Each cell's result is frozen as a complete NDJSON line;
@@ -28,14 +46,30 @@ type Job struct {
 	ID string
 	// Created is the submission time.
 	Created time.Time
+	// Client is the admission key the job was accepted under (X-Client
+	// header or remote address); empty for internal submissions.
+	Client string
+	// Recovered marks a job replayed from the journal after a restart.
+	Recovered bool
 
 	mgr   *Manager
 	cells []hdls.Config
 	// ctx is the submitter's context: canceled when a streaming client
 	// disconnects, so queued cells are skipped and the in-flight cell's
 	// simulation aborts instead of running the sweep to completion.
-	// Async (202) submissions carry context.Background() and always finish.
+	// Async (202) submissions carry context.Background() and always finish,
+	// unless an end-to-end deadline bounds them.
 	ctx context.Context
+	// deadline is the job's end-to-end deadline (zero = none), snapshotted
+	// from ctx at submission so the refuse-expired-cells check needs no
+	// context machinery on the hot path.
+	deadline time.Time
+	// cancel releases the deadline timer backing an async job's context;
+	// called once the last cell completes.
+	cancel context.CancelFunc
+	// journaled marks jobs with an acceptance record on disk: completion
+	// must append the terminal record.
+	journaled bool
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -62,9 +96,15 @@ func newJob(ctx context.Context, mgr *Manager, id string, cells []hdls.Config) *
 		lines:    make([][]byte, len(cells)),
 		outcomes: make([]castore.Outcome, len(cells)),
 	}
+	if dl, ok := ctx.Deadline(); ok {
+		j.deadline = dl
+	}
 	j.cond = sync.NewCond(&j.mu)
 	return j
 }
+
+// Deadline reports the job's end-to-end deadline (zero when unbounded).
+func (j *Job) Deadline() time.Time { return j.deadline }
 
 // Cells returns the number of cells in the job.
 func (j *Job) Cells() int { return len(j.cells) }
@@ -106,9 +146,11 @@ func (j *Job) complete(idx int, line []byte, failed bool, outcome castore.Outcom
 	}
 	j.cond.Broadcast()
 	j.mu.Unlock()
+	j.mgr.noteCellDone()
 	if last {
-		j.mgr.jobWG.Done()
 		j.mgr.activeJobs.Add(-1)
+		j.mgr.jobDone(j)
+		j.mgr.jobWG.Done()
 	}
 }
 
@@ -195,15 +237,22 @@ func (j *Job) WaitCell(ctx context.Context, idx int) ([]byte, error) {
 // how many HTTP requests are in flight, so the arena pool (DESIGN.md §8)
 // sees at most Workers concurrent arenas.
 type Manager struct {
-	store       *castore.Store
-	queue       chan cellTask
-	jobTTL      time.Duration // completed-job retention time
-	maxJobs     int           // completed-job retention count cap
-	janitorStop chan struct{}
+	store        *castore.Store
+	queue        chan cellTask
+	jobTTL       time.Duration // completed-job retention time
+	maxJobs      int           // completed-job retention count cap
+	maxActive    int           // admission bound on incomplete jobs
+	maxPerClient int           // admission bound on one client's incomplete jobs
+	janitorStop  chan struct{}
+	// journal is the optional durability sink (nil = off): SubmitWith writes
+	// the acceptance record before enqueueing, jobDone appends the terminal
+	// record. See journal.go and DESIGN.md §13.
+	journal *jobJournal
 
 	mu          sync.Mutex
 	jobs        map[string]*Job
-	jobOrder    []string // submission order, for bounded retention
+	jobOrder    []string       // submission order, for bounded retention
+	clients     map[string]int // incomplete jobs per admission key
 	queueClosed bool
 
 	seq        atomic.Int64
@@ -215,11 +264,22 @@ type Manager struct {
 
 	jobsTotal      atomic.Int64
 	jobsEvicted    atomic.Int64
+	jobsShed       atomic.Int64 // submissions rejected by admission control
+	jobsRecovered  atomic.Int64 // journal records replayed at startup
+	recoveryFails  atomic.Int64 // journal records that could not be replayed
 	cellsTotal     atomic.Int64
 	cellsCached    atomic.Int64
 	cellsCollapsed atomic.Int64
 	cellsCanceled  atomic.Int64
+	cellsExpired   atomic.Int64 // cells refused/aborted past their deadline
 	cellErrors     atomic.Int64
+
+	// EWMA of the cell completion rate (cells/s), fed by every complete()
+	// and read by RetryAfterSeconds to turn the queue backlog into an
+	// honest Retry-After hint for shed clients.
+	ewmaMu   sync.Mutex
+	ewmaRate float64
+	ewmaLast time.Time
 }
 
 type cellTask struct {
@@ -227,30 +287,62 @@ type cellTask struct {
 	idx int
 }
 
-// NewManager starts workers goroutines serving a cell queue of the given
-// capacity (defaults: GOMAXPROCS workers, 65536 cells). Completed jobs are
-// retained for replay until they age past jobTTL or the newest maxJobs
-// completed jobs push them out, whichever comes first (defaults: 15
-// minutes, 256 jobs).
-func NewManager(workers, queueCapacity int, jobTTL time.Duration, maxJobs int, store *castore.Store) *Manager {
-	if queueCapacity <= 0 {
-		queueCapacity = 1 << 16
+// ManagerConfig sizes a Manager. Zero values take the documented defaults.
+type ManagerConfig struct {
+	// Workers is the cell worker pool size (default GOMAXPROCS).
+	Workers int
+	// QueueCapacity bounds the cell queue (default 65536).
+	QueueCapacity int
+	// JobTTL retains completed jobs for replay this long (default 15m).
+	JobTTL time.Duration
+	// RetainedJobs caps how many completed jobs stay addressable
+	// (default 256).
+	RetainedJobs int
+	// MaxActiveJobs bounds incomplete jobs; submissions past it shed with
+	// ErrOverloaded rather than queue silently (default 1024).
+	MaxActiveJobs int
+	// MaxJobsPerClient bounds one admission key's incomplete jobs
+	// (default 64).
+	MaxJobsPerClient int
+	// Journal, when non-nil, makes accepted async jobs crash-recoverable.
+	Journal *jobJournal
+	// Store is the tiered result store (required).
+	Store *castore.Store
+}
+
+// NewManager starts the worker pool and janitor for cfg.
+func NewManager(cfg ManagerConfig) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	if jobTTL <= 0 {
-		jobTTL = 15 * time.Minute
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 1 << 16
 	}
-	if maxJobs <= 0 {
-		maxJobs = 256
+	if cfg.JobTTL <= 0 {
+		cfg.JobTTL = 15 * time.Minute
+	}
+	if cfg.RetainedJobs <= 0 {
+		cfg.RetainedJobs = 256
+	}
+	if cfg.MaxActiveJobs <= 0 {
+		cfg.MaxActiveJobs = 1024
+	}
+	if cfg.MaxJobsPerClient <= 0 {
+		cfg.MaxJobsPerClient = 64
 	}
 	m := &Manager{
-		store:       store,
-		queue:       make(chan cellTask, queueCapacity),
-		jobTTL:      jobTTL,
-		maxJobs:     maxJobs,
-		janitorStop: make(chan struct{}),
-		jobs:        make(map[string]*Job),
+		store:        cfg.Store,
+		queue:        make(chan cellTask, cfg.QueueCapacity),
+		jobTTL:       cfg.JobTTL,
+		maxJobs:      cfg.RetainedJobs,
+		maxActive:    cfg.MaxActiveJobs,
+		maxPerClient: cfg.MaxJobsPerClient,
+		journal:      cfg.Journal,
+		janitorStop:  make(chan struct{}),
+		jobs:         make(map[string]*Job),
+		clients:      make(map[string]int),
 	}
-	for i := 0; i < workers; i++ {
+	for i := 0; i < cfg.Workers; i++ {
 		m.workerWG.Add(1)
 		go m.worker()
 	}
@@ -265,12 +357,46 @@ func (m *Manager) Submit(cells []hdls.Config) (*Job, error) {
 	return m.SubmitCtx(context.Background(), cells)
 }
 
-// SubmitCtx accepts a batch of cells as one job and enqueues every cell on
-// the worker pool; ctx cancellation skips the job's unstarted cells and
-// aborts its in-flight simulations. It fails with ErrDraining during
-// shutdown and ErrBusy when the queue cannot hold the whole batch; partial
-// enqueues never happen, so a rejected submission leaves no orphaned work.
+// SubmitCtx accepts a batch of cells as one job; see SubmitWith.
 func (m *Manager) SubmitCtx(ctx context.Context, cells []hdls.Config) (*Job, error) {
+	return m.SubmitWith(ctx, cells, SubmitOpts{})
+}
+
+// SubmitOpts carries a submission's admission and durability attributes.
+type SubmitOpts struct {
+	// Client is the admission key (ClientKey of the request); empty skips
+	// the per-client cap (internal submissions, recovery).
+	Client string
+	// ID reuses a recovered job's identity so clients' status URLs survive
+	// a restart; empty allocates the next sequence id.
+	ID string
+	// Recovered marks a journal replay: it bypasses admission control
+	// (the work was already accepted before the crash) and is counted.
+	Recovered bool
+	// Journal writes the acceptance record before enqueueing, making the
+	// job crash-recoverable. No-op when the manager has no journal.
+	Journal bool
+	// Cancel, when non-nil, is invoked once the last cell completes —
+	// releases the deadline timer backing an async job's context.
+	Cancel context.CancelFunc
+}
+
+// SubmitWith accepts a batch of cells as one job and enqueues every cell
+// on the worker pool; ctx cancellation skips the job's unstarted cells and
+// aborts its in-flight simulations, and a ctx deadline becomes the job's
+// end-to-end deadline (expired cells resolve as in-band error lines).
+//
+// Admission is explicit, never silent: ErrDraining during shutdown,
+// ErrBusy when the cell queue cannot hold the whole batch (503s), and
+// ErrOverloaded / ErrClientBusy when the active-job or per-client bound is
+// hit (429s with a Retry-After derived from observed throughput). Partial
+// enqueues never happen, so a rejected submission leaves no orphaned work.
+//
+// When opts.Journal is set and the manager has a journal, the acceptance
+// record is persisted before any cell can run; journal write failure is
+// fail-open (counted, job still accepted) — durability degrades before
+// availability does.
+func (m *Manager) SubmitWith(ctx context.Context, cells []hdls.Config, opts SubmitOpts) (*Job, error) {
 	if len(cells) == 0 {
 		return nil, errors.New("serve: empty cell list")
 	}
@@ -282,19 +408,60 @@ func (m *Manager) SubmitCtx(ctx context.Context, cells []hdls.Config) (*Job, err
 		m.mu.Unlock()
 		return nil, ErrDraining
 	}
+	// Recovered jobs skip the admission bounds: they were admitted before
+	// the crash, and re-shedding them would turn a restart into data loss.
+	// The cell-queue capacity check still applies — it protects memory.
+	if !opts.Recovered {
+		if int(m.activeJobs.Load()) >= m.maxActive {
+			m.jobsShed.Add(1)
+			m.mu.Unlock()
+			return nil, ErrOverloaded
+		}
+		if opts.Client != "" && m.clients[opts.Client] >= m.maxPerClient {
+			m.jobsShed.Add(1)
+			m.mu.Unlock()
+			return nil, ErrClientBusy
+		}
+	}
 	// Holding mu across the capacity check and enqueue makes the
 	// all-or-nothing guarantee: Submit is the only sender.
 	if len(m.queue)+len(cells) > cap(m.queue) {
 		m.mu.Unlock()
 		return nil, ErrBusy
 	}
-	id := fmt.Sprintf("job-%d", m.seq.Add(1))
+	id := opts.ID
+	if id == "" {
+		id = fmt.Sprintf("job-%d", m.seq.Add(1))
+	} else {
+		m.bumpSeq(id)
+	}
+	if _, dup := m.jobs[id]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("serve: job id %q already in use", id)
+	}
 	j := newJob(ctx, m, id, cells)
+	j.Client = opts.Client
+	j.Recovered = opts.Recovered
+	j.cancel = opts.Cancel
+	if opts.Journal && m.journal != nil {
+		// Record before the first cell can complete, so the terminal append
+		// can never race the acceptance write. Errors are fail-open: the
+		// journal counts them, the job runs without a safety net.
+		if err := m.journal.record(j); err == nil {
+			j.journaled = true
+		}
+	}
 	m.jobs[id] = j
 	m.jobOrder = append(m.jobOrder, id)
+	if opts.Client != "" {
+		m.clients[opts.Client]++
+	}
 	m.evictLocked(time.Now())
 	m.jobWG.Add(1)
 	m.jobsTotal.Add(1)
+	if opts.Recovered {
+		m.jobsRecovered.Add(1)
+	}
 	m.activeJobs.Add(1)
 	for i := range cells {
 		m.queue <- cellTask{job: j, idx: i}
@@ -302,6 +469,43 @@ func (m *Manager) SubmitCtx(ctx context.Context, cells []hdls.Config) (*Job, err
 	}
 	m.mu.Unlock()
 	return j, nil
+}
+
+// bumpSeq advances the id sequence past a recovered "job-N" id so fresh
+// submissions never collide with replayed jobs. Caller holds m.mu (only
+// for consistency of intent — the CAS loop itself is lock-free).
+func (m *Manager) bumpSeq(id string) {
+	n, err := strconv.ParseInt(strings.TrimPrefix(id, "job-"), 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := m.seq.Load()
+		if cur >= n || m.seq.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// jobDone runs once per job, after its last cell completes: release the
+// deadline timer, free the client's admission slot, and append the
+// journal's terminal record so a restart will not replay the job.
+func (m *Manager) jobDone(j *Job) {
+	if j.cancel != nil {
+		j.cancel()
+	}
+	if j.Client != "" {
+		m.mu.Lock()
+		if n := m.clients[j.Client]; n <= 1 {
+			delete(m.clients, j.Client)
+		} else {
+			m.clients[j.Client] = n - 1
+		}
+		m.mu.Unlock()
+	}
+	if j.journaled {
+		m.journal.finish(j)
+	}
 }
 
 // Job looks up a retained job by ID.
@@ -342,6 +546,48 @@ func (m *Manager) Acquire(id string) (*Job, func(), bool) {
 
 // QueueCapacity reports the cell queue's bound (for saturation reporting).
 func (m *Manager) QueueCapacity() int { return cap(m.queue) }
+
+// noteCellDone feeds the completion-rate EWMA (alpha 0.2 on the
+// instantaneous inter-completion rate). Cheap enough to run per cell; the
+// rate is only a hint, so lock contention here is the real budget.
+func (m *Manager) noteCellDone() {
+	now := time.Now()
+	m.ewmaMu.Lock()
+	if !m.ewmaLast.IsZero() {
+		if dt := now.Sub(m.ewmaLast).Seconds(); dt > 0 {
+			inst := 1.0 / dt
+			if m.ewmaRate == 0 {
+				m.ewmaRate = inst
+			} else {
+				m.ewmaRate = 0.2*inst + 0.8*m.ewmaRate
+			}
+		}
+	}
+	m.ewmaLast = now
+	m.ewmaMu.Unlock()
+}
+
+// RetryAfterSeconds estimates how long a shed client should wait before
+// retrying: the current cell backlog divided by the observed completion
+// rate, clamped to [1s, 60s]. With no throughput signal yet (cold start)
+// it answers a flat 2s. The hint is deliberately conservative and honest —
+// never "retry immediately" while a backlog exists.
+func (m *Manager) RetryAfterSeconds() int {
+	m.ewmaMu.Lock()
+	rate := m.ewmaRate
+	m.ewmaMu.Unlock()
+	if rate <= 0 {
+		return 2
+	}
+	secs := int(math.Ceil(float64(m.queueDepth.Load()) / rate))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
+}
 
 // evictLocked drops completed jobs that aged past the TTL, then the oldest
 // completed jobs beyond the retention count cap. Running jobs are never
@@ -419,6 +665,15 @@ func (m *Manager) runCell(task cellTask) {
 	cfg := task.job.cells[task.idx]
 	hash := cfg.Hash()
 	m.cellsTotal.Add(1)
+	// Refuse cells whose end-to-end deadline already passed: running them
+	// would burn worker time producing results nobody is waiting for. The
+	// refusal is an in-band error line with a frozen, timestamp-free
+	// message, so fleet workers and a single daemon emit identical bytes.
+	if !task.job.deadline.IsZero() && !time.Now().Before(task.job.deadline) {
+		m.cellsExpired.Add(1)
+		task.job.complete(task.idx, errorLine(task.idx, hash, deadlineExceededMsg), true, castore.Computed)
+		return
+	}
 	if err := task.job.ctx.Err(); err != nil {
 		m.cellsCanceled.Add(1)
 		task.job.complete(task.idx, errorLine(task.idx, hash, "canceled: "+err.Error()), true, castore.Computed)
@@ -432,6 +687,14 @@ func (m *Manager) runCell(task cellTask) {
 		return marshalSummary(sum), nil
 	})
 	if err != nil {
+		if !task.job.deadline.IsZero() && errors.Is(err, context.DeadlineExceeded) {
+			// Mid-flight expiry: same frozen in-band line as the refusal
+			// above, so where in the pipeline the deadline fired does not
+			// change the bytes the client reads.
+			m.cellsExpired.Add(1)
+			task.job.complete(task.idx, errorLine(task.idx, hash, deadlineExceededMsg), true, outcome)
+			return
+		}
 		if task.job.ctx.Err() != nil {
 			m.cellsCanceled.Add(1)
 		} else {
@@ -521,11 +784,15 @@ type ManagerStats struct {
 	Jobs           int64 // jobs accepted over the process lifetime
 	JobsEvicted    int64 // completed jobs dropped by TTL/count retention
 	JobsRetained   int   // jobs currently addressable under /v1/jobs
+	JobsShed       int64 // submissions rejected by admission control (429s)
+	JobsRecovered  int64 // jobs replayed from the journal after a restart
+	RecoveryFails  int64 // journal records that could not be replayed
 	ActiveJobs     int64 // jobs with incomplete cells
 	Cells          int64 // cells processed (cache hits included)
 	CellsCached    int64 // cells served from a store tier (mem/disk/peer)
 	CellsCollapsed int64 // cells that joined a concurrent identical flight
 	CellsCanceled  int64 // cells skipped or aborted by client disconnect
+	CellsExpired   int64 // cells refused or aborted past their deadline
 	CellErrors     int64 // cells that failed after validation
 	QueueDepth     int64 // cells queued but not yet started
 }
@@ -539,11 +806,15 @@ func (m *Manager) Stats() ManagerStats {
 		Jobs:           m.jobsTotal.Load(),
 		JobsEvicted:    m.jobsEvicted.Load(),
 		JobsRetained:   retained,
+		JobsShed:       m.jobsShed.Load(),
+		JobsRecovered:  m.jobsRecovered.Load(),
+		RecoveryFails:  m.recoveryFails.Load(),
 		ActiveJobs:     m.activeJobs.Load(),
 		Cells:          m.cellsTotal.Load(),
 		CellsCached:    m.cellsCached.Load(),
 		CellsCollapsed: m.cellsCollapsed.Load(),
 		CellsCanceled:  m.cellsCanceled.Load(),
+		CellsExpired:   m.cellsExpired.Load(),
 		CellErrors:     m.cellErrors.Load(),
 		QueueDepth:     m.queueDepth.Load(),
 	}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/hdls"
+	"repro/internal/castore"
+)
+
+// The job journal makes accepted async sweeps durable (DESIGN.md §13): a
+// 202 response is a promise, and a crash must not turn that promise into
+// silent data loss. The format is deliberately minimal — one NDJSON file
+// per job under the journal directory:
+//
+//	line 1  acceptance record: id, client, submit time, deadline, cells
+//	line 2  terminal record:   {"done":true,...} — appended on completion
+//
+// The acceptance record is written with castore.WriteFileAtomic (temp +
+// fsync + rename) BEFORE the job's first cell can run, so the terminal
+// append can never race it and a crash at any instant leaves either no
+// file or a complete, parseable record. On startup, journals with a
+// terminal record are deleted; journals without one are replayed through
+// the normal submission path. Replay is at-least-once and safe because
+// cell results are pure functions of the canonical config hash: any cell
+// that completed before the crash was persisted by the store's disk tier
+// and replays as a byte-identical hit-disk, so recovery costs roughly only
+// the cells that had not finished.
+const journalSuffix = ".journal"
+
+// journalRecord is the acceptance line — everything needed to resubmit
+// the job with its original identity, admission key, and deadline.
+type journalRecord struct {
+	ID        string        `json:"id"`
+	Client    string        `json:"client,omitempty"`
+	Submitted time.Time     `json:"submitted"`
+	Deadline  *time.Time    `json:"deadline,omitempty"`
+	Cells     []hdls.Config `json:"cells"`
+}
+
+// journalTerminal is the completion line appended to a finished job's
+// journal; its presence is what "done" means to the startup scan.
+type journalTerminal struct {
+	Done      bool `json:"done"`
+	Completed int  `json:"completed"`
+	Failed    int  `json:"failed"`
+}
+
+// jobJournal persists acceptance/terminal records for async jobs. All
+// methods are safe for concurrent use; failures are counted and fail open
+// (the daemon keeps serving, durability degrades).
+type jobJournal struct {
+	dir string
+
+	records      atomic.Int64 // acceptance records written
+	writeErrors  atomic.Int64 // acceptance records that failed to persist
+	finishErrors atomic.Int64 // terminal appends that failed
+	corrupt      atomic.Int64 // unparseable journals removed at startup
+}
+
+// journalStats is the journal's counter snapshot for /metrics.
+type journalStats struct {
+	Records      int64
+	WriteErrors  int64
+	FinishErrors int64
+	Corrupt      int64
+}
+
+func (jl *jobJournal) stats() journalStats {
+	return journalStats{
+		Records:      jl.records.Load(),
+		WriteErrors:  jl.writeErrors.Load(),
+		FinishErrors: jl.finishErrors.Load(),
+		Corrupt:      jl.corrupt.Load(),
+	}
+}
+
+// openJournal prepares the journal directory, sweeping atomic-write temp
+// debris abandoned by a crash mid-record.
+func openJournal(dir string) (*jobJournal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), castore.TempFilePrefix) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return &jobJournal{dir: dir}, nil
+}
+
+func (jl *jobJournal) path(id string) string {
+	return filepath.Join(jl.dir, id+journalSuffix)
+}
+
+// record persists the acceptance line for j. Called by SubmitWith before
+// any cell is enqueued (same package; j's fields are still unshared).
+func (jl *jobJournal) record(j *Job) error {
+	rec := journalRecord{ID: j.ID, Client: j.Client, Submitted: j.Created, Cells: j.cells}
+	if !j.deadline.IsZero() {
+		d := j.deadline
+		rec.Deadline = &d
+	}
+	data, err := json.Marshal(rec)
+	if err == nil {
+		err = castore.WriteFileAtomic(jl.path(j.ID), append(data, '\n'))
+	}
+	if err != nil {
+		jl.writeErrors.Add(1)
+		return err
+	}
+	jl.records.Add(1)
+	return nil
+}
+
+// finish appends the terminal record (O_APPEND + fsync, so a crash
+// mid-append leaves a journal that merely replays once more), then removes
+// the file — completed journals carry no information a restart needs, and
+// removing them here bounds the directory instead of letting one file per
+// job accumulate until the next startup sweep.
+func (jl *jobJournal) finish(j *Job) {
+	completed, failed := j.Progress()
+	line, _ := json.Marshal(journalTerminal{Done: true, Completed: completed, Failed: failed})
+	path := jl.path(j.ID)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err == nil {
+		_, werr := f.Write(append(line, '\n'))
+		if serr := f.Sync(); werr == nil {
+			werr = serr
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		err = werr
+	}
+	if err != nil {
+		jl.finishErrors.Add(1)
+		return
+	}
+	os.Remove(path)
+}
+
+// scan returns the incomplete journals in submission order (numeric job-id
+// order), removing everything else: completed journals (terminal record
+// present) and corrupt ones (unparseable acceptance line — counted; a
+// half-written journal cannot exist thanks to the atomic write, so corrupt
+// means external damage and the only safe move is to drop it loudly).
+func (jl *jobJournal) scan() []journalRecord {
+	entries, err := os.ReadDir(jl.dir)
+	if err != nil {
+		return nil
+	}
+	var recs []journalRecord
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, journalSuffix) {
+			continue
+		}
+		path := filepath.Join(jl.dir, name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		lines := bytes.Split(raw, []byte{'\n'})
+		var rec journalRecord
+		if json.Unmarshal(lines[0], &rec) != nil || rec.ID == "" || len(rec.Cells) == 0 ||
+			rec.ID+journalSuffix != name {
+			jl.corrupt.Add(1)
+			os.Remove(path)
+			continue
+		}
+		done := false
+		for _, l := range lines[1:] {
+			var term journalTerminal
+			if len(bytes.TrimSpace(l)) > 0 && json.Unmarshal(l, &term) == nil && term.Done {
+				done = true
+				break
+			}
+		}
+		if done {
+			os.Remove(path)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, k int) bool { return journalSeq(recs[i].ID) < journalSeq(recs[k].ID) })
+	return recs
+}
+
+// journalSeq extracts the numeric suffix of a "job-N" id for replay
+// ordering.
+func journalSeq(id string) int64 {
+	n, _ := strconv.ParseInt(strings.TrimPrefix(id, "job-"), 10, 64)
+	return n
+}

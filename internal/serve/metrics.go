@@ -40,6 +40,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.manager.Draining() {
 		draining = 1
 	}
+	diskDisabled := 0
+	if cs.DiskDisabled {
+		diskDisabled = 1
+	}
+	var js journalStats
+	if s.journal != nil {
+		js = s.journal.stats()
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	type metric struct {
@@ -52,10 +60,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"hdlsd_jobs_active", "Jobs with incomplete cells.", "gauge", float64(st.ActiveJobs)},
 		{"hdlsd_jobs_retained", "Jobs currently replayable under /v1/jobs.", "gauge", float64(st.JobsRetained)},
 		{"hdlsd_jobs_evicted_total", "Completed jobs dropped by TTL/count retention.", "counter", float64(st.JobsEvicted)},
+		{"hdlsd_jobs_shed_total", "Submissions rejected by admission control (429s).", "counter", float64(st.JobsShed)},
+		{"hdlsd_jobs_recovered_total", "Jobs replayed from the journal after a restart.", "counter", float64(st.JobsRecovered)},
+		{"hdlsd_jobs_recovery_failures_total", "Journal records that could not be replayed.", "counter", float64(st.RecoveryFails)},
+		{"hdlsd_journal_records_total", "Job-journal acceptance records written.", "counter", float64(js.Records)},
+		{"hdlsd_journal_write_errors_total", "Job-journal records that failed to persist.", "counter", float64(js.WriteErrors)},
+		{"hdlsd_journal_finish_errors_total", "Job-journal terminal appends that failed.", "counter", float64(js.FinishErrors)},
+		{"hdlsd_journal_corrupt_total", "Unparseable journals removed at startup.", "counter", float64(js.Corrupt)},
 		{"hdlsd_cells_total", "Simulation cells processed (cache hits included).", "counter", float64(st.Cells)},
 		{"hdlsd_cells_cached_total", "Cells served from a result-store tier.", "counter", float64(st.CellsCached)},
 		{"hdlsd_cells_collapsed_total", "Cells that joined a concurrent identical in-flight cell.", "counter", float64(st.CellsCollapsed)},
 		{"hdlsd_cells_canceled_total", "Cells skipped or aborted after client disconnect.", "counter", float64(st.CellsCanceled)},
+		{"hdlsd_cells_deadline_expired_total", "Cells refused or aborted past their end-to-end deadline.", "counter", float64(st.CellsExpired)},
 		{"hdlsd_cell_errors_total", "Cells that failed after validation.", "counter", float64(st.CellErrors)},
 		{"hdlsd_cells_per_second", "Lifetime cell throughput.", "gauge", cellsPerSec},
 		{"hdlsd_queue_depth", "Cells queued but not yet started.", "gauge", float64(st.QueueDepth)},
@@ -71,7 +87,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"hdlsd_cache_disk_evictions_total", "Disk-tier entries removed by the byte cap.", "counter", float64(cs.DiskEvictions)},
 		{"hdlsd_cache_disk_corruptions_total", "Disk-tier entries rejected by checksum/framing and deleted.", "counter", float64(cs.DiskCorruptions)},
 		{"hdlsd_cache_disk_write_errors_total", "Disk-tier writes that failed.", "counter", float64(cs.DiskWriteErrors)},
-		{"hdlsd_cache_disk_write_drops_total", "Disk-tier writes dropped by a full queue.", "counter", float64(cs.DiskWriteDrops)},
+		{"hdlsd_cache_disk_write_drops_total", "Disk-tier writes dropped (full queue, or tier disabled).", "counter", float64(cs.DiskWriteDrops)},
+		{"hdlsd_cache_disk_disabled", "1 after consecutive write failures shut the disk tier's writes off.", "gauge", float64(diskDisabled)},
 		{"hdlsd_cache_disk_writes_pending", "Disk-tier writes queued but not yet persisted.", "gauge", float64(cs.PendingWrites)},
 		{"hdlsd_cache_hit_rate", "Lifetime hit fraction of store lookups, all tiers.", "gauge", rate(cs.Hits())},
 		{"hdlsd_cache_mem_hit_rate", "Fraction of store lookups served by the memory tier.", "gauge", rate(cs.MemHits)},

@@ -64,7 +64,7 @@ func TestReadyzReady(t *testing.T) {
 // submissions needed) and are capped by count, evictions are counted, and
 // running jobs are never evicted.
 func TestJobStoreEviction(t *testing.T) {
-	m := NewManager(2, 64, 80*time.Millisecond, 2, newMemStore(t, 64))
+	m := NewManager(ManagerConfig{Workers: 2, QueueCapacity: 64, JobTTL: 80 * time.Millisecond, RetainedJobs: 2, Store: newMemStore(t, 64)})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()

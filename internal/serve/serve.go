@@ -26,9 +26,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -81,6 +84,16 @@ type Options struct {
 	// RetainedJobs caps how many completed jobs are retained for replay
 	// (default 256); the oldest completed jobs are evicted first.
 	RetainedJobs int
+	// JournalDir enables the crash-recovery job journal at this directory
+	// (default off): async sweep acceptances are persisted before any cell
+	// runs, and incomplete journals are replayed at startup (DESIGN.md §13).
+	JournalDir string
+	// MaxActiveJobs bounds incomplete jobs; submissions past it are shed
+	// with 429 + Retry-After instead of queued silently (default 1024).
+	MaxActiveJobs int
+	// MaxJobsPerClient bounds one client's incomplete jobs — the admission
+	// key is the X-Client header or the remote host (default 64).
+	MaxJobsPerClient int
 	// Chaos, when non-empty, arms the deterministic fault-injection layer:
 	// a static chaos spec (e.g. "truncate:lines=3,times=1"), or "header" to
 	// inject only per-request via the X-Chaos header. Requests may override
@@ -126,6 +139,7 @@ type Server struct {
 	opts    Options
 	store   *castore.Store
 	manager *Manager
+	journal *jobJournal // nil when Options.JournalDir is unset
 	mux     *http.ServeMux
 	handler http.Handler // mux, possibly wrapped in the chaos layer
 	started time.Time
@@ -162,7 +176,26 @@ func NewWithError(opt Options) (*Server, error) {
 		store:   store,
 		started: time.Now(),
 	}
-	s.manager = NewManager(o.Workers, o.QueueCapacity, o.JobTTL, o.RetainedJobs, s.store)
+	if o.JournalDir != "" {
+		s.journal, err = openJournal(o.JournalDir)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	s.manager = NewManager(ManagerConfig{
+		Workers:          o.Workers,
+		QueueCapacity:    o.QueueCapacity,
+		JobTTL:           o.JobTTL,
+		RetainedJobs:     o.RetainedJobs,
+		MaxActiveJobs:    o.MaxActiveJobs,
+		MaxJobsPerClient: o.MaxJobsPerClient,
+		Journal:          s.journal,
+		Store:            s.store,
+	})
+	if s.journal != nil {
+		s.recoverJobs(s.journal.scan())
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -187,6 +220,39 @@ func NewWithError(opt Options) (*Server, error) {
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// recoverJobs resubmits incomplete journal records through the normal
+// submission path, with their original ids, clients, and deadlines. Cells
+// that completed before the crash come back as hit-disk from the castore,
+// so replay costs roughly only the unfinished tail; an already-expired
+// deadline resolves every cell as the frozen in-band "deadline exceeded"
+// line, which is still a completed job the client can read. Replay
+// bypasses admission control — the work was admitted before the crash —
+// but not the cell-queue bound: a record that does not fit stays journaled
+// on disk (SubmitWith only rewrites the record on acceptance) and is
+// retried at the next restart, counted as a recovery failure here.
+func (s *Server) recoverJobs(recs []journalRecord) {
+	for _, rec := range recs {
+		ctx := context.Background()
+		var cancel context.CancelFunc
+		if rec.Deadline != nil {
+			ctx, cancel = context.WithDeadline(ctx, *rec.Deadline)
+		}
+		_, err := s.manager.SubmitWith(ctx, rec.Cells, SubmitOpts{
+			ID:        rec.ID,
+			Client:    rec.Client,
+			Recovered: true,
+			Journal:   true,
+			Cancel:    cancel,
+		})
+		if err != nil {
+			s.manager.recoveryFails.Add(1)
+			if cancel != nil {
+				cancel()
+			}
+		}
+	}
+}
 
 // Drain stops accepting work, waits for accepted jobs (bounded by ctx),
 // then flushes the store's pending disk writes. An aborted drain leaves
@@ -273,21 +339,70 @@ func (o Options) CheckCell(cfg hdls.Config) error {
 	return cfg.Validate()
 }
 
-// retryAfterSeconds is the back-pressure hint on drain/overload 503s: shed
-// requests tell clients when to come back instead of letting them hammer a
-// saturated daemon.
+// retryAfterSeconds is the back-pressure hint on drain/saturation 503s:
+// shed requests tell clients when to come back instead of letting them
+// hammer a saturated daemon. Admission-control 429s carry a live hint
+// derived from observed throughput instead (Manager.RetryAfterSeconds).
 const retryAfterSeconds = "2"
 
-// submitOrFail maps submission errors to 503s with a Retry-After hint. The
-// job's cells are tied to ctx: handlers pass the request context for
-// synchronous (streaming) submissions so a client disconnect cancels the
-// work, and context.Background() for async jobs that must run to
-// completion. nil job means the response has been written.
-func (s *Server) submitOrFail(ctx context.Context, w http.ResponseWriter, cells []hdls.Config) *Job {
-	job, err := s.manager.SubmitCtx(ctx, cells)
+// ClientKey returns a request's admission key: the X-Client header when
+// present (the fleet coordinator forwards its caller's identity so the
+// per-client budget follows the real client through the fleet), else the
+// remote host. Exported for the coordinator and the load generator.
+func ClientKey(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {
-		w.Header().Set("Retry-After", retryAfterSeconds)
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// ParseDeadline extracts a request's end-to-end deadline: the absolute
+// X-Deadline header (RFC 3339, nanosecond precision) wins over the
+// relative ?timeout= Go duration. The zero time means unbounded. An
+// already-expired deadline is NOT an error — the job is accepted and its
+// cells resolve as in-band "deadline exceeded" lines, exactly as if the
+// deadline had passed a microsecond after submission, so single-daemon and
+// fleet behavior cannot diverge on the boundary. Exported for the fleet
+// coordinator, which forwards the deadline minus its network margin.
+func ParseDeadline(r *http.Request) (time.Time, error) {
+	if h := r.Header.Get("X-Deadline"); h != "" {
+		t, err := time.Parse(time.RFC3339Nano, h)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("malformed X-Deadline %q: %v", h, err)
+		}
+		return t, nil
+	}
+	if q := r.URL.Query().Get("timeout"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 {
+			return time.Time{}, fmt.Errorf("malformed timeout %q (want a positive Go duration)", q)
+		}
+		return time.Now().Add(d), nil
+	}
+	return time.Time{}, nil
+}
+
+// submitOrFail maps submission errors to HTTP rejections: queue/drain
+// failures to 503, admission-control shedding (job limits) to 429, both
+// with Retry-After — shed work is always explicit, never silently queued.
+// The job's cells are tied to ctx: handlers pass the request context for
+// synchronous (streaming) submissions so a client disconnect cancels the
+// work, and a detached context for async jobs that must run to
+// completion. nil job means the response has been written.
+func (s *Server) submitOrFail(ctx context.Context, w http.ResponseWriter, cells []hdls.Config, opts SubmitOpts) *Job {
+	job, err := s.manager.SubmitWith(ctx, cells, opts)
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrClientBusy) {
+			w.Header().Set("Retry-After", strconv.Itoa(s.manager.RetryAfterSeconds()))
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+		} else {
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		}
 		return nil
 	}
 	return job
@@ -308,8 +423,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	deadline, err := ParseDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	hash := cfg.Hash()
 	if body, tier, ok := s.store.LookupLocal(hash); ok {
+		// Cache hits dodge the deadline entirely: replaying frozen bytes is
+		// effectively free, and refusing them would punish the cheap path.
 		label := "hit"
 		if tier == castore.TierDisk {
 			label = "hit-disk"
@@ -317,7 +439,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeRunBody(w, hash, body, label)
 		return
 	}
-	job := s.submitOrFail(r.Context(), w, []hdls.Config{cfg})
+	ctx := r.Context()
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	job := s.submitOrFail(ctx, w, []hdls.Config{cfg}, SubmitOpts{Client: ClientKey(r)})
 	if job == nil {
 		return
 	}
@@ -329,11 +457,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// Slice the summary back out of the frozen cell line instead of
 	// re-querying the store, so the hit/miss counters see only client
 	// lookups. An error line (no summary prefix) means the cell failed
-	// after validation — an internal fault.
+	// after validation — an internal fault, except for a deadline expiry,
+	// which is the client's own bound and maps to 504 (non-retryable:
+	// a passed deadline will not un-pass).
 	prefix := fmt.Appendf(nil, `{"index":0,"hash":%q,"summary":`, hash)
 	if !bytes.HasPrefix(line, prefix) {
+		status := http.StatusInternalServerError
+		if bytes.Contains(line, []byte(`"error":"`+deadlineExceededMsg+`"`)) {
+			status = http.StatusGatewayTimeout
+		}
 		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusInternalServerError)
+		w.WriteHeader(status)
 		w.Write(append(bytes.Clone(line), '\n'))
 		return
 	}
@@ -413,16 +547,39 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	deadline, err := ParseDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	// Streamed sweeps live and die with their request: the submitter is the
-	// only reader, so its disconnect cancels the remaining cells. Async jobs
-	// detach (context.Background()) — their results are fetched later.
+	// only reader, so its disconnect cancels the remaining cells. Async
+	// jobs detach — their results are fetched later — and are the jobs the
+	// journal makes durable: the 202 below is a promise that must survive a
+	// crash. Either way a client deadline bounds the job end to end.
 	stream := wantStream(r)
+	opts := SubmitOpts{Client: ClientKey(r)}
 	ctx := context.Background()
 	if stream {
 		ctx = r.Context()
+		if !deadline.IsZero() {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, deadline)
+			defer cancel()
+		}
+	} else {
+		opts.Journal = true
+		if !deadline.IsZero() {
+			// The cancel releases the deadline timer once the last cell
+			// completes; SubmitWith stores it on the job.
+			ctx, opts.Cancel = context.WithDeadline(ctx, deadline)
+		}
 	}
-	job := s.submitOrFail(ctx, w, req.Cells)
+	job := s.submitOrFail(ctx, w, req.Cells, opts)
 	if job == nil {
+		if opts.Cancel != nil {
+			opts.Cancel()
+		}
 		return
 	}
 	if stream {
@@ -479,6 +636,7 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		"failed":    failed,
 		"cache":     job.CacheCounts(),
 		"created":   job.Created.UTC().Format(time.RFC3339Nano),
+		"recovered": job.Recovered,
 	})
 }
 

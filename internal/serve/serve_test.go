@@ -472,7 +472,7 @@ func TestDiscoveryAndHealth(t *testing.T) {
 // while the janitor ticks past the TTL, so the race detector covers the
 // pin/evict interaction too (run under -race in CI's fast-forward shard).
 func TestEvictionDefersForInFlightReplay(t *testing.T) {
-	m := NewManager(2, 64, 25*time.Millisecond, 2, newMemStore(t, 16))
+	m := NewManager(ManagerConfig{Workers: 2, QueueCapacity: 64, JobTTL: 25 * time.Millisecond, RetainedJobs: 2, Store: newMemStore(t, 16)})
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
