@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date -u +%Y-%m-%d)
 
-.PHONY: test bench sweep vet fmt doclint serve smoke fleet-smoke castore-smoke soak
+.PHONY: test bench sweep vet fmt doclint serve smoke fleet-smoke castore-smoke soak check checks-smoke
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -72,9 +72,28 @@ bench-stress:
 	$(GO) run ./cmd/hdlsweep -figure 5 -scale 64 -nodes 64 -q
 	$(GO) run ./cmd/hdlsim -app mandelbrot -inter GSS -intra SS -nodes 64 -scale 64
 
-# bench-check fails when the current tree's sweep throughput regresses more
-# than 25% against the latest committed BENCH_*.json (wall-clock sensitive:
-# run on a quiet machine; CI's perf job does).
+# check runs the machine-class perf gates (DESIGN.md §14): every case of
+# the selected class executed through a fresh live hdlsd subprocess, one
+# trend row appended per case to checks/trend/<class>.ndjson, and a named
+# verdict per check — CI fails with
+#   check quick/fig4-grid: FAIL: cells_per_second 61.2 < goal 100
+# instead of a raw regression percentage. CLASS=nightly runs the full
+# matrix the nightly workflow uses.
+CLASS ?= quick
+check:
+	$(GO) build -o bin/hdlsd ./cmd/hdlsd
+	$(GO) build -o bin/hdlscheck ./cmd/hdlscheck
+	bin/hdlscheck -hdlsd bin/hdlsd -class $(CLASS)
+
+# checks-smoke asserts the gates fail the right way: a deliberately
+# lowered goal and a SIGKILLed check daemon must both fail the named
+# check (exit 1), never crash the harness.
+checks-smoke:
+	scripts/checks_smoke.sh
+
+# bench-check is the in-process form of `make check`: the quick class with
+# goals enforced, named per failing check (wall-clock sensitive: run on a
+# quiet machine; CI's perf job does).
 bench-check:
 	BENCH_TREND=1 $(GO) test -run TestBenchTrend -v .
 

@@ -28,8 +28,7 @@ import (
 	"os"
 	"time"
 
-	"repro/dls"
-	"repro/hdls"
+	"repro/internal/checks"
 	"repro/internal/cliutil"
 	"repro/internal/serve"
 )
@@ -39,31 +38,6 @@ func fatalIf(err error) {
 		fmt.Fprintln(os.Stderr, "cachebench:", err)
 		os.Exit(1)
 	}
-}
-
-// gridCells enumerates the figure sweep exactly as hdls.RunFigure does,
-// skipping the MPI+OpenMP TSS/FAC2 cells the stock runtime cannot run.
-func gridCells(figures []int, nodes []int, scale int, seed int64) []hdls.Config {
-	var cells []hdls.Config
-	for _, fig := range figures {
-		inter := hdls.FigureInter[fig]
-		for _, app := range []hdls.App{hdls.Mandelbrot, hdls.PSIA} {
-			for _, intra := range hdls.FigureIntras {
-				for _, n := range nodes {
-					for _, ap := range []hdls.Approach{hdls.MPIMPI, hdls.MPIOpenMP} {
-						if ap == hdls.MPIOpenMP && (intra == dls.TSS || intra == dls.FAC2) {
-							continue // Intel runtime limitation (§5)
-						}
-						cells = append(cells, hdls.Config{
-							App: app, Nodes: n, Inter: inter, Intra: intra,
-							Approach: ap, Scale: scale, Seed: seed,
-						})
-					}
-				}
-			}
-		}
-	}
-	return cells
 }
 
 // sweep streams one full sweep and returns the NDJSON body and wall time.
@@ -117,7 +91,10 @@ func main() {
 		defer os.RemoveAll(cacheDir)
 	}
 
-	cells := gridCells([]int{4, 5, 6, 7}, nodes, *scale, *seed)
+	// The grid enumeration is shared with the checks runner's sweep target
+	// (internal/checks), so `make check` and cachebench gate the same cells.
+	cells, err := checks.GridCells([]int{4, 5, 6, 7}, nodes, *scale, *seed)
+	fatalIf(err)
 	req, err := json.Marshal(map[string]any{"cells": cells})
 	fatalIf(err)
 

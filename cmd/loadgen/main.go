@@ -16,8 +16,12 @@
 // slice of the Retry-After hint, and keeps going — exactly what a
 // well-behaved sweep client does. The run summary is a single JSON line
 // on stdout (counts per HTTP status, NDJSON lines seen, in-band error
-// lines, transport errors, Retry-After observations, async job ids), so
-// shell harnesses can assert on it with python3 or grep.
+// lines, transport errors, Retry-After observations, async job ids,
+// completed-sweep latency percentiles), so shell harnesses can assert on
+// it with python3 or grep. The generator itself lives in internal/loadgen
+// — the machine-class perf gates (internal/checks, DESIGN.md §14) drive
+// the same engine for their serving-path cases — and the summary's field
+// names are a frozen schema pinned by that package's golden test.
 //
 //	loadgen -target http://127.0.0.1:8080 -clients 4 -duration 10s
 //	loadgen -target http://127.0.0.1:8080 -mode async -sweeps 2 -wait
@@ -25,18 +29,14 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
-	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"os"
-	"sort"
-	"strconv"
-	"sync"
 	"time"
+
+	"repro/internal/loadgen"
 )
 
 func main() {
@@ -55,218 +55,30 @@ func main() {
 		wait     = flag.Bool("wait", false, "async mode: poll each job to completion and fetch its results")
 	)
 	flag.Parse()
-	if *mode != "stream" && *mode != "async" {
-		log.Fatalf("loadgen: unknown -mode %q (stream, async)", *mode)
-	}
 
-	var t tally
-	t.statuses = map[int]int{}
-	start := time.Now()
-	stopAt := start.Add(*duration)
-	var wg sync.WaitGroup
-	for i := 0; i < *clients; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			c := client{
-				target: *target, mode: *mode, timeout: *timeout, chaos: *chaos,
-				id: fmt.Sprintf("%s-%d", *prefix, i), wait: *wait,
-				cells: *cells, workload: *workload,
-				seedBase: *seed + int64(i)*1_000_000_000,
-				tally:    &t,
-			}
-			for k := 0; ; k++ {
-				if *sweeps > 0 {
-					if k >= *sweeps {
-						return
-					}
-				} else if time.Now().After(stopAt) {
-					return
-				}
-				c.sweep(k)
-			}
-		}(i)
+	summary, err := loadgen.Run(context.Background(), loadgen.Options{
+		Target:       *target,
+		Clients:      *clients,
+		Duration:     *duration,
+		Sweeps:       *sweeps,
+		Cells:        *cells,
+		Workload:     *workload,
+		Mode:         *mode,
+		Timeout:      *timeout,
+		Chaos:        *chaos,
+		ClientPrefix: *prefix,
+		Seed:         *seed,
+		Wait:         *wait,
+	})
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
 	}
-	wg.Wait()
-
-	t.mu.Lock()
-	statuses := map[string]int{}
-	for code, n := range t.statuses {
-		statuses[strconv.Itoa(code)] = n
-	}
-	sort.Strings(t.jobIDs)
-	summary := map[string]any{
-		"sweeps":           t.sweeps,
-		"statuses":         statuses,
-		"lines":            t.lines,
-		"error_lines":      t.errorLines,
-		"transport_errors": t.transportErrors,
-		"retry_after_seen": t.retryAfterSeen,
-		"job_ids":          t.jobIDs,
-		"elapsed_seconds":  time.Since(start).Seconds(),
-	}
-	attempted := t.sweeps
-	t.mu.Unlock()
 	if err := json.NewEncoder(os.Stdout).Encode(summary); err != nil {
 		log.Fatalf("loadgen: encode summary: %v", err)
 	}
 	// Zero attempts means the configuration never produced traffic —
 	// fail loudly so a broken harness cannot pass vacuously.
-	if attempted == 0 {
+	if summary.Sweeps == 0 {
 		log.Fatal("loadgen: no sweeps were attempted")
 	}
-}
-
-// tally aggregates observations across all client goroutines.
-type tally struct {
-	mu              sync.Mutex
-	sweeps          int
-	statuses        map[int]int
-	lines           int
-	errorLines      int
-	transportErrors int
-	retryAfterSeen  int
-	jobIDs          []string
-}
-
-// client is one concurrent submitter identity.
-type client struct {
-	target, mode, timeout, chaos, id string
-	wait                             bool
-	cells                            int
-	workload                         string
-	seedBase                         int64
-	tally                            *tally
-}
-
-// sweep submits one generated sweep and records the outcome. Submission
-// failures are observations, not fatal errors: the soak harness kills
-// daemons under this load on purpose.
-func (c *client) sweep(k int) {
-	body := c.body(k)
-	url := c.target + "/v1/sweep"
-	if c.mode == "stream" {
-		url += "?stream=1"
-		if c.timeout != "" {
-			url += "&timeout=" + c.timeout
-		}
-	} else if c.timeout != "" {
-		url += "?timeout=" + c.timeout
-	}
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		log.Fatalf("loadgen: build request: %v", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("X-Client", c.id)
-	if c.chaos != "" {
-		req.Header.Set("X-Chaos", c.chaos)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	c.tally.mu.Lock()
-	c.tally.sweeps++
-	c.tally.mu.Unlock()
-	if err != nil {
-		c.note(func(t *tally) { t.transportErrors++ })
-		time.Sleep(100 * time.Millisecond) // the target may be mid-restart
-		return
-	}
-	defer resp.Body.Close()
-	c.note(func(t *tally) { t.statuses[resp.StatusCode]++ })
-	switch {
-	case resp.StatusCode == http.StatusOK && c.mode == "stream":
-		c.consume(resp.Body)
-	case resp.StatusCode == http.StatusAccepted && c.mode == "async":
-		var acc struct {
-			JobID string `json:"job_id"`
-		}
-		if json.NewDecoder(resp.Body).Decode(&acc) == nil && acc.JobID != "" {
-			c.note(func(t *tally) { t.jobIDs = append(t.jobIDs, acc.JobID) })
-			if c.wait {
-				c.awaitJob(acc.JobID)
-			}
-		}
-	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
-		io.Copy(io.Discard, resp.Body)
-		// Honor a bounded slice of the hint: enough to be a polite client,
-		// capped so a long hint cannot stall the generator's run budget.
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			c.note(func(t *tally) { t.retryAfterSeen++ })
-			time.Sleep(min(time.Duration(secs)*time.Second, 500*time.Millisecond))
-		}
-	default:
-		io.Copy(io.Discard, resp.Body)
-	}
-}
-
-// body generates the k-th sweep request for this client; every cell seed
-// is distinct run-wide so the target really simulates under load instead
-// of replaying its cache.
-func (c *client) body(k int) []byte {
-	inters := []string{"STATIC", "GSS", "TSS", "FAC2"}
-	cells := make([]map[string]any, c.cells)
-	for j := range cells {
-		cells[j] = map[string]any{
-			"nodes": 2, "workers_per_node": 4,
-			"inter": inters[j%len(inters)], "intra": "STATIC", "approach": "MPI+MPI",
-			"seed":     c.seedBase + int64(k)*int64(c.cells) + int64(j),
-			"workload": c.workload,
-		}
-	}
-	body, err := json.Marshal(map[string]any{"cells": cells})
-	if err != nil {
-		log.Fatalf("loadgen: marshal sweep: %v", err)
-	}
-	return body
-}
-
-// consume counts the NDJSON lines of one sweep stream.
-func (c *client) consume(r io.Reader) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		c.note(func(t *tally) { t.transportErrors++ })
-		return
-	}
-	lines := bytes.Count(data, []byte{'\n'})
-	errs := bytes.Count(data, []byte(`"error":"`))
-	c.note(func(t *tally) { t.lines += lines; t.errorLines += errs })
-}
-
-// awaitJob polls an async job to completion, then fetches and counts its
-// results. Poll failures are transport observations — the daemon may be
-// down between SIGKILL and restart.
-func (c *client) awaitJob(id string) {
-	deadline := time.Now().Add(60 * time.Second)
-	for time.Now().Before(deadline) {
-		resp, err := http.Get(c.target + "/v1/jobs/" + id)
-		if err != nil {
-			c.note(func(t *tally) { t.transportErrors++ })
-			time.Sleep(200 * time.Millisecond)
-			continue
-		}
-		var status struct {
-			Status string `json:"status"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&status)
-		resp.Body.Close()
-		if err == nil && status.Status == "done" {
-			results, err := http.Get(c.target + "/v1/jobs/" + id + "/results")
-			if err != nil {
-				c.note(func(t *tally) { t.transportErrors++ })
-				return
-			}
-			defer results.Body.Close()
-			c.consume(results.Body)
-			return
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-	log.Printf("loadgen: job %s never completed", id)
-}
-
-// note applies one mutation to the shared tally under its lock.
-func (c *client) note(fn func(*tally)) {
-	c.tally.mu.Lock()
-	defer c.tally.mu.Unlock()
-	fn(c.tally)
 }

@@ -1,0 +1,394 @@
+// Package loadgen generates concurrent sweep traffic against an hdlsd
+// daemon or fleet coordinator and reports what it observed. It is the
+// engine behind cmd/loadgen (the soak harness's load half, DESIGN.md §13)
+// and the serving-path case runner in internal/checks (the perf gates,
+// DESIGN.md §14): both need the same well-behaved client — distinct
+// X-Client identities, bounded Retry-After honoring, 429/503 treated as
+// observations rather than errors — and both consume the same Summary.
+//
+// The Summary's JSON field names are a frozen schema: shell harnesses
+// (scripts/fleet_soak.sh) and the checks runner assert on them, and a
+// golden test pins them against drift.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Options configures one load run. The zero value is not runnable: Target,
+// Clients, Cells and a Mode are required; Validate names what is missing.
+type Options struct {
+	// Target is the daemon or coordinator base URL.
+	Target string
+	// Clients is the number of concurrent client identities (X-Client
+	// "<ClientPrefix>-<i>").
+	Clients int
+	// Duration bounds the run when Sweeps is zero: each client submits
+	// until it elapses.
+	Duration time.Duration
+	// Sweeps, when positive, fixes the per-client sweep count instead of
+	// running for Duration — the deterministic mode the checks runner uses.
+	Sweeps int
+	// Cells is the cell count of every generated sweep.
+	Cells int
+	// Workload is the workload spec of every generated cell.
+	Workload string
+	// Mode selects the submission path: "stream" (POST /v1/sweep?stream=1,
+	// consume the NDJSON inline) or "async" (202 + job id).
+	Mode string
+	// Timeout, when non-empty, is forwarded as ?timeout= on every sweep.
+	Timeout string
+	// Chaos, when non-empty, is sent as the X-Chaos header on every sweep.
+	Chaos string
+	// ClientPrefix is the X-Client identity prefix (default "loadgen").
+	ClientPrefix string
+	// Seed is the base seed; client i sweep k cell j derives a distinct
+	// seed, so the target really simulates instead of replaying its cache.
+	Seed int64
+	// Wait, in async mode, polls each accepted job to completion and
+	// fetches its results; the drain latency lands in Summary.Latency.
+	Wait bool
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.ClientPrefix == "" {
+		o.ClientPrefix = "loadgen"
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	return o
+}
+
+// Validate reports the first configuration error, naming the field.
+func (o Options) Validate() error {
+	if o.Target == "" {
+		return fmt.Errorf("loadgen: Target is required")
+	}
+	if o.Mode != "stream" && o.Mode != "async" {
+		return fmt.Errorf("loadgen: unknown Mode %q (stream, async)", o.Mode)
+	}
+	if o.Clients <= 0 {
+		return fmt.Errorf("loadgen: Clients must be positive, got %d", o.Clients)
+	}
+	if o.Cells <= 0 {
+		return fmt.Errorf("loadgen: Cells must be positive, got %d", o.Cells)
+	}
+	if o.Sweeps <= 0 && o.Duration <= 0 {
+		return fmt.Errorf("loadgen: either Sweeps or Duration must be positive")
+	}
+	return nil
+}
+
+// Latency summarizes the distribution of completed-sweep latencies in
+// milliseconds: stream-mode sweeps measure submit → stream fully consumed;
+// async -wait sweeps measure submit → job done → results fully drained.
+// Shed (429/503) and transport-failed sweeps are excluded.
+type Latency struct {
+	// Count is how many completed sweeps the percentiles summarize.
+	Count int `json:"count"`
+	// P50 is the median latency in milliseconds.
+	P50 float64 `json:"p50"`
+	// P90 is the 90th-percentile latency in milliseconds.
+	P90 float64 `json:"p90"`
+	// P99 is the 99th-percentile latency in milliseconds.
+	P99 float64 `json:"p99"`
+	// Max is the slowest completed sweep in milliseconds.
+	Max float64 `json:"max"`
+}
+
+// Summary is one run's observations. Field names are a frozen schema
+// (TestSummarySchemaGolden): scripts and the checks runner unmarshal it.
+type Summary struct {
+	// Sweeps counts submission attempts, including shed and failed ones.
+	Sweeps int `json:"sweeps"`
+	// Statuses counts responses per HTTP status code (keys are the codes
+	// in decimal, e.g. "200").
+	Statuses map[string]int `json:"statuses"`
+	// Lines counts NDJSON result lines consumed across all sweeps.
+	Lines int `json:"lines"`
+	// ErrorLines counts in-band per-cell error lines among Lines.
+	ErrorLines int `json:"error_lines"`
+	// TransportErrors counts submissions or reads that failed below HTTP
+	// (connection refused, reset mid-stream — expected while a target
+	// restarts under the soak harness).
+	TransportErrors int `json:"transport_errors"`
+	// RetryAfterSeen counts 429/503 responses whose Retry-After hint the
+	// generator honored (bounded, so a long hint cannot stall the run).
+	RetryAfterSeen int `json:"retry_after_seen"`
+	// JobIDs lists accepted async job ids, sorted.
+	JobIDs []string `json:"job_ids"`
+	// ElapsedSeconds is the whole run's wall time.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Latency summarizes completed-sweep latency in milliseconds.
+	Latency Latency `json:"latency_ms"`
+}
+
+// Run drives the configured load until every client finishes its sweep
+// budget, Duration elapses, or ctx is canceled (clients stop between
+// sweeps; the in-flight sweep is abandoned to its request context).
+func Run(ctx context.Context, opt Options) (Summary, error) {
+	o := opt.withDefaults()
+	if err := o.Validate(); err != nil {
+		return Summary{}, err
+	}
+	var t tally
+	t.statuses = map[int]int{}
+	start := time.Now()
+	stopAt := start.Add(o.Duration)
+	var wg sync.WaitGroup
+	for i := 0; i < o.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := client{
+				opt:      o,
+				id:       fmt.Sprintf("%s-%d", o.ClientPrefix, i),
+				seedBase: o.Seed + int64(i)*1_000_000_000,
+				tally:    &t,
+			}
+			for k := 0; ; k++ {
+				if ctx.Err() != nil {
+					return
+				}
+				if o.Sweeps > 0 {
+					if k >= o.Sweeps {
+						return
+					}
+				} else if time.Now().After(stopAt) {
+					return
+				}
+				c.sweep(ctx, k)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	statuses := map[string]int{}
+	for code, n := range t.statuses {
+		statuses[strconv.Itoa(code)] = n
+	}
+	sort.Strings(t.jobIDs)
+	return Summary{
+		Sweeps:          t.sweeps,
+		Statuses:        statuses,
+		Lines:           t.lines,
+		ErrorLines:      t.errorLines,
+		TransportErrors: t.transportErrors,
+		RetryAfterSeen:  t.retryAfterSeen,
+		JobIDs:          t.jobIDs,
+		ElapsedSeconds:  time.Since(start).Seconds(),
+		Latency:         summarizeLatency(t.latencies),
+	}, nil
+}
+
+// summarizeLatency reduces raw durations to the frozen percentile set.
+func summarizeLatency(ds []time.Duration) Latency {
+	if len(ds) == 0 {
+		return Latency{}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	pct := func(q float64) float64 {
+		idx := int(q*float64(len(ds))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ds) {
+			idx = len(ds) - 1
+		}
+		return ms(ds[idx])
+	}
+	return Latency{
+		Count: len(ds),
+		P50:   pct(0.50),
+		P90:   pct(0.90),
+		P99:   pct(0.99),
+		Max:   ms(ds[len(ds)-1]),
+	}
+}
+
+// tally aggregates observations across all client goroutines.
+type tally struct {
+	mu              sync.Mutex
+	sweeps          int
+	statuses        map[int]int
+	lines           int
+	errorLines      int
+	transportErrors int
+	retryAfterSeen  int
+	jobIDs          []string
+	latencies       []time.Duration
+}
+
+// client is one concurrent submitter identity.
+type client struct {
+	opt      Options
+	id       string
+	seedBase int64
+	tally    *tally
+}
+
+// sweep submits one generated sweep and records the outcome. Submission
+// failures are observations, not fatal errors: the soak harness kills
+// daemons under this load on purpose.
+func (c *client) sweep(ctx context.Context, k int) {
+	body := c.body(k)
+	url := c.opt.Target + "/v1/sweep"
+	if c.opt.Mode == "stream" {
+		url += "?stream=1"
+		if c.opt.Timeout != "" {
+			url += "&timeout=" + c.opt.Timeout
+		}
+	} else if c.opt.Timeout != "" {
+		url += "?timeout=" + c.opt.Timeout
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		// Only a malformed Target can fail request construction; surface it
+		// as a transport observation so a run never panics mid-soak.
+		c.note(func(t *tally) { t.transportErrors++ })
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client", c.id)
+	if c.opt.Chaos != "" {
+		req.Header.Set("X-Chaos", c.opt.Chaos)
+	}
+	start := time.Now()
+	resp, err := c.opt.Client.Do(req)
+	c.note(func(t *tally) { t.sweeps++ })
+	if err != nil {
+		c.note(func(t *tally) { t.transportErrors++ })
+		sleepCtx(ctx, 100*time.Millisecond) // the target may be mid-restart
+		return
+	}
+	defer resp.Body.Close()
+	c.note(func(t *tally) { t.statuses[resp.StatusCode]++ })
+	switch {
+	case resp.StatusCode == http.StatusOK && c.opt.Mode == "stream":
+		if c.consume(resp.Body) {
+			c.note(func(t *tally) { t.latencies = append(t.latencies, time.Since(start)) })
+		}
+	case resp.StatusCode == http.StatusAccepted && c.opt.Mode == "async":
+		var acc struct {
+			JobID string `json:"job_id"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&acc) == nil && acc.JobID != "" {
+			c.note(func(t *tally) { t.jobIDs = append(t.jobIDs, acc.JobID) })
+			if c.opt.Wait && c.awaitJob(ctx, acc.JobID) {
+				c.note(func(t *tally) { t.latencies = append(t.latencies, time.Since(start)) })
+			}
+		}
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		// Honor a bounded slice of the hint: enough to be a polite client,
+		// capped so a long hint cannot stall the generator's run budget.
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			c.note(func(t *tally) { t.retryAfterSeen++ })
+			sleepCtx(ctx, min(time.Duration(secs)*time.Second, 500*time.Millisecond))
+		}
+	default:
+		io.Copy(io.Discard, resp.Body)
+	}
+}
+
+// body generates the k-th sweep request for this client; every cell seed
+// is distinct run-wide so the target really simulates under load instead
+// of replaying its cache.
+func (c *client) body(k int) []byte {
+	inters := []string{"STATIC", "GSS", "TSS", "FAC2"}
+	cells := make([]map[string]any, c.opt.Cells)
+	for j := range cells {
+		cells[j] = map[string]any{
+			"nodes": 2, "workers_per_node": 4,
+			"inter": inters[j%len(inters)], "intra": "STATIC", "approach": "MPI+MPI",
+			"seed":     c.seedBase + int64(k)*int64(c.opt.Cells) + int64(j),
+			"workload": c.opt.Workload,
+		}
+	}
+	body, err := json.Marshal(map[string]any{"cells": cells})
+	if err != nil { // plain scalars; cannot fail
+		panic(fmt.Sprintf("loadgen: marshal sweep: %v", err))
+	}
+	return body
+}
+
+// consume counts the NDJSON lines of one sweep stream and reports whether
+// the stream was read to completion.
+func (c *client) consume(r io.Reader) bool {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		c.note(func(t *tally) { t.transportErrors++ })
+		return false
+	}
+	lines := bytes.Count(data, []byte{'\n'})
+	errs := bytes.Count(data, []byte(`"error":"`))
+	c.note(func(t *tally) { t.lines += lines; t.errorLines += errs })
+	return true
+}
+
+// awaitJob polls an async job to completion, then fetches and counts its
+// results, reporting whether they were fully drained. Poll failures are
+// transport observations — the daemon may be down between SIGKILL and
+// restart.
+func (c *client) awaitJob(ctx context.Context, id string) bool {
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		resp, err := c.opt.Client.Get(c.opt.Target + "/v1/jobs/" + id)
+		if err != nil {
+			c.note(func(t *tally) { t.transportErrors++ })
+			sleepCtx(ctx, 200*time.Millisecond)
+			continue
+		}
+		var status struct {
+			Status string `json:"status"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&status)
+		resp.Body.Close()
+		if err == nil && status.Status == "done" {
+			results, err := c.opt.Client.Get(c.opt.Target + "/v1/jobs/" + id + "/results")
+			if err != nil {
+				c.note(func(t *tally) { t.transportErrors++ })
+				return false
+			}
+			defer results.Body.Close()
+			return c.consume(results.Body)
+		}
+		sleepCtx(ctx, 50*time.Millisecond)
+	}
+	return false
+}
+
+// note applies one mutation to the shared tally under its lock.
+func (c *client) note(fn func(*tally)) {
+	c.tally.mu.Lock()
+	defer c.tally.mu.Unlock()
+	fn(c.tally)
+}
+
+// sleepCtx sleeps for d or until ctx is canceled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestSummarySchemaGolden pins the Summary's JSON field names. Shell
+// harnesses (scripts/fleet_soak.sh) and the checks runner consume this
+// schema; renaming or dropping a key is a breaking change, and adding one
+// must extend this golden deliberately.
+func TestSummarySchemaGolden(t *testing.T) {
+	s := Summary{
+		Sweeps:          3,
+		Statuses:        map[string]int{"200": 2, "429": 1},
+		Lines:           16,
+		ErrorLines:      1,
+		TransportErrors: 0,
+		RetryAfterSeen:  1,
+		JobIDs:          []string{"job-1"},
+		ElapsedSeconds:  1.5,
+		Latency:         Latency{Count: 2, P50: 10, P90: 12, P99: 12, Max: 12},
+	}
+	got, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"sweeps":3,"statuses":{"200":2,"429":1},"lines":16,` +
+		`"error_lines":1,"transport_errors":0,"retry_after_seen":1,` +
+		`"job_ids":["job-1"],"elapsed_seconds":1.5,` +
+		`"latency_ms":{"count":2,"p50":10,"p90":12,"p99":12,"max":12}}`
+	if string(got) != want {
+		t.Fatalf("summary schema drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestOptionsValidate names the missing/invalid field for every rejection.
+func TestOptionsValidate(t *testing.T) {
+	ok := Options{Target: "http://x", Mode: "stream", Clients: 1, Cells: 1, Sweeps: 1}
+	for _, tc := range []struct {
+		name string
+		mut  func(*Options)
+		want string
+	}{
+		{"missing target", func(o *Options) { o.Target = "" }, "Target"},
+		{"unknown mode", func(o *Options) { o.Mode = "burst" }, `Mode "burst"`},
+		{"zero clients", func(o *Options) { o.Clients = 0 }, "Clients"},
+		{"zero cells", func(o *Options) { o.Cells = 0 }, "Cells"},
+		{"no budget", func(o *Options) { o.Sweeps = 0; o.Duration = 0 }, "Sweeps or Duration"},
+	} {
+		o := ok
+		tc.mut(&o)
+		err := o.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, o)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.want)
+		}
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+// TestRunStreamAgainstServe drives a tiny deterministic stream-mode run
+// against an in-process hdlsd and checks the tallies line up: every sweep
+// a 200, every cell a line, latency recorded per completed sweep.
+func TestRunStreamAgainstServe(t *testing.T) {
+	srv := serve.New(serve.Options{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	const clients, sweeps, cells = 2, 2, 3
+	sum, err := Run(context.Background(), Options{
+		Target:   ts.URL,
+		Clients:  clients,
+		Sweeps:   sweeps,
+		Cells:    cells,
+		Workload: "constant:n=256",
+		Mode:     "stream",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSweeps := clients * sweeps
+	if sum.Sweeps != wantSweeps {
+		t.Errorf("sweeps = %d, want %d", sum.Sweeps, wantSweeps)
+	}
+	if sum.Statuses["200"] != wantSweeps {
+		t.Errorf("statuses = %v, want %d×200", sum.Statuses, wantSweeps)
+	}
+	if sum.Lines != wantSweeps*cells {
+		t.Errorf("lines = %d, want %d", sum.Lines, wantSweeps*cells)
+	}
+	if sum.ErrorLines != 0 || sum.TransportErrors != 0 {
+		t.Errorf("unexpected errors in %+v", sum)
+	}
+	if sum.Latency.Count != wantSweeps {
+		t.Errorf("latency count = %d, want %d", sum.Latency.Count, wantSweeps)
+	}
+	if sum.Latency.P99 < sum.Latency.P50 || sum.Latency.Max < sum.Latency.P99 {
+		t.Errorf("latency percentiles out of order: %+v", sum.Latency)
+	}
+}
+
+// TestRunAsyncWait covers the async+wait path the soak target uses: jobs
+// accepted with 202, polled to completion, results drained and counted.
+func TestRunAsyncWait(t *testing.T) {
+	srv := serve.New(serve.Options{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	sum, err := Run(context.Background(), Options{
+		Target:   ts.URL,
+		Clients:  1,
+		Sweeps:   2,
+		Cells:    2,
+		Workload: "constant:n=256",
+		Mode:     "async",
+		Wait:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Statuses["202"] != 2 {
+		t.Errorf("statuses = %v, want 2×202", sum.Statuses)
+	}
+	if len(sum.JobIDs) != 2 {
+		t.Errorf("job ids = %v, want 2", sum.JobIDs)
+	}
+	if sum.Lines != 4 {
+		t.Errorf("lines = %d, want 4", sum.Lines)
+	}
+	if sum.Latency.Count != 2 {
+		t.Errorf("latency count = %d, want 2", sum.Latency.Count)
+	}
+}

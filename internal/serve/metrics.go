@@ -1,8 +1,14 @@
 package serve
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -48,6 +54,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.journal != nil {
 		js = s.journal.stats()
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	type metric struct {
@@ -97,8 +105,68 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"hdlsd_arena_reuses_total", "Cells served by a recycled simulation arena.", "counter", float64(reuses)},
 		{"hdlsd_arena_builds_total", "Cells that built a fresh simulation arena.", "counter", float64(builds)},
 		{"hdlsd_arena_returns_total", "Arenas returned to the pool after clean runs.", "counter", float64(puts)},
+		{"hdlsd_process_rss_bytes", "Resident set size of the daemon process (0 where unsupported).", "gauge", float64(processRSSBytes())},
+		{"hdlsd_go_mallocs_total", "Cumulative heap objects allocated by the Go runtime.", "counter", float64(ms.Mallocs)},
+		{"hdlsd_go_heap_alloc_bytes", "Live heap bytes held by the Go runtime.", "gauge", float64(ms.HeapAlloc)},
 		{"hdlsd_draining", "1 while the daemon is draining.", "gauge", float64(draining)},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.typ, m.name, m.value)
 	}
+}
+
+// processRSSBytes reads the process's resident set size from
+// /proc/self/status (VmRSS, kibibytes). It returns 0 on platforms without
+// procfs — consumers (the checks runner's RSS goal) treat 0 as
+// "unavailable" and skip the goal rather than passing or failing on it.
+func processRSSBytes() int64 {
+	buf, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(buf), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// ParseMetrics parses the Prometheus text exposition this daemon emits
+// into a name → value map. It is the scrape half of the machine-class
+// perf gates (internal/checks): goal evaluation works on scrape deltas,
+// so the parser and the emitter must agree and live side by side. Only
+// the subset the daemon produces is handled — unlabeled samples, one per
+// line — and # comment lines are skipped; a malformed sample line is an
+// error naming the line.
+func ParseMetrics(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("malformed metric line %q", line)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed metric value in %q: %v", line, err)
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -194,10 +194,28 @@ func TestMetricsTierCounterNames(t *testing.T) {
 		"hdlsd_cache_disk_writes_pending",
 		// Manager-level collapse counter.
 		"hdlsd_cells_collapsed_total",
+		// Process/runtime gauges the machine-class perf gates scrape
+		// (internal/checks evaluates RSS and allocs-per-cell goals from
+		// these names).
+		"hdlsd_process_rss_bytes",
+		"hdlsd_go_mallocs_total",
+		"hdlsd_go_heap_alloc_bytes",
 	} {
 		if !strings.Contains(metrics, "\n"+want+" ") {
 			t.Errorf("metrics missing %s", want)
 		}
+	}
+	// The scrape parser the checks runner uses must read back what the
+	// daemon emits — round-trip the same body through ParseMetrics.
+	parsed, err := ParseMetrics(strings.NewReader(metrics))
+	if err != nil {
+		t.Fatalf("ParseMetrics on live /metrics body: %v", err)
+	}
+	if parsed["hdlsd_cells_total"] < 1 {
+		t.Errorf("parsed hdlsd_cells_total = %v, want >= 1", parsed["hdlsd_cells_total"])
+	}
+	if parsed["hdlsd_go_mallocs_total"] <= 0 {
+		t.Errorf("parsed hdlsd_go_mallocs_total = %v, want > 0", parsed["hdlsd_go_mallocs_total"])
 	}
 }
 
